@@ -1,0 +1,15 @@
+#include "bench_util.h"
+
+#include <algorithm>
+
+namespace backfi::bench {
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace backfi::bench

@@ -1,0 +1,40 @@
+// Shared helpers for the reproduction benches: each binary prints the
+// paper's rows/series (with `# paper:` reference lines for comparison)
+// and then runs google-benchmark timings of the kernels it exercises.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace backfi::bench {
+
+/// Print a section header for one reproduced table/figure.
+inline void print_header(const char* experiment_id, const char* description) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("==================================================================\n");
+}
+
+/// Print a `# paper:` reference annotation under a measured row.
+inline void print_paper_reference(const std::string& text) {
+  std::printf("# paper: %s\n", text.c_str());
+}
+
+/// Throughput pretty-printer: "5.00 Mbps" / "13 Kbps".
+inline std::string format_throughput(double bps) {
+  char buf[64];
+  if (bps >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f Mbps", bps / 1e6);
+  } else if (bps >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0f Kbps", bps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f bps", bps);
+  }
+  return buf;
+}
+
+/// Median of a (copied) sample vector; 0 for empty input.
+double median(std::vector<double> values);
+
+}  // namespace backfi::bench

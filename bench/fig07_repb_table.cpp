@@ -1,0 +1,80 @@
+// Fig. 7 (the paper's table): relative energy per bit and throughput for
+// every (modulation, coding rate, symbol switching rate) the tag supports.
+//
+// This is a pure energy-model computation; a unit test already asserts
+// every cell against the published values, and this bench prints the full
+// table side by side with the paper's numbers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tag/energy_model.h"
+
+namespace {
+
+using namespace backfi;
+
+// The published Fig. 7 REPB values, same layout as tag::fig7_configs().
+constexpr double kPaperRepb[6][6] = {
+    {29.2162, 28.1984, 31.2517, 29.7250, 40.4117, 36.5951},
+    {3.5651, 3.3333, 4.0287, 3.6810, 6.1151, 5.2458},
+    {1.2850, 1.1231, 1.6089, 1.3660, 3.0665, 2.4592},
+    {1.0000, 0.8468, 1.3064, 1.0766, 2.6855, 2.1109},
+    {0.8575, 0.7086, 1.1552, 0.9319, 2.4949, 1.9367},
+    {0.8290, 0.6810, 1.1250, 0.9030, 2.4568, 1.9019},
+};
+
+void print_table() {
+  bench::print_header("Fig. 7",
+                      "Tag REPB and throughput per modulation/coding/symbol rate");
+  std::printf("%-10s | %-22s | %10s | %10s | %12s\n", "sym rate", "config",
+              "REPB", "paper", "throughput");
+  std::printf("-----------+------------------------+------------+------------+--------------\n");
+  const auto configs = tag::fig7_configs();
+  std::size_t row = 0;
+  for (const double f : tag::standard_symbol_rates()) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      tag::tag_rate_config cfg = configs[c];
+      cfg.symbol_rate_hz = f;
+      char name[32];
+      std::snprintf(name, sizeof name, "%s %s",
+                    tag::modulation_name(cfg.modulation),
+                    phy::code_rate_name(cfg.coding));
+      std::printf("%7.0f kHz | %-22s | %10.4f | %10.4f | %12s\n", f / 1e3, name,
+                  tag::relative_energy_per_bit(cfg), kPaperRepb[row][c],
+                  bench::format_throughput(tag::throughput_bps(cfg)).c_str());
+    }
+    ++row;
+  }
+  std::printf("\nReference EPB (BPSK 1/2 @ 1 MSPS): %.2f pJ/bit (paper: 3.15)\n",
+              tag::energy_per_bit_pj({tag::tag_modulation::bpsk,
+                                      phy::code_rate::half, 1e6}));
+  bench::print_paper_reference(
+      "REPB is non-monotonic in rate: (QPSK,2/3) cheaper than (QPSK,1/2)");
+}
+
+void bm_repb_evaluation(benchmark::State& state) {
+  const auto configs = tag::fig7_configs();
+  double acc = 0.0;
+  for (auto _ : state) {
+    for (const double f : tag::standard_symbol_rates()) {
+      for (const auto& base : configs) {
+        tag::tag_rate_config cfg = base;
+        cfg.symbol_rate_hz = f;
+        acc += tag::relative_energy_per_bit(cfg);
+      }
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(bm_repb_evaluation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 9: minimum REPB as a function of achieved throughput, one curve per
+// range (0.5, 1, 2, 4, 5 m). Each curve ends at the maximum throughput the
+// range supports (the paper's vertical lines), and higher throughputs at a
+// given range cost more energy per bit.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "sim/rate_adaptation.h"
+
+namespace {
+
+using namespace backfi;
+
+constexpr int kTrials = 4;
+
+void run_sweep() {
+  bench::print_header("Fig. 9", "Min REPB vs achieved throughput per range");
+  sim::scenario_config base;
+  base.excitation.ppdu_bytes = 4000;
+  base.payload_bits = 600;
+
+  for (const double d : {0.5, 1.0, 2.0, 4.0, 5.0}) {
+    base.seed = static_cast<std::uint64_t>(d * 977);
+    const auto evals = sim::evaluate_link(base, d, kTrials, 0.5);
+
+    // For each achievable throughput level, the min REPB among usable
+    // points reaching it (the paper's feasible-frontier curve).
+    std::map<double, double> frontier;  // throughput -> min repb
+    double max_tput = 0.0;
+    for (const auto& e : evals) {
+      if (!e.usable) continue;
+      max_tput = std::max(max_tput, e.point.throughput_bps);
+      auto [it, inserted] = frontier.try_emplace(e.point.throughput_bps,
+                                                 e.point.repb);
+      if (!inserted) it->second = std::min(it->second, e.point.repb);
+    }
+    std::printf("\nrange %.1f m (max achievable: %s)\n", d,
+                bench::format_throughput(max_tput).c_str());
+    std::printf("  %-12s  %-8s\n", "throughput", "min REPB");
+    for (const auto& [tput, repb] : frontier)
+      std::printf("  %-12s  %8.3f\n", bench::format_throughput(tput).c_str(),
+                  repb);
+  }
+  bench::print_paper_reference(
+      "REPB between ~0.5 and 3 for most combinations; curves stop at the "
+      "max throughput each range supports");
+  bench::print_paper_reference(
+      "4 Mbps at 2 m costs much more energy/bit than at 1 m");
+}
+
+void bm_evaluate_point(benchmark::State& state) {
+  sim::scenario_config base;
+  base.excitation.ppdu_bytes = 4000;
+  base.payload_bits = 600;
+  const auto cfg = sim::scenario_for_point(
+      base, {tag::tag_modulation::qpsk, phy::code_rate::half, 1e6}, 2.0);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto c = cfg;
+    c.seed = seed++;
+    benchmark::DoNotOptimize(sim::run_backscatter_trial(c));
+  }
+}
+BENCHMARK(bm_evaluate_point)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Coexistence demo: the same WiFi packet serves two receivers at once.
+//
+// While the AP's packet flies to a normal WiFi client, a BackFi tag
+// phase-modulates its reflection. This example runs both receive chains
+// on each packet — the client's 802.11 receiver and the AP's backscatter
+// decoder — and shows that the tag rides along without hurting the WiFi
+// link (paper Sections 6.4/6.5).
+//
+//   ./build/examples/coexistence [tag_distance_m]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/backscatter_sim.h"
+#include "sim/coexistence.h"
+
+int main(int argc, char** argv) {
+  using namespace backfi;
+
+  const double tag_distance = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const double client_distance = 6.0;
+  const int packets = 10;
+
+  std::printf("BackFi coexistence: AP -> client at %.1f m, tag at %.1f m\n",
+              client_distance, tag_distance);
+  std::printf("---------------------------------------------------------\n\n");
+
+  // --- The WiFi client's side of the same packets, tag on vs off ---
+  sim::coexistence_config client_cfg;
+  client_cfg.ap_client_distance_m = client_distance;
+  client_cfg.ap_tag_distance_m = tag_distance;
+  client_cfg.rate = wifi::wifi_rate::mbps54;
+  client_cfg.ppdu_bytes = 1200;
+  client_cfg.tag.rate = {tag::tag_modulation::qpsk, phy::code_rate::half, 1e6};
+
+  int ok_with = 0, ok_without = 0;
+  double snr_with = 0.0, snr_without = 0.0;
+  for (int p = 0; p < packets; ++p) {
+    client_cfg.seed = 100 + p;
+    client_cfg.tag_active = true;
+    const auto with_tag = sim::run_coexistence_trial(client_cfg);
+    client_cfg.tag_active = false;
+    const auto without_tag = sim::run_coexistence_trial(client_cfg);
+    ok_with += with_tag.client_decoded ? 1 : 0;
+    ok_without += without_tag.client_decoded ? 1 : 0;
+    snr_with += with_tag.client_snr_db / packets;
+    snr_without += without_tag.client_snr_db / packets;
+  }
+  std::printf("WiFi client (%s):\n", wifi::params_for(client_cfg.rate).name);
+  std::printf("  tag off: %2d/%d packets, mean SNR %.1f dB\n", ok_without,
+              packets, snr_without);
+  std::printf("  tag on:  %2d/%d packets, mean SNR %.1f dB\n\n", ok_with,
+              packets, snr_with);
+
+  // --- The tag's side of equivalent packets ---
+  sim::scenario_config tag_cfg;
+  tag_cfg.tag_distance_m = tag_distance;
+  tag_cfg.tag.rate = client_cfg.tag.rate;
+  tag_cfg.excitation.ppdu_bytes = 1200;
+  tag_cfg.excitation.rate = client_cfg.rate;
+  tag_cfg.excitation.n_ppdus = 2;  // a 54 Mbps packet is short; burst two
+  tag_cfg.payload_bits = 120;
+
+  int tag_ok = 0;
+  double tag_tput = 0.0;
+  for (int p = 0; p < packets; ++p) {
+    tag_cfg.seed = 200 + p;
+    const auto r = sim::run_backscatter_trial(tag_cfg);
+    if (r.crc_ok && r.bit_errors == 0) {
+      ++tag_ok;
+      tag_tput += r.effective_throughput_bps / packets;
+    }
+  }
+  std::printf("BackFi tag uplink (on the same packets):\n");
+  std::printf("  %2d/%d tag packets decoded, mean %.2f Mbps while active\n\n",
+              tag_ok, packets, tag_tput / 1e6);
+
+  std::printf("both links share one transmission: the client never sees the "
+              "tag,\nand the tag pays only reflection energy.\n");
+  return (ok_with >= ok_without - 1 && tag_ok > 0) ? 0 : 1;
+}

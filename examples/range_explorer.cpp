@@ -1,0 +1,59 @@
+// Range explorer: what does the BackFi link support at a given placement?
+//
+// Sweeps every tag operating point at the requested distance and prints
+// the feasibility table — the building block behind the paper's Figs.
+// 8-10. Useful when deciding where a sensor can physically live.
+//
+//   ./build/examples/range_explorer [distance_m] [trials]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/rate_adaptation.h"
+
+int main(int argc, char** argv) {
+  using namespace backfi;
+
+  const double distance = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  std::printf("BackFi range explorer: tag at %.1f m (%d trials per point)\n",
+              distance, trials);
+  std::printf("----------------------------------------------------------------------\n");
+  std::printf("%-7s %-5s %-10s | %-10s %-7s | %-5s %-10s\n", "mod", "rate",
+              "sym rate", "nominal", "REPB", "PER", "goodput");
+  std::printf("----------------------------+----------------------+------------------\n");
+
+  sim::scenario_config base;
+  base.excitation.ppdu_bytes = 4000;
+  base.payload_bits = 600;
+  base.seed = static_cast<std::uint64_t>(distance * 313) + 17;
+
+  const auto evals = sim::evaluate_link(base, distance, trials, 0.5);
+  for (const auto& e : evals) {
+    std::printf("%-7s %-5s %6.0f kHz | %7.0f K  %7.3f | %5.2f %7.0f K%s\n",
+                tag::modulation_name(e.point.rate.modulation),
+                phy::code_rate_name(e.point.rate.coding),
+                e.point.rate.symbol_rate_hz / 1e3,
+                e.point.throughput_bps / 1e3, e.point.repb,
+                e.packet_error_rate, e.goodput_bps / 1e3,
+                e.usable ? "" : "   (unusable)");
+  }
+
+  const auto best = sim::max_goodput_point(evals);
+  if (best) {
+    std::printf("\nbest goodput: %.0f Kbps (%s %s @ %.2f MSPS)\n",
+                best->goodput_bps / 1e3,
+                tag::modulation_name(best->point.rate.modulation),
+                phy::code_rate_name(best->point.rate.coding),
+                best->point.rate.symbol_rate_hz / 1e6);
+  } else {
+    std::printf("\nno operating point decodes at %.1f m\n", distance);
+  }
+  const auto cheapest = sim::min_repb_point_for_throughput(evals, 0.0);
+  if (cheapest)
+    std::printf("cheapest usable: REPB %.3f (%s %s @ %.2f MSPS)\n",
+                cheapest->repb, tag::modulation_name(cheapest->rate.modulation),
+                phy::code_rate_name(cheapest->rate.coding),
+                cheapest->rate.symbol_rate_hz / 1e6);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Additive white Gaussian noise at a configurable normalized power.
+//
+// Convention used throughout the simulator: a transmitted baseband signal
+// with unit mean sample power represents `tx_power_dbm`; all channel gains
+// and noise powers are normalized to that reference, so dynamic range
+// between self-interference (~0 dB) and thermal noise (~-115 dB for a
+// 20 dBm transmitter) is carried in the double-precision samples.
+#pragma once
+
+#include <span>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace backfi::channel {
+
+/// Complex AWGN of total power `noise_power` (E|n|^2) added in place.
+void add_awgn(std::span<cplx> x, double noise_power, dsp::rng& gen);
+
+/// Noise power normalized to the transmit power reference: the receiver's
+/// thermal floor (kTB * NF) divided by the transmit power.
+double normalized_noise_power(double tx_power_dbm, double bandwidth_hz,
+                              double noise_figure_db);
+
+}  // namespace backfi::channel

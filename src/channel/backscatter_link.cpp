@@ -1,0 +1,77 @@
+#include "channel/backscatter_link.h"
+
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "channel/pathloss.h"
+#include "dsp/math_util.h"
+
+namespace backfi::channel {
+
+namespace {
+
+/// Multipath statistics of the short-range reader<->tag links: strong LoS,
+/// 50-80 ns delay spread (paper Section 4.3.2).
+multipath_profile tag_link_profile(double gain_db) {
+  return {.n_taps = 3, .delay_spread_ns = 60.0, .rician_k_db = 10.0,
+          .total_gain_db = gain_db};
+}
+
+}  // namespace
+
+backscatter_channels draw_backscatter_channels(const link_budget& budget,
+                                               double tag_distance_m,
+                                               dsp::rng& gen) {
+  backscatter_channels out;
+
+  // Self-interference: direct leakage tap (delay 0) + environment
+  // reflections arriving over the next few hundred ns.
+  const double leak_amp = dsp::db_to_amplitude(-budget.circulator_isolation_db);
+  out.h_env = draw_multipath({.n_taps = 6,
+                              .delay_spread_ns = 80.0,
+                              .rician_k_db = -100.0,  // pure scatter
+                              .total_gain_db = budget.env_reflection_db},
+                             gen);
+  out.h_env[0] += leak_amp * dsp::phasor(gen.uniform(0.0, two_pi));
+
+  // One-way gain includes path loss and the tag's antenna gain (the reader
+  // antenna is the 0 dBi reference).
+  const double one_way_db =
+      -log_distance_path_loss_db(tag_distance_m, budget.frequency_hz,
+                                 budget.path_loss_exponent) +
+      budget.tag_antenna_gain_dbi;
+  out.h_f = draw_multipath(tag_link_profile(one_way_db), gen);
+  out.h_b = draw_multipath(tag_link_profile(one_way_db), gen);
+
+  out.noise_power = normalized_noise_power(budget.tx_power_dbm,
+                                           budget.bandwidth_hz,
+                                           budget.noise_figure_db);
+  return out;
+}
+
+cvec draw_one_way_channel(const link_budget& budget, double distance_m,
+                          double rx_antenna_gain_dbi, dsp::rng& gen) {
+  const double gain_db =
+      -log_distance_path_loss_db(distance_m, budget.frequency_hz,
+                                 budget.path_loss_exponent) +
+      rx_antenna_gain_dbi;
+  return draw_multipath(tag_link_profile(gain_db), gen);
+}
+
+double incident_power_at_tag_dbm(const link_budget& budget,
+                                 double tag_distance_m) {
+  return budget.tx_power_dbm -
+         log_distance_path_loss_db(tag_distance_m, budget.frequency_hz,
+                                   budget.path_loss_exponent) +
+         budget.tag_antenna_gain_dbi;
+}
+
+double expected_backscatter_power_dbm(const link_budget& budget,
+                                      double tag_distance_m) {
+  const double one_way = log_distance_path_loss_db(
+      tag_distance_m, budget.frequency_hz, budget.path_loss_exponent);
+  return budget.tx_power_dbm - 2.0 * one_way + 2.0 * budget.tag_antenna_gain_dbi -
+         budget.tag_insertion_loss_db;
+}
+
+}  // namespace backfi::channel

@@ -1,0 +1,81 @@
+#include "dsp/correlation.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/vec_ops.h"
+
+namespace backfi::dsp {
+
+cvec cross_correlate(std::span<const cplx> signal, std::span<const cplx> reference) {
+  if (reference.empty() || signal.size() < reference.size()) return {};
+  const std::size_t n_out = signal.size() - reference.size() + 1;
+  cvec out(n_out);
+  for (std::size_t n = 0; n < n_out; ++n) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < reference.size(); ++k)
+      acc += signal[n + k] * std::conj(reference[k]);
+    out[n] = acc;
+  }
+  return out;
+}
+
+rvec normalized_correlation(std::span<const cplx> signal,
+                            std::span<const cplx> reference) {
+  if (reference.empty() || signal.size() < reference.size()) return {};
+  const std::size_t n_out = signal.size() - reference.size() + 1;
+  const double ref_norm = std::sqrt(energy(reference));
+  rvec out(n_out, 0.0);
+  if (ref_norm <= 0.0) return out;
+  // Sliding window energy of the signal, updated incrementally.
+  double window_energy = energy(signal.subspan(0, reference.size()));
+  for (std::size_t n = 0; n < n_out; ++n) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < reference.size(); ++k)
+      acc += signal[n + k] * std::conj(reference[k]);
+    const double sig_norm = std::sqrt(std::max(window_energy, 0.0));
+    out[n] = sig_norm > 0.0 ? std::abs(acc) / (sig_norm * ref_norm) : 0.0;
+    if (n + 1 < n_out) {
+      window_energy -= std::norm(signal[n]);
+      window_energy += std::norm(signal[n + reference.size()]);
+    }
+  }
+  return out;
+}
+
+peak_result find_correlation_peak(std::span<const cplx> signal,
+                                  std::span<const cplx> reference,
+                                  double threshold) {
+  const rvec metric = normalized_correlation(signal, reference);
+  peak_result result;
+  for (std::size_t n = 0; n < metric.size(); ++n) {
+    if (metric[n] >= threshold) {
+      // Climb to the local maximum of this peak before reporting it.
+      std::size_t best = n;
+      while (best + 1 < metric.size() && metric[best + 1] >= metric[best]) ++best;
+      result.index = best;
+      result.value = metric[best];
+      result.found = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+rvec delayed_autocorrelation(std::span<const cplx> signal, std::size_t lag) {
+  if (signal.size() < 2 * lag || lag == 0) return {};
+  const std::size_t n_out = signal.size() - 2 * lag + 1;
+  rvec out(n_out);
+  for (std::size_t n = 0; n < n_out; ++n) {
+    cplx acc{0.0, 0.0};
+    double power = 0.0;
+    for (std::size_t k = 0; k < lag; ++k) {
+      acc += signal[n + k] * std::conj(signal[n + k + lag]);
+      power += std::norm(signal[n + k + lag]);
+    }
+    out[n] = power > 0.0 ? std::abs(acc) / power : 0.0;
+  }
+  return out;
+}
+
+}  // namespace backfi::dsp

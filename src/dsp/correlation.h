@@ -1,0 +1,37 @@
+// Cross-correlation primitives used for packet detection and symbol timing.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace backfi::dsp {
+
+/// Sliding cross-correlation of `signal` against `reference`:
+/// out[n] = sum_k signal[n+k] * conj(reference[k]),
+/// for n in [0, len(signal) - len(reference)].
+cvec cross_correlate(std::span<const cplx> signal, std::span<const cplx> reference);
+
+/// Normalized correlation magnitude in [0, 1]:
+/// |<s, r>| / (||s_window|| * ||r||), same indexing as cross_correlate.
+rvec normalized_correlation(std::span<const cplx> signal,
+                            std::span<const cplx> reference);
+
+/// Result of a correlation-peak search.
+struct peak_result {
+  std::size_t index = 0;   ///< offset of the peak within the search range
+  double value = 0.0;      ///< normalized correlation value at the peak
+  bool found = false;      ///< true if the peak exceeded the threshold
+};
+
+/// Find the first normalized-correlation peak above `threshold`.
+peak_result find_correlation_peak(std::span<const cplx> signal,
+                                  std::span<const cplx> reference,
+                                  double threshold);
+
+/// Schmidl-Cox style delayed autocorrelation metric with lag L over window L:
+/// m[n] = |sum_{k<L} s[n+k] conj(s[n+k+L])| / sum_{k<L} |s[n+k+L]|^2.
+/// Used for 802.11 short-preamble detection (L = 16).
+rvec delayed_autocorrelation(std::span<const cplx> signal, std::size_t lag);
+
+}  // namespace backfi::dsp

@@ -1,0 +1,78 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/math_util.h"
+
+namespace backfi::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void bit_reverse_permute(std::span<cplx> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (i < j) std::swap(data[i], data[j]);
+    std::size_t mask = n >> 1;
+    while (j & mask) {
+      j ^= mask;
+      mask >>= 1;
+    }
+    j |= mask;
+  }
+}
+
+void transform(std::span<cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(is_power_of_two(n));
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? two_pi : -two_pi) / static_cast<double>(len);
+    const cplx w_len = phasor(angle);
+    for (std::size_t start = 0; start < n; start += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx even = data[start + k];
+        const cplx odd = data[start + k + len / 2] * w;
+        data[start + k] = even + odd;
+        data[start + k + len / 2] = even - odd;
+        w *= w_len;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_in_place(std::span<cplx> data) { transform(data, /*inverse=*/false); }
+
+void ifft_in_place(std::span<cplx> data) {
+  transform(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (cplx& v : data) v *= inv_n;
+}
+
+cvec fft(std::span<const cplx> input) {
+  cvec out(input.begin(), input.end());
+  fft_in_place(out);
+  return out;
+}
+
+cvec ifft(std::span<const cplx> input) {
+  cvec out(input.begin(), input.end());
+  ifft_in_place(out);
+  return out;
+}
+
+cvec fft_shift(std::span<const cplx> input) {
+  const std::size_t n = input.size();
+  cvec out(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) out[i] = input[(i + half) % n];
+  return out;
+}
+
+}  // namespace backfi::dsp

@@ -1,0 +1,32 @@
+// Iterative radix-2 FFT/IFFT for power-of-two sizes.
+//
+// The WiFi PHY only needs 64-point transforms, but the implementation is
+// generic over any power of two so spectral tests and channel analysis can
+// use longer transforms.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace backfi::dsp {
+
+/// In-place forward DFT (no normalization). size must be a power of two >= 1.
+void fft_in_place(std::span<cplx> data);
+
+/// In-place inverse DFT with 1/N normalization. size must be a power of two.
+void ifft_in_place(std::span<cplx> data);
+
+/// Out-of-place forward DFT.
+cvec fft(std::span<const cplx> input);
+
+/// Out-of-place inverse DFT (1/N normalized).
+cvec ifft(std::span<const cplx> input);
+
+/// True if n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+/// Circularly shift the spectrum so that DC moves to the centre bin.
+cvec fft_shift(std::span<const cplx> input);
+
+}  // namespace backfi::dsp

@@ -1,0 +1,76 @@
+#include "dsp/fir.h"
+
+#include <cassert>
+
+namespace backfi::dsp {
+
+cvec convolve(std::span<const cplx> x, std::span<const cplx> h) {
+  if (x.empty() || h.empty()) return {};
+  cvec out(x.size() + h.size() - 1, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const cplx xi = x[i];
+    if (xi == cplx{0.0, 0.0}) continue;
+    for (std::size_t k = 0; k < h.size(); ++k) out[i + k] += xi * h[k];
+  }
+  return out;
+}
+
+cvec convolve_same(std::span<const cplx> x, std::span<const cplx> h) {
+  cvec full = convolve(x, h);
+  full.resize(x.size());
+  return full;
+}
+
+fir_filter::fir_filter(cvec taps) : taps_(std::move(taps)) {
+  assert(!taps_.empty());
+  history_.assign(taps_.size() - 1, cplx{0.0, 0.0});
+}
+
+cvec fir_filter::process(std::span<const cplx> input) {
+  const std::size_t n_taps = taps_.size();
+  cvec out(input.size());
+  // Virtual sequence = history_ ++ input; compute causal FIR over it.
+  for (std::size_t n = 0; n < input.size(); ++n) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < n_taps; ++k) {
+      // sample at global index (n - k) relative to input start
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(n) - static_cast<std::ptrdiff_t>(k);
+      cplx sample;
+      if (idx >= 0) {
+        sample = input[static_cast<std::size_t>(idx)];
+      } else {
+        const std::ptrdiff_t hist_idx =
+            static_cast<std::ptrdiff_t>(history_.size()) + idx;
+        if (hist_idx < 0) continue;
+        sample = history_[static_cast<std::size_t>(hist_idx)];
+      }
+      acc += taps_[k] * sample;
+    }
+    out[n] = acc;
+  }
+  // Update history with the last (n_taps - 1) samples of the virtual stream.
+  if (n_taps > 1) {
+    const std::size_t keep = n_taps - 1;
+    cvec next(keep, cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < keep; ++i) {
+      // Global index from the end: want last `keep` samples.
+      const std::ptrdiff_t idx =
+          static_cast<std::ptrdiff_t>(input.size()) - static_cast<std::ptrdiff_t>(keep) +
+          static_cast<std::ptrdiff_t>(i);
+      if (idx >= 0) {
+        next[i] = input[static_cast<std::size_t>(idx)];
+      } else {
+        const std::ptrdiff_t hist_idx =
+            static_cast<std::ptrdiff_t>(history_.size()) + idx;
+        next[i] = hist_idx >= 0 ? history_[static_cast<std::size_t>(hist_idx)]
+                                : cplx{0.0, 0.0};
+      }
+    }
+    history_ = std::move(next);
+  }
+  return out;
+}
+
+void fir_filter::reset() { history_.assign(history_.size(), cplx{0.0, 0.0}); }
+
+}  // namespace backfi::dsp

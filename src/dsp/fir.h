@@ -1,0 +1,39 @@
+// Linear convolution and streaming FIR filtering.
+//
+// Channels in BackFi are short (a handful of 50 ns taps), so direct-form
+// convolution is both simple and fast; no FFT-based fast convolution needed.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace backfi::dsp {
+
+/// Full linear convolution: output length = len(x) + len(h) - 1.
+cvec convolve(std::span<const cplx> x, std::span<const cplx> h);
+
+/// "Same"-length convolution: output length = len(x), aligned so that
+/// h[0] multiplies x[n] (i.e. the filter is causal, output truncated).
+cvec convolve_same(std::span<const cplx> x, std::span<const cplx> h);
+
+/// Streaming direct-form FIR filter holding state across process() calls,
+/// used by the digital canceller which filters a packet in segments.
+class fir_filter {
+ public:
+  explicit fir_filter(cvec taps);
+
+  /// Filter a block; returns same-length output, retaining tail state.
+  cvec process(std::span<const cplx> input);
+
+  /// Clear the delay line.
+  void reset();
+
+  const cvec& taps() const { return taps_; }
+
+ private:
+  cvec taps_;
+  cvec history_;  // last (taps-1) inputs from previous blocks
+};
+
+}  // namespace backfi::dsp

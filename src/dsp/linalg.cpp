@@ -1,0 +1,95 @@
+#include "dsp/linalg.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace backfi::dsp {
+
+cvec solve_hermitian_positive_definite(const cmatrix& a, std::span<const cplx> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_hpd: dimension mismatch");
+
+  // Cholesky A = L L^H (L lower triangular).
+  cmatrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j).real();
+    for (std::size_t k = 0; k < j; ++k) diag -= std::norm(l(j, k));
+    if (diag <= 0.0) throw std::runtime_error("solve_hpd: matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      cplx acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * std::conj(l(j, k));
+      l(i, j) = acc / ljj;
+    }
+  }
+
+  // Forward substitution: L z = b.
+  cvec z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * z[k];
+    z[i] = acc / l(i, i);
+  }
+
+  // Backward substitution: L^H x = z.
+  cvec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    cplx acc = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= std::conj(l(k, ii)) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+cvec least_squares(const cmatrix& a, std::span<const cplx> b, double ridge) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("least_squares: dimension mismatch");
+
+  // Normal equations: (A^H A + ridge I) x = A^H b.
+  cmatrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t r = 0; r < m; ++r) acc += std::conj(a(r, i)) * a(r, j);
+      gram(i, j) = acc;
+      gram(j, i) = std::conj(acc);
+    }
+    gram(i, i) += ridge;
+  }
+  cvec rhs(n, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t r = 0; r < m; ++r) rhs[i] += std::conj(a(r, i)) * b[r];
+
+  return solve_hermitian_positive_definite(gram, rhs);
+}
+
+cvec estimate_fir_least_squares(std::span<const cplx> x, std::span<const cplx> y,
+                                std::size_t n_taps, double ridge) {
+  assert(n_taps > 0);
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < n_taps) throw std::invalid_argument("estimate_fir: too few samples");
+
+  // Rows n in [n_taps-1, n): y[n] = sum_k h[k] x[n-k].
+  const std::size_t m = n - (n_taps - 1);
+  cmatrix a(m, n_taps);
+  cvec b(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t row_time = r + n_taps - 1;
+    for (std::size_t k = 0; k < n_taps; ++k) a(r, k) = x[row_time - k];
+    b[r] = y[row_time];
+  }
+  // Scale ridge with excitation energy so regularization strength is
+  // independent of the absolute signal level.
+  const double col_energy = [&] {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m; ++r) acc += std::norm(a(r, 0));
+    return acc;
+  }();
+  return least_squares(a, b, ridge * std::max(col_energy, 1e-30));
+}
+
+}  // namespace backfi::dsp

@@ -1,0 +1,49 @@
+// Small dense complex linear algebra: just enough to solve the regularized
+// least-squares problems of channel estimation (system sizes <= a few tens).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace backfi::dsp {
+
+/// Dense column-major complex matrix, sized at construction.
+class cmatrix {
+ public:
+  cmatrix() = default;
+  cmatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[c * rows_ + r]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[c * rows_ + r];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  cvec data_;
+};
+
+/// Solve the Hermitian positive-definite system A x = b by Cholesky
+/// factorization. Throws std::runtime_error if A is not positive definite.
+cvec solve_hermitian_positive_definite(const cmatrix& a, std::span<const cplx> b);
+
+/// Solve min_x ||A x - b||^2 + ridge * ||x||^2 via normal equations.
+/// `ridge` > 0 keeps the solve well-posed when A is ill-conditioned
+/// (e.g. a narrowband excitation exciting few delay taps).
+cvec least_squares(const cmatrix& a, std::span<const cplx> b, double ridge = 0.0);
+
+/// Least squares for the convolution model y[n] = sum_k h[k] x[n-k]:
+/// builds the Toeplitz normal equations from the known input x and the
+/// observed output y and returns the length-`n_taps` channel estimate.
+/// Only rows where the full filter memory is available are used.
+cvec estimate_fir_least_squares(std::span<const cplx> x, std::span<const cplx> y,
+                                std::size_t n_taps, double ridge = 1e-9);
+
+}  // namespace backfi::dsp

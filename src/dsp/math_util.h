@@ -1,0 +1,41 @@
+// Small numeric helpers: dB <-> linear conversions, phase wrapping, sinc.
+#pragma once
+
+#include <cmath>
+
+#include "dsp/types.h"
+
+namespace backfi::dsp {
+
+/// Power ratio -> decibels.
+inline double to_db(double power_ratio) { return 10.0 * std::log10(power_ratio); }
+
+/// Decibels -> power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Decibels -> amplitude (voltage) ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// dBm -> watts.
+inline double dbm_to_watts(double dbm) { return 1e-3 * from_db(dbm); }
+
+/// Watts -> dBm.
+inline double watts_to_dbm(double watts) { return to_db(watts / 1e-3); }
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_phase(double phase) {
+  while (phase > pi) phase -= two_pi;
+  while (phase <= -pi) phase += two_pi;
+  return phase;
+}
+
+/// Normalized sinc: sin(pi x)/(pi x), sinc(0) = 1.
+inline double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(pi * x) / (pi * x);
+}
+
+/// Unit phasor e^{j*angle}.
+inline cplx phasor(double angle) { return {std::cos(angle), std::sin(angle)}; }
+
+}  // namespace backfi::dsp

@@ -1,0 +1,81 @@
+#include "dsp/resample.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/fir.h"
+#include "dsp/math_util.h"
+
+namespace backfi::dsp {
+
+cvec fractional_delay(std::span<const cplx> x, double delay_samples,
+                      std::size_t filter_half_width) {
+  assert(delay_samples >= 0.0);
+  const std::size_t int_delay = static_cast<std::size_t>(std::floor(delay_samples));
+  const double frac = delay_samples - static_cast<double>(int_delay);
+
+  cvec delayed(x.size(), cplx{0.0, 0.0});
+  if (frac < 1e-9) {
+    for (std::size_t n = int_delay; n < x.size(); ++n) delayed[n] = x[n - int_delay];
+    return delayed;
+  }
+
+  // Windowed-sinc fractional interpolator centred at filter_half_width.
+  const std::size_t len = 2 * filter_half_width + 1;
+  cvec taps(len);
+  double norm = 0.0;
+  for (std::size_t k = 0; k < len; ++k) {
+    const double t = static_cast<double>(k) - static_cast<double>(filter_half_width) - frac;
+    const double hann =
+        0.5 + 0.5 * std::cos(pi * t / (static_cast<double>(filter_half_width) + 1.0));
+    const double v = sinc(t) * std::max(hann, 0.0);
+    taps[k] = v;
+    norm += v;
+  }
+  for (cplx& t : taps) t /= norm;
+
+  const cvec shaped = convolve(x, taps);
+  // Total delay = int_delay + filter_half_width (group delay) + frac (in taps).
+  const std::size_t group_delay = filter_half_width;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const std::size_t src = n + group_delay;
+    if (src < shaped.size() && n >= int_delay) {
+      delayed[n] = shaped[src - int_delay];
+    }
+  }
+  return delayed;
+}
+
+cvec upsample(std::span<const cplx> x, std::size_t factor) {
+  assert(factor >= 1);
+  if (factor == 1) return cvec(x.begin(), x.end());
+  cvec stuffed(x.size() * factor, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i)
+    stuffed[i * factor] = x[i] * static_cast<double>(factor);
+
+  // Anti-imaging windowed-sinc lowpass at 1/factor bandwidth.
+  const std::size_t half = 8 * factor;
+  cvec taps(2 * half + 1);
+  for (std::size_t k = 0; k < taps.size(); ++k) {
+    const double t = (static_cast<double>(k) - static_cast<double>(half)) /
+                     static_cast<double>(factor);
+    const double hann = 0.5 + 0.5 * std::cos(pi * (static_cast<double>(k) - static_cast<double>(half)) /
+                                             (static_cast<double>(half) + 1.0));
+    taps[k] = sinc(t) * std::max(hann, 0.0) / static_cast<double>(factor);
+  }
+  cvec filtered = convolve(stuffed, taps);
+  // Trim group delay so output aligns with input timing.
+  cvec out(stuffed.size());
+  for (std::size_t n = 0; n < out.size(); ++n) out[n] = filtered[n + half];
+  return out;
+}
+
+cvec decimate(std::span<const cplx> x, std::size_t factor) {
+  assert(factor >= 1);
+  cvec out;
+  out.reserve(x.size() / factor + 1);
+  for (std::size_t i = 0; i < x.size(); i += factor) out.push_back(x[i]);
+  return out;
+}
+
+}  // namespace backfi::dsp

@@ -1,0 +1,28 @@
+// Fractional-delay and integer up/down sampling helpers.
+//
+// The tag's backscatter path length changes with geometry; a fractional
+// delay lets the simulator place tags at arbitrary (non sample-aligned)
+// distances without snapping to the 50 ns grid.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace backfi::dsp {
+
+/// Apply a (possibly fractional) delay of `delay_samples` >= 0 using a
+/// windowed-sinc interpolator; output has the same length as the input
+/// (leading samples are zero-filled as the signal "arrives").
+cvec fractional_delay(std::span<const cplx> x, double delay_samples,
+                      std::size_t filter_half_width = 8);
+
+/// Integer upsampling by zero insertion followed by windowed-sinc
+/// anti-imaging interpolation.
+cvec upsample(std::span<const cplx> x, std::size_t factor);
+
+/// Integer decimation keeping every `factor`-th sample (no filtering;
+/// callers are expected to band-limit first).
+cvec decimate(std::span<const cplx> x, std::size_t factor);
+
+}  // namespace backfi::dsp

@@ -1,0 +1,99 @@
+#include "dsp/rng.h"
+
+#include <cmath>
+
+namespace backfi::dsp {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+/// splitmix64 used for seeding so that nearby seeds give unrelated streams.
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t rng::uniform_int(std::uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  if (n == 0) return 0;
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+double rng::gaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box-Muller; u1 strictly positive to keep log finite.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = radius * std::sin(two_pi * u2);
+  have_spare_gaussian_ = true;
+  return radius * std::cos(two_pi * u2);
+}
+
+cplx rng::complex_gaussian() {
+  // Independent N(0, 1/2) per axis so E|z|^2 = 1.
+  constexpr double scale = 0.7071067811865476;  // 1/sqrt(2)
+  return {scale * gaussian(), scale * gaussian()};
+}
+
+bool rng::bernoulli(double p) { return uniform() < p; }
+
+double rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+std::vector<std::uint8_t> rng::random_bits(std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bits[i] = static_cast<std::uint8_t>(next_u64() & 1u);
+  return bits;
+}
+
+rng rng::fork() { return rng(next_u64()); }
+
+}  // namespace backfi::dsp

@@ -1,0 +1,77 @@
+#include "dsp/vec_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace backfi::dsp {
+
+double energy(std::span<const cplx> x) {
+  double acc = 0.0;
+  for (const cplx& v : x) acc += std::norm(v);
+  return acc;
+}
+
+double mean_power(std::span<const cplx> x) {
+  if (x.empty()) return 0.0;
+  return energy(x) / static_cast<double>(x.size());
+}
+
+double rms(std::span<const cplx> x) { return std::sqrt(mean_power(x)); }
+
+cplx dot_conj(std::span<const cplx> x, std::span<const cplx> y) {
+  assert(x.size() == y.size());
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * std::conj(y[i]);
+  return acc;
+}
+
+void add_in_place(std::span<cplx> y, std::span<const cplx> x) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+}
+
+void subtract_in_place(std::span<cplx> y, std::span<const cplx> x) {
+  assert(y.size() == x.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] -= x[i];
+}
+
+void scale_in_place(std::span<cplx> x, cplx s) {
+  for (cplx& v : x) v *= s;
+}
+
+cvec normalized_to_power(std::span<const cplx> x, double target_mean_power) {
+  cvec out(x.begin(), x.end());
+  const double current = mean_power(x);
+  if (current <= 0.0) return out;
+  const double gain = std::sqrt(target_mean_power / current);
+  scale_in_place(out, gain);
+  return out;
+}
+
+cvec hadamard(std::span<const cplx> x, std::span<const cplx> y) {
+  assert(x.size() == y.size());
+  cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * y[i];
+  return out;
+}
+
+double peak_magnitude(std::span<const cplx> x) {
+  double best = 0.0;
+  for (const cplx& v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+std::size_t argmax_magnitude(std::span<const cplx> x) {
+  std::size_t best_idx = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double mag = std::norm(x[i]);
+    if (mag > best) {
+      best = mag;
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+}  // namespace backfi::dsp

@@ -1,0 +1,62 @@
+#include "dsp/window.h"
+
+#include <cassert>
+#include <cmath>
+#include <span>
+
+#include "dsp/fft.h"
+#include "dsp/math_util.h"
+
+namespace backfi::dsp {
+
+rvec rectangular_window(std::size_t n) { return rvec(n, 1.0); }
+
+namespace {
+
+rvec cosine_window(std::size_t n, double a0, double a1, double a2) {
+  rvec w(n, 1.0);
+  if (n < 2) return w;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n - 1);
+    w[i] = a0 - a1 * std::cos(two_pi * x) + a2 * std::cos(2.0 * two_pi * x);
+  }
+  return w;
+}
+
+}  // namespace
+
+rvec hamming_window(std::size_t n) { return cosine_window(n, 0.54, 0.46, 0.0); }
+
+rvec hann_window(std::size_t n) { return cosine_window(n, 0.5, 0.5, 0.0); }
+
+rvec blackman_window(std::size_t n) { return cosine_window(n, 0.42, 0.5, 0.08); }
+
+cvec apply_window(std::span<const cplx> x, std::span<const double> w) {
+  assert(x.size() == w.size());
+  cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * w[i];
+  return out;
+}
+
+rvec welch_psd(std::span<const cplx> x, std::size_t nfft) {
+  assert(is_power_of_two(nfft));
+  rvec psd(nfft, 0.0);
+  if (x.size() < nfft) return psd;
+  const rvec window = hann_window(nfft);
+  double window_power = 0.0;
+  for (double w : window) window_power += w * w;
+
+  const std::size_t hop = nfft / 2;
+  std::size_t n_segments = 0;
+  for (std::size_t start = 0; start + nfft <= x.size(); start += hop) {
+    cvec seg = apply_window(x.subspan(start, nfft), window);
+    fft_in_place(seg);
+    for (std::size_t k = 0; k < nfft; ++k) psd[k] += std::norm(seg[k]);
+    ++n_segments;
+  }
+  const double scale = 1.0 / (static_cast<double>(n_segments) * window_power);
+  for (double& v : psd) v *= scale;
+  return psd;
+}
+
+}  // namespace backfi::dsp

@@ -1,0 +1,30 @@
+// Window functions used for spectral measurements and pulse shaping.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace backfi::dsp {
+
+/// Rectangular window of n ones.
+rvec rectangular_window(std::size_t n);
+
+/// Hamming window of length n.
+rvec hamming_window(std::size_t n);
+
+/// Hann window of length n.
+rvec hann_window(std::size_t n);
+
+/// Blackman window of length n.
+rvec blackman_window(std::size_t n);
+
+/// Apply a real window to a complex vector (sizes must match).
+cvec apply_window(std::span<const cplx> x, std::span<const double> w);
+
+/// Welch-averaged power spectral density estimate (linear power per bin)
+/// with 50% overlapping Hann-windowed segments of length nfft.
+rvec welch_psd(std::span<const cplx> x, std::size_t nfft);
+
+}  // namespace backfi::dsp

@@ -1,0 +1,34 @@
+#include "fd/adc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/vec_ops.h"
+
+namespace backfi::fd {
+
+cvec quantize(std::span<const cplx> x, const adc_config& config) {
+  const double levels = static_cast<double>(1ULL << config.bits);
+  const double step = 2.0 * config.full_scale / levels;
+  auto quantize_axis = [&](double v) {
+    const double clipped = std::clamp(v, -config.full_scale, config.full_scale);
+    return std::round(clipped / step) * step;
+  };
+  cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = {quantize_axis(x[i].real()), quantize_axis(x[i].imag())};
+  return out;
+}
+
+double agc_full_scale(std::span<const cplx> x, double headroom) {
+  return std::max(dsp::rms(x) * headroom, 1e-30);
+}
+
+double quantization_noise_power(const adc_config& config) {
+  const double levels = static_cast<double>(1ULL << config.bits);
+  const double step = 2.0 * config.full_scale / levels;
+  // step^2/12 per axis, two axes.
+  return step * step / 6.0;
+}
+
+}  // namespace backfi::fd

@@ -1,0 +1,32 @@
+// Receiver ADC model: clipping plus uniform quantization.
+//
+// The reason BackFi needs *analog* cancellation before the ADC (paper
+// Section 4.2): un-cancelled self-interference either saturates the
+// converter or forces a full-scale setting whose quantization floor buries
+// the backscatter signal. This model makes that failure mode reproducible.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace backfi::fd {
+
+struct adc_config {
+  /// Effective number of bits per I/Q axis (WARP-class radios: 12).
+  std::size_t bits = 12;
+  /// Full-scale amplitude per axis; an AGC in front of the ADC normally
+  /// sets this to a small multiple of the input RMS.
+  double full_scale = 1.0;
+};
+
+/// Quantize a block of samples (clip to full scale, round to the LSB grid).
+cvec quantize(std::span<const cplx> x, const adc_config& config);
+
+/// Full-scale choice of a simple AGC: `headroom` times the input RMS.
+double agc_full_scale(std::span<const cplx> x, double headroom = 4.0);
+
+/// Quantization noise power of the configuration (per complex sample).
+double quantization_noise_power(const adc_config& config);
+
+}  // namespace backfi::fd

@@ -1,0 +1,71 @@
+#include "fd/canceller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fir.h"
+#include "dsp/linalg.h"
+#include "dsp/math_util.h"
+#include "dsp/vec_ops.h"
+
+namespace backfi::fd {
+
+namespace {
+
+cvec subtract_filtered(std::span<const cplx> tx, std::span<const cplx> rx,
+                       const cvec& taps) {
+  cvec out(rx.begin(), rx.end());
+  if (taps.empty()) return out;
+  const cvec emulated = dsp::convolve_same(tx, taps);
+  const std::size_t n = std::min(out.size(), emulated.size());
+  for (std::size_t i = 0; i < n; ++i) out[i] -= emulated[i];
+  return out;
+}
+
+}  // namespace
+
+analog_canceller::analog_canceller(const analog_canceller_config& config)
+    : config_(config) {}
+
+void analog_canceller::adapt(std::span<const cplx> tx, std::span<const cplx> rx) {
+  const std::size_t n = std::min(tx.size(), rx.size());
+  taps_ = dsp::estimate_fir_least_squares(tx.first(n), rx.first(n),
+                                          config_.n_taps, 1e-6);
+  // Quantize coefficients to the attenuator/phase-shifter resolution.
+  double max_mag = 0.0;
+  for (const cplx& t : taps_) max_mag = std::max({max_mag, std::abs(t.real()),
+                                                  std::abs(t.imag())});
+  if (max_mag <= 0.0) return;
+  const double step =
+      max_mag / static_cast<double>(1ULL << (config_.coefficient_bits - 1));
+  for (cplx& t : taps_)
+    t = {std::round(t.real() / step) * step, std::round(t.imag() / step) * step};
+}
+
+cvec analog_canceller::cancel(std::span<const cplx> tx,
+                              std::span<const cplx> rx) const {
+  return subtract_filtered(tx, rx, taps_);
+}
+
+digital_canceller::digital_canceller(const digital_canceller_config& config)
+    : config_(config) {}
+
+void digital_canceller::adapt(std::span<const cplx> tx, std::span<const cplx> rx) {
+  const std::size_t n = std::min(tx.size(), rx.size());
+  taps_ = dsp::estimate_fir_least_squares(tx.first(n), rx.first(n),
+                                          config_.n_taps, config_.ridge);
+}
+
+cvec digital_canceller::cancel(std::span<const cplx> tx,
+                               std::span<const cplx> rx) const {
+  return subtract_filtered(tx, rx, taps_);
+}
+
+double cancellation_depth_db(std::span<const cplx> before,
+                             std::span<const cplx> after) {
+  const double p_before = dsp::mean_power(before);
+  const double p_after = std::max(dsp::mean_power(after), 1e-30);
+  return dsp::to_db(p_before / p_after);
+}
+
+}  // namespace backfi::fd

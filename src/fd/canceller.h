@@ -1,0 +1,75 @@
+// Two-stage self-interference cancellation (paper Section 4.2, after [12]).
+//
+// Analog stage: an RF FIR emulation with a small number of taps whose
+// coefficients have finite (attenuator/phase-shifter) resolution. It must
+// knock the self-interference down enough that the ADC's dynamic range can
+// represent the backscatter signal.
+//
+// Digital stage: full-precision least-squares FIR estimate of the residual
+// channel, adapted ONLY during the tag's silent period so the backscatter
+// signal itself is never cancelled (the paper's key protocol point).
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace backfi::fd {
+
+struct analog_canceller_config {
+  std::size_t n_taps = 6;
+  /// Coefficient resolution in bits (per I/Q axis) of the tunable
+  /// attenuator/phase-shifter network. Limits achievable cancellation.
+  std::size_t coefficient_bits = 7;
+};
+
+/// Analog cancellation stage. adapt() tunes the taps from a (tx, rx)
+/// training segment; cancel() subtracts the emulated leakage.
+class analog_canceller {
+ public:
+  explicit analog_canceller(const analog_canceller_config& config = {});
+
+  /// Tune taps by least squares over the training segment, then quantize
+  /// them to the hardware resolution.
+  void adapt(std::span<const cplx> tx, std::span<const cplx> rx);
+
+  /// rx - tx * taps (same length as rx; tx must be the aligned transmit
+  /// samples for the same interval).
+  cvec cancel(std::span<const cplx> tx, std::span<const cplx> rx) const;
+
+  const cvec& taps() const { return taps_; }
+  bool adapted() const { return !taps_.empty(); }
+
+ private:
+  analog_canceller_config config_;
+  cvec taps_;
+};
+
+struct digital_canceller_config {
+  std::size_t n_taps = 8;
+  double ridge = 1e-9;
+};
+
+/// Digital cancellation stage: unconstrained LS FIR estimate of the
+/// residual self-interference channel.
+class digital_canceller {
+ public:
+  explicit digital_canceller(const digital_canceller_config& config = {});
+
+  void adapt(std::span<const cplx> tx, std::span<const cplx> rx);
+
+  cvec cancel(std::span<const cplx> tx, std::span<const cplx> rx) const;
+
+  const cvec& taps() const { return taps_; }
+  bool adapted() const { return !taps_.empty(); }
+
+ private:
+  digital_canceller_config config_;
+  cvec taps_;
+};
+
+/// Cancellation depth [dB]: input power over residual power for a segment.
+double cancellation_depth_db(std::span<const cplx> before,
+                             std::span<const cplx> after);
+
+}  // namespace backfi::fd

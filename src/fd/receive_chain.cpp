@@ -1,0 +1,70 @@
+#include "fd/receive_chain.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/vec_ops.h"
+
+namespace backfi::fd {
+
+receive_chain_result run_receive_chain(std::span<const cplx> tx,
+                                       std::span<const cplx> rx,
+                                       std::size_t silent_begin,
+                                       std::size_t silent_end,
+                                       const receive_chain_config& config) {
+  assert(tx.size() == rx.size());
+  assert(silent_begin < silent_end && silent_end <= rx.size());
+  receive_chain_result result;
+
+  const auto tx_silent = tx.subspan(silent_begin, silent_end - silent_begin);
+  const auto rx_silent = rx.subspan(silent_begin, silent_end - silent_begin);
+
+  // --- Analog stage (before the ADC) ---
+  cvec after_analog;
+  if (config.enable_analog) {
+    analog_canceller analog(config.analog);
+    analog.adapt(tx_silent, rx_silent);
+    after_analog = analog.cancel(tx, rx);
+  } else {
+    after_analog.assign(rx.begin(), rx.end());
+  }
+  result.analog_depth_db = cancellation_depth_db(
+      rx_silent, std::span(after_analog).subspan(silent_begin,
+                                                 silent_end - silent_begin));
+
+  // --- AGC + ADC ---
+  cvec digitized;
+  if (config.enable_adc) {
+    adc_config adc = config.adc;
+    adc.full_scale = agc_full_scale(after_analog, config.agc_headroom);
+    for (const cplx& v : after_analog) {
+      if (std::abs(v.real()) > adc.full_scale ||
+          std::abs(v.imag()) > adc.full_scale) {
+        result.adc_saturated = true;
+        break;
+      }
+    }
+    digitized = quantize(after_analog, adc);
+  } else {
+    digitized = std::move(after_analog);
+  }
+
+  // --- Digital stage (adapted on the silent period only) ---
+  if (config.enable_digital) {
+    digital_canceller digital(config.digital);
+    digital.adapt(tx_silent,
+                  std::span(digitized).subspan(silent_begin,
+                                               silent_end - silent_begin));
+    result.cleaned = digital.cancel(tx, digitized);
+  } else {
+    result.cleaned = std::move(digitized);
+  }
+
+  const auto cleaned_silent = std::span(result.cleaned)
+                                  .subspan(silent_begin, silent_end - silent_begin);
+  result.total_depth_db = cancellation_depth_db(rx_silent, cleaned_silent);
+  result.residual_power = dsp::mean_power(cleaned_silent);
+  return result;
+}
+
+}  // namespace backfi::fd

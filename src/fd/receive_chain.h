@@ -1,0 +1,41 @@
+// The reader's receive chain: analog cancellation -> AGC + ADC -> digital
+// cancellation, adapted on the silent period and applied to the rest of
+// the packet (paper Fig. 5).
+#pragma once
+
+#include <span>
+
+#include "fd/adc.h"
+#include "fd/canceller.h"
+
+namespace backfi::fd {
+
+struct receive_chain_config {
+  analog_canceller_config analog;
+  digital_canceller_config digital;
+  adc_config adc;
+  bool enable_analog = true;   ///< failure injection: bypass analog stage
+  bool enable_digital = true;  ///< failure injection: bypass digital stage
+  bool enable_adc = true;      ///< ideal (infinite resolution) front end
+  double agc_headroom = 4.0;
+};
+
+/// Result of running the chain over a full packet.
+struct receive_chain_result {
+  cvec cleaned;                ///< rx after both cancellation stages
+  double analog_depth_db = 0.0;   ///< SI suppression of the analog stage
+  double total_depth_db = 0.0;    ///< SI suppression of both stages
+  double residual_power = 0.0;    ///< mean residual power in the silent window
+  bool adc_saturated = false;     ///< clipping detected at the ADC
+};
+
+/// Adapt on rx[silent_begin, silent_end) against the aligned tx samples and
+/// clean the entire rx buffer. tx and rx must be time-aligned and equally
+/// long.
+receive_chain_result run_receive_chain(std::span<const cplx> tx,
+                                       std::span<const cplx> rx,
+                                       std::size_t silent_begin,
+                                       std::size_t silent_end,
+                                       const receive_chain_config& config = {});
+
+}  // namespace backfi::fd

@@ -1,0 +1,18 @@
+#include "mac/airtime.h"
+
+namespace backfi::mac {
+
+double ppdu_airtime_us(std::size_t bytes, wifi::wifi_rate rate) {
+  const std::size_t n_sym = wifi::data_symbol_count(bytes, rate);
+  return 16.0 + 4.0 + 4.0 * static_cast<double>(n_sym);
+}
+
+double cts_to_self_airtime_us() {
+  return ppdu_airtime_us(14, wifi::wifi_rate::mbps24);
+}
+
+double backfi_overhead_us(double preamble_us) {
+  return cts_to_self_airtime_us() + 16.0 + 16.0 + preamble_us;
+}
+
+}  // namespace backfi::mac

@@ -1,0 +1,31 @@
+// 802.11 airtime accounting: frame durations, interframe spaces and the
+// BackFi link-layer overhead (CTS-to-SELF + wake preamble + silent period
+// + estimation preamble) that gates how much of an AP's transmit time can
+// carry backscatter data.
+#pragma once
+
+#include <cstddef>
+
+#include "wifi/rates.h"
+
+namespace backfi::mac {
+
+/// 802.11 timing constants [us] (OFDM PHY, 20 MHz).
+inline constexpr double sifs_us = 16.0;
+inline constexpr double difs_us = 34.0;
+inline constexpr double slot_us = 9.0;
+
+/// Airtime of a PPDU carrying `bytes` at `rate` [us]: preamble (16 us) +
+/// SIGNAL (4 us) + data symbols (4 us each).
+double ppdu_airtime_us(std::size_t bytes, wifi::wifi_rate rate);
+
+/// Airtime of a CTS-to-SELF (14-byte control frame at the 24 Mbps basic
+/// rate) [us].
+double cts_to_self_airtime_us();
+
+/// BackFi protocol overhead [us] at the start of each backscatter
+/// opportunity: CTS-to-SELF + 16 us wake preamble + 16 us silent period +
+/// the estimation preamble.
+double backfi_overhead_us(double preamble_us = 32.0);
+
+}  // namespace backfi::mac

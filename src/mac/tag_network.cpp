@@ -1,0 +1,176 @@
+#include "mac/tag_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace backfi::mac {
+
+namespace {
+
+/// Supported symbol rates, ascending (the Fig. 7 columns).
+const double* symbol_rate_below(double current) {
+  static constexpr double kRates[] = {1e4, 1e5, 5e5, 1e6, 2e6, 2.5e6};
+  const double* found = nullptr;
+  for (const double& r : kRates)
+    if (r < current - 1.0 && (found == nullptr || r > *found)) found = &r;
+  return found;
+}
+
+}  // namespace
+
+bool fallback_rate(tag::tag_rate_config& rate) {
+  // 1. Slow the symbol clock (more MRC gain, same modulation) — but once
+  // the clock is down to 100 kSPS, dense modulations are clearly SNR-bound
+  // and dropping the order converges faster than crawling to 10 kSPS.
+  const bool dense = rate.modulation != tag::tag_modulation::bpsk &&
+                     rate.modulation != tag::tag_modulation::qpsk;
+  if (!(dense && rate.symbol_rate_hz <= 1e5)) {
+    if (const double* lower = symbol_rate_below(rate.symbol_rate_hz)) {
+      rate.symbol_rate_hz = *lower;
+      return true;
+    }
+  }
+  if (dense) {
+    rate.modulation = tag::tag_modulation::qpsk;
+    rate.symbol_rate_hz = 1e6;
+    return true;
+  }
+  // 2. At the slowest clock: reduce coding rate, then modulation order.
+  if (rate.coding == phy::code_rate::two_thirds) {
+    rate.coding = phy::code_rate::half;
+    rate.symbol_rate_hz = 2.5e6;
+    return true;
+  }
+  switch (rate.modulation) {
+    case tag::tag_modulation::psk16:
+      rate.modulation = tag::tag_modulation::qpsk;
+      rate.symbol_rate_hz = 2.5e6;
+      return true;
+    case tag::tag_modulation::psk8:
+      rate.modulation = tag::tag_modulation::qpsk;
+      rate.symbol_rate_hz = 2.5e6;
+      return true;
+    case tag::tag_modulation::qpsk:
+      rate.modulation = tag::tag_modulation::bpsk;
+      rate.symbol_rate_hz = 2.5e6;
+      return true;
+    case tag::tag_modulation::bpsk:
+      return false;  // already most robust
+  }
+  return false;
+}
+
+tag_scheduler::tag_scheduler(policy p) : policy_(p) {}
+
+void tag_scheduler::add_tag(const tag_descriptor& tag) {
+  for (const auto& existing : tags_)
+    if (existing.id == tag.id)
+      throw std::invalid_argument("tag_scheduler: duplicate tag id");
+  tags_.push_back(tag);
+  stats_.emplace_back();
+  deficit_.push_back(0.0);
+}
+
+std::size_t tag_scheduler::index_of(std::uint32_t id) const {
+  for (std::size_t i = 0; i < tags_.size(); ++i)
+    if (tags_[i].id == id) return i;
+  throw std::out_of_range("tag_scheduler: unknown tag id");
+}
+
+std::optional<std::uint32_t> tag_scheduler::next() {
+  if (tags_.empty()) return std::nullopt;
+  const auto has_backlog = [&](std::size_t i) {
+    return tags_[i].backlog_bits > 0.0;
+  };
+
+  switch (policy_) {
+    case policy::round_robin: {
+      for (std::size_t step = 0; step < tags_.size(); ++step) {
+        const std::size_t i = (rr_cursor_ + step) % tags_.size();
+        if (has_backlog(i)) {
+          rr_cursor_ = (i + 1) % tags_.size();
+          return tags_[i].id;
+        }
+      }
+      return std::nullopt;
+    }
+    case policy::max_backlog: {
+      std::size_t best = tags_.size();
+      for (std::size_t i = 0; i < tags_.size(); ++i) {
+        if (!has_backlog(i)) continue;
+        if (best == tags_.size() ||
+            tags_[i].backlog_bits > tags_[best].backlog_bits)
+          best = i;
+      }
+      if (best == tags_.size()) return std::nullopt;
+      return tags_[best].id;
+    }
+    case policy::weighted: {
+      // Deficit counters accumulate each tag's weight per opportunity; the
+      // backlogged tag with the highest credit wins and pays it back.
+      for (std::size_t i = 0; i < tags_.size(); ++i)
+        if (has_backlog(i)) deficit_[i] += tags_[i].weight;
+      std::size_t best = tags_.size();
+      for (std::size_t i = 0; i < tags_.size(); ++i) {
+        if (!has_backlog(i)) continue;
+        if (best == tags_.size() || deficit_[i] > deficit_[best]) best = i;
+      }
+      if (best == tags_.size()) return std::nullopt;
+      deficit_[best] = 0.0;
+      return tags_[best].id;
+    }
+  }
+  return std::nullopt;
+}
+
+void tag_scheduler::report_result(std::uint32_t id, bool success,
+                                  double delivered_bits) {
+  const std::size_t i = index_of(id);
+  ++stats_[i].attempts;
+  if (success) {
+    ++stats_[i].successes;
+    stats_[i].delivered_bits += delivered_bits;
+    tags_[i].backlog_bits = std::max(0.0, tags_[i].backlog_bits - delivered_bits);
+    stats_[i].consecutive_failures = 0.0;
+  } else {
+    stats_[i].consecutive_failures += 1.0;
+    // Two consecutive failures: fall back to a more robust point.
+    if (stats_[i].consecutive_failures >= 2.0) {
+      fallback_rate(tags_[i].rate);
+      stats_[i].consecutive_failures = 0.0;
+    }
+  }
+}
+
+void tag_scheduler::enqueue(std::uint32_t id, double bits) {
+  tags_[index_of(id)].backlog_bits += bits;
+}
+
+const tag_descriptor& tag_scheduler::descriptor(std::uint32_t id) const {
+  return tags_[index_of(id)];
+}
+
+const tag_stats& tag_scheduler::stats(std::uint32_t id) const {
+  return stats_[index_of(id)];
+}
+
+double tag_scheduler::jain_fairness() const {
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : stats_) {
+    sum += s.delivered_bits;
+    sum_sq += s.delivered_bits * s.delivered_bits;
+    ++n;
+  }
+  if (n == 0 || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+double tag_scheduler::total_delivered_bits() const {
+  double acc = 0.0;
+  for (const auto& s : stats_) acc += s.delivered_bits;
+  return acc;
+}
+
+}  // namespace backfi::mac

@@ -1,0 +1,90 @@
+// Managing a network of BackFi tags (paper Section 7: "much work remains
+// ... including designing protocols to manage a network of BackFi tags
+// connected to an AP").
+//
+// The link layer already gives the AP a per-tag addressing primitive: each
+// tag only backscatters when it hears its own pseudo-random wake preamble
+// (Section 4.1). This module adds the scheduling layer on top: which tag
+// gets the next backscatter opportunity, how results feed back, and how
+// fairly airtime is divided.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tag/energy_model.h"
+
+namespace backfi::mac {
+
+/// The AP's bookkeeping for one associated tag.
+struct tag_descriptor {
+  std::uint32_t id = 0;
+  tag::tag_rate_config rate;      ///< current operating point
+  double backlog_bits = 0.0;      ///< data the tag has queued (from polls)
+  double weight = 1.0;            ///< share for weighted scheduling
+};
+
+/// Per-tag delivery statistics.
+struct tag_stats {
+  std::size_t attempts = 0;
+  std::size_t successes = 0;
+  double delivered_bits = 0.0;
+  double consecutive_failures = 0.0;  ///< drives rate fallback
+};
+
+/// Scheduler over the AP's backscatter opportunities.
+class tag_scheduler {
+ public:
+  enum class policy {
+    round_robin,   ///< cycle through backlogged tags
+    max_backlog,   ///< largest queue first
+    weighted,      ///< deficit-style weighted shares of opportunities
+  };
+
+  explicit tag_scheduler(policy p = policy::round_robin);
+
+  /// Register a tag; ids must be unique.
+  void add_tag(const tag_descriptor& tag);
+
+  std::size_t tag_count() const { return tags_.size(); }
+
+  /// Choose the tag to address with the next excitation; nullopt when no
+  /// tag has backlog. Does not yet consume backlog (report_result does).
+  std::optional<std::uint32_t> next();
+
+  /// Feed back the outcome of one opportunity. On success the delivered
+  /// bits are drained from the backlog; repeated failures trigger a
+  /// fallback to a more robust operating point (lower symbol rate first,
+  /// then modulation), mirroring the paper's energy-first rate adaptation.
+  void report_result(std::uint32_t id, bool success, double delivered_bits);
+
+  /// Add new sensor data to a tag's queue.
+  void enqueue(std::uint32_t id, double bits);
+
+  const tag_descriptor& descriptor(std::uint32_t id) const;
+  const tag_stats& stats(std::uint32_t id) const;
+
+  /// Jain's fairness index over delivered bits (1 = perfectly fair).
+  double jain_fairness() const;
+
+  /// Total bits delivered across tags.
+  double total_delivered_bits() const;
+
+ private:
+  std::size_t index_of(std::uint32_t id) const;
+
+  policy policy_;
+  std::vector<tag_descriptor> tags_;
+  std::vector<tag_stats> stats_;
+  std::vector<double> deficit_;  ///< weighted policy credit
+  std::size_t rr_cursor_ = 0;
+};
+
+/// Step a tag's operating point to the next more robust one (used by the
+/// scheduler's failure fallback): halve the symbol rate; below the
+/// minimum, drop the modulation order / coding rate. Returns false when
+/// already at the most robust point.
+bool fallback_rate(tag::tag_rate_config& rate);
+
+}  // namespace backfi::mac

@@ -1,0 +1,69 @@
+#include "mac/trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace backfi::mac {
+
+double ap_trace::busy_fraction() const {
+  if (duration_us <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const auto& tx : transmissions) busy += tx.airtime_us;
+  return busy / duration_us;
+}
+
+ap_trace generate_loaded_ap_trace(const trace_config& config) {
+  assert(config.target_busy_fraction > 0.0 && config.target_busy_fraction < 1.0);
+  dsp::rng gen(config.seed);
+  ap_trace trace;
+  trace.duration_us = config.duration_s * 1e6;
+
+  // Rate mix of a typical deployment: most traffic at mid/high rates,
+  // occasional low-rate retries to distant clients.
+  const wifi::wifi_rate rates[] = {wifi::wifi_rate::mbps54, wifi::wifi_rate::mbps48,
+                                   wifi::wifi_rate::mbps36, wifi::wifi_rate::mbps24,
+                                   wifi::wifi_rate::mbps18, wifi::wifi_rate::mbps6};
+  const double rate_weights[] = {0.30, 0.20, 0.20, 0.15, 0.10, 0.05};
+
+  double t = 0.0;
+  while (t < trace.duration_us) {
+    // Contention gap: DIFS + backoff + other stations' packets; sized so
+    // the long-run busy fraction hits the target:
+    //   busy = airtime / (airtime + gap)  =>  gap = airtime * (1-b)/b.
+    std::size_t bytes = config.min_bytes +
+                        gen.uniform_int(config.max_bytes - config.min_bytes + 1);
+    double u = gen.uniform();
+    wifi::wifi_rate rate = rates[5];
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (u < rate_weights[i]) {
+        rate = rates[i];
+        break;
+      }
+      u -= rate_weights[i];
+    }
+    const std::size_t aggregated =
+        1 + gen.uniform_int(std::max<std::size_t>(config.aggregation_max, 1));
+    const double airtime =
+        ppdu_airtime_us(bytes, rate) * static_cast<double>(aggregated);
+    const double mean_gap =
+        airtime * (1.0 - config.target_busy_fraction) / config.target_busy_fraction;
+    const double gap = difs_us + gen.exponential(std::max(mean_gap - difs_us, 1.0));
+    t += gap;
+    if (t + airtime > trace.duration_us) break;
+    trace.transmissions.push_back({t, airtime});
+    t += airtime;
+  }
+  return trace;
+}
+
+double replay_backscatter_throughput_bps(const ap_trace& trace,
+                                         const replay_config& config) {
+  if (trace.duration_us <= 0.0) return 0.0;
+  double data_us = 0.0;
+  for (const auto& tx : trace.transmissions)
+    data_us += std::max(0.0, tx.airtime_us - config.overhead_us);
+  const double bits = config.optimal_throughput_bps * (data_us * 1e-6);
+  return bits / (trace.duration_us * 1e-6);
+}
+
+}  // namespace backfi::mac

@@ -1,0 +1,195 @@
+#include "phy/convolutional.h"
+
+#include <array>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace backfi::phy {
+
+namespace {
+
+// Generators in binary, constraint length 7 (current bit + 6 memory bits).
+constexpr std::uint32_t kG0 = 0b1011011;  // 133 octal
+constexpr std::uint32_t kG1 = 0b1111001;  // 171 octal
+constexpr int kMemory = 6;
+constexpr int kStates = 1 << kMemory;
+
+std::uint8_t parity(std::uint32_t v) {
+  v ^= v >> 16;
+  v ^= v >> 8;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return static_cast<std::uint8_t>(v & 1u);
+}
+
+struct trellis_tables {
+  // For each state s and input bit b: next state and the two output bits.
+  std::array<std::array<std::uint8_t, 2>, kStates> next_state;
+  std::array<std::array<std::uint8_t, 2>, kStates> out0;
+  std::array<std::array<std::uint8_t, 2>, kStates> out1;
+};
+
+const trellis_tables& tables() {
+  static const trellis_tables t = [] {
+    trellis_tables tt{};
+    for (int s = 0; s < kStates; ++s) {
+      for (int b = 0; b < 2; ++b) {
+        // Register = [input, memory bits]; state stores memory (newest in MSB).
+        const std::uint32_t reg =
+            (static_cast<std::uint32_t>(b) << kMemory) | static_cast<std::uint32_t>(s);
+        tt.out0[s][b] = parity(reg & kG0);
+        tt.out1[s][b] = parity(reg & kG1);
+        tt.next_state[s][b] = static_cast<std::uint8_t>(reg >> 1);
+      }
+    }
+    return tt;
+  }();
+  return t;
+}
+
+/// Puncture pattern per rate over the mother-code bit index (period in
+/// mother bits; 1 = transmit, 0 = puncture).
+std::span<const std::uint8_t> puncture_pattern(code_rate rate) {
+  static constexpr std::uint8_t kHalf[] = {1, 1};
+  static constexpr std::uint8_t kTwoThirds[] = {1, 1, 1, 0};
+  static constexpr std::uint8_t kThreeQuarters[] = {1, 1, 1, 0, 0, 1};
+  switch (rate) {
+    case code_rate::half: return {kHalf, 2};
+    case code_rate::two_thirds: return {kTwoThirds, 4};
+    case code_rate::three_quarters: return {kThreeQuarters, 6};
+  }
+  throw std::logic_error("unknown code rate");
+}
+
+}  // namespace
+
+double code_rate_value(code_rate rate) {
+  switch (rate) {
+    case code_rate::half: return 0.5;
+    case code_rate::two_thirds: return 2.0 / 3.0;
+    case code_rate::three_quarters: return 0.75;
+  }
+  throw std::logic_error("unknown code rate");
+}
+
+const char* code_rate_name(code_rate rate) {
+  switch (rate) {
+    case code_rate::half: return "1/2";
+    case code_rate::two_thirds: return "2/3";
+    case code_rate::three_quarters: return "3/4";
+  }
+  throw std::logic_error("unknown code rate");
+}
+
+bitvec conv_encode(std::span<const std::uint8_t> info) {
+  const auto& t = tables();
+  bitvec out;
+  out.reserve(2 * (info.size() + conv_tail_bits));
+  std::uint8_t state = 0;
+  auto push = [&](std::uint8_t bit) {
+    out.push_back(t.out0[state][bit]);
+    out.push_back(t.out1[state][bit]);
+    state = t.next_state[state][bit];
+  };
+  for (std::uint8_t bit : info) push(bit & 1u);
+  for (std::size_t i = 0; i < conv_tail_bits; ++i) push(0);
+  return out;
+}
+
+bitvec puncture(std::span<const std::uint8_t> coded, code_rate rate) {
+  const auto pattern = puncture_pattern(rate);
+  bitvec out;
+  out.reserve(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    if (pattern[i % pattern.size()]) out.push_back(coded[i]);
+  return out;
+}
+
+std::vector<double> depuncture(std::span<const double> soft, code_rate rate,
+                               std::size_t mother_length) {
+  const auto pattern = puncture_pattern(rate);
+  std::vector<double> out;
+  out.reserve(mother_length);
+  std::size_t consumed = 0;
+  for (std::size_t i = 0; i < mother_length; ++i) {
+    if (pattern[i % pattern.size()]) {
+      if (consumed >= soft.size())
+        throw std::invalid_argument("depuncture: soft stream too short");
+      out.push_back(soft[consumed++]);
+    } else {
+      out.push_back(0.0);  // erasure: no information about this mother bit
+    }
+  }
+  if (consumed != soft.size())
+    throw std::invalid_argument("depuncture: soft stream too long");
+  return out;
+}
+
+bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info) {
+  const std::size_t n_steps = n_info + conv_tail_bits;
+  if (soft.size() < 2 * n_steps)
+    throw std::invalid_argument("viterbi_decode: soft stream too short");
+  const auto& t = tables();
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> metric(kStates, kNegInf);
+  metric[0] = 0.0;
+  // Survivor bits, one row of kStates entries per step.
+  std::vector<std::uint8_t> survivor_input(n_steps * kStates);
+  std::vector<std::uint8_t> survivor_prev(n_steps * kStates);
+
+  std::vector<double> next_metric(kStates);
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    const double s0 = soft[2 * step];      // positive favours coded bit 0
+    const double s1 = soft[2 * step + 1];
+    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    const int max_input = (step < n_info) ? 2 : 1;  // tail forces zeros
+    for (int s = 0; s < kStates; ++s) {
+      if (metric[s] == kNegInf) continue;
+      for (int b = 0; b < max_input; ++b) {
+        const std::uint8_t o0 = t.out0[s][b];
+        const std::uint8_t o1 = t.out1[s][b];
+        const double branch = (o0 ? -s0 : s0) + (o1 ? -s1 : s1);
+        const int ns = t.next_state[s][b];
+        const double cand = metric[s] + branch;
+        if (cand > next_metric[ns]) {
+          next_metric[ns] = cand;
+          survivor_input[step * kStates + ns] = static_cast<std::uint8_t>(b);
+          survivor_prev[step * kStates + ns] = static_cast<std::uint8_t>(s);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Trace back from the zero state (trellis was terminated).
+  bitvec decoded(n_steps);
+  int state = 0;
+  for (std::size_t step = n_steps; step-- > 0;) {
+    decoded[step] = survivor_input[step * kStates + state];
+    state = survivor_prev[step * kStates + state];
+  }
+  decoded.resize(n_info);  // strip tail
+  return decoded;
+}
+
+bitvec viterbi_decode_hard(std::span<const std::uint8_t> coded_bits,
+                           std::size_t n_info) {
+  std::vector<double> soft(coded_bits.size());
+  for (std::size_t i = 0; i < coded_bits.size(); ++i)
+    soft[i] = (coded_bits[i] & 1u) ? -1.0 : 1.0;
+  return viterbi_decode(soft, n_info);
+}
+
+std::size_t coded_length(std::size_t n_info, code_rate rate) {
+  const std::size_t mother = 2 * (n_info + conv_tail_bits);
+  const auto pattern = puncture_pattern(rate);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < mother; ++i)
+    if (pattern[i % pattern.size()]) ++kept;
+  return kept;
+}
+
+}  // namespace backfi::phy

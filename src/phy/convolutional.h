@@ -1,0 +1,61 @@
+// Rate-1/2 K=7 convolutional code (generators 133/171 octal, the 802.11
+// mother code) with 802.11 puncturing to 2/3 and 3/4, plus a soft-decision
+// Viterbi decoder.
+//
+// The same code protects both the WiFi PPDU payload and the BackFi tag
+// payload: the paper's tag uses "a rate 1/2 convolutional encoder with
+// constraint length of 7" (Section 4.1) with rates 1/2 and 2/3 evaluated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/bits.h"
+
+namespace backfi::phy {
+
+enum class code_rate {
+  half,           ///< 1/2 (unpunctured mother code)
+  two_thirds,     ///< 2/3 (puncture pattern A1 B1 A2 -)
+  three_quarters  ///< 3/4 (puncture pattern A1 B1 A2 - - B3)
+};
+
+/// Numeric value of the code rate.
+double code_rate_value(code_rate rate);
+
+/// Human-readable name, e.g. "1/2".
+const char* code_rate_name(code_rate rate);
+
+/// Number of zero tail bits appended by conv_encode to terminate the trellis.
+inline constexpr std::size_t conv_tail_bits = 6;
+
+/// Encode info bits at rate 1/2, appending a 6-bit zero tail. Output length
+/// is 2 * (len(info) + 6).
+bitvec conv_encode(std::span<const std::uint8_t> info);
+
+/// Puncture a rate-1/2 coded stream to the requested rate.
+bitvec puncture(std::span<const std::uint8_t> coded, code_rate rate);
+
+/// Expand a punctured soft stream back to `mother_length` mother-code
+/// positions, inserting zero (erasure) metrics at punctured positions.
+/// Soft convention: positive value means "bit 0 more likely" (LLR-like).
+/// Throws if the punctured stream does not match mother_length.
+std::vector<double> depuncture(std::span<const double> soft, code_rate rate,
+                               std::size_t mother_length);
+
+/// Soft-decision Viterbi decode of a rate-1/2 stream (after depuncturing).
+/// `soft` must contain 2 * (n_info + 6) metrics; returns the n_info decoded
+/// information bits (tail stripped). The trellis is forced to end in the
+/// zero state.
+bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info);
+
+/// Convenience: hard-decision decode (bits -> +-1 metrics).
+bitvec viterbi_decode_hard(std::span<const std::uint8_t> coded_bits,
+                           std::size_t n_info);
+
+/// Number of coded bits produced for n_info information bits at `rate`
+/// (including the tail).
+std::size_t coded_length(std::size_t n_info, code_rate rate);
+
+}  // namespace backfi::phy

@@ -1,0 +1,33 @@
+#include "phy/scrambler.h"
+
+#include <cassert>
+
+namespace backfi::phy {
+
+namespace {
+
+std::uint8_t advance(std::uint8_t& state) {
+  // Feedback = x^7 xor x^4 of the 7-bit shift register.
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1u);
+  state = static_cast<std::uint8_t>(((state << 1) | fb) & 0x7Fu);
+  return fb;
+}
+
+}  // namespace
+
+bitvec scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
+  assert((seed & 0x7Fu) != 0 && "scrambler seed must be nonzero");
+  std::uint8_t state = static_cast<std::uint8_t>(seed & 0x7Fu);
+  bitvec out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ advance(state)) & 1u);
+  return out;
+}
+
+bitvec scrambler_sequence(std::uint8_t seed, std::size_t n_bits) {
+  const bitvec zeros(n_bits, 0);
+  return scramble(zeros, seed);
+}
+
+}  // namespace backfi::phy

@@ -1,0 +1,196 @@
+#include "reader/decoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dsp/fir.h"
+#include "dsp/linalg.h"
+#include "dsp/math_util.h"
+#include "phy/constellation.h"
+#include "phy/convolutional.h"
+#include "phy/crc32.h"
+#include "reader/mrc.h"
+
+namespace backfi::reader {
+
+namespace {
+constexpr std::size_t samples_per_us = 20;
+}  // namespace
+
+backfi_decoder::backfi_decoder(const tag::tag_config& tag_config,
+                               const decoder_config& config)
+    : tag_config_(tag_config), config_(config) {}
+
+cvec backfi_decoder::estimate_combined_channel(std::span<const cplx> x,
+                                               std::span<const cplx> y,
+                                               std::size_t preamble_begin,
+                                               std::size_t preamble_end) const {
+  assert(preamble_end > preamble_begin);
+  // Shift the window back by (taps - 1) so the estimator sees the full
+  // excitation history for every row it uses.
+  const std::size_t history = config_.fb_taps - 1;
+  const std::size_t start = preamble_begin >= history ? preamble_begin - history : 0;
+  const std::size_t len = std::min(preamble_end, x.size()) - start;
+  return dsp::estimate_fir_least_squares(x.subspan(start, len),
+                                         y.subspan(start, len), config_.fb_taps,
+                                         config_.ridge);
+}
+
+decode_result backfi_decoder::decode(std::span<const cplx> x,
+                                     std::span<const cplx> y,
+                                     std::size_t nominal_origin,
+                                     std::size_t payload_bits) const {
+  assert(x.size() == y.size());
+  decode_result result;
+
+  const tag::tag_device device(tag_config_);
+  const std::size_t sps = device.samples_per_symbol();
+  const std::size_t preamble_begin =
+      nominal_origin + tag_config_.silent_us * samples_per_us;
+  const std::size_t sync_begin =
+      preamble_begin + tag_config_.preamble_us * samples_per_us;
+  const std::size_t data_begin = sync_begin + tag_config_.sync_symbols * sps;
+  const std::size_t n_payload_symbols = device.payload_symbols(payload_bits);
+
+  // Channel memory contaminates the first (taps - 1) samples of each
+  // symbol with the previous symbol's phase (paper Fig. 6 "sample ignored").
+  const std::size_t guard =
+      std::min<std::size_t>(config_.fb_taps - 1, sps > 2 ? sps - 2 : 1);
+  const int search = config_.timing_search;
+
+  // The payload must fit even at the maximum timing offset.
+  if (data_begin + n_payload_symbols * sps + static_cast<std::size_t>(search) >
+      y.size())
+    return result;
+
+  // --- 1. Combined channel estimate from the constant-phase preamble ---
+  // Trim the window so it stays inside the constant-phase region for any
+  // timing offset within the search range.
+  const std::size_t margin = static_cast<std::size_t>(search) + config_.fb_taps;
+  const std::size_t est_begin = preamble_begin + margin;
+  const std::size_t est_end = sync_begin > margin ? sync_begin - margin : 0;
+  if (est_end <= est_begin + 4 * config_.fb_taps) return result;
+  result.h_fb = estimate_combined_channel(x, y, est_begin, est_end);
+
+  // Expected unmodulated backscatter over the whole timeline.
+  const cvec yhat = dsp::convolve_same(x, result.h_fb);
+
+  // --- 2. Symbol timing from the sync word ---
+  const auto sync_labels = device.sync_labels();
+  const auto& constellation =
+      phy::psk_constellation(tag::psk_order(tag_config_.rate.modulation));
+  cvec sync_points(sync_labels.size());
+  {
+    std::vector<std::size_t> by_label(constellation.points.size());
+    for (std::size_t i = 0; i < constellation.points.size(); ++i)
+      by_label[constellation.labels[i]] = i;
+    for (std::size_t i = 0; i < sync_labels.size(); ++i)
+      sync_points[i] = constellation.points[by_label[sync_labels[i]]];
+  }
+
+  int best_offset = 0;
+  double best_score = -1.0;
+  cplx best_reference{1.0, 0.0};
+  for (int offset = -search; offset <= search; ++offset) {
+    const std::size_t start = sync_begin + static_cast<std::size_t>(
+                                  static_cast<std::ptrdiff_t>(offset));
+    const cvec m = mrc_symbol_estimates(y, yhat, start, sps, sync_labels.size(),
+                                        guard);
+    cplx corr{0.0, 0.0};
+    double energy = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      corr += m[i] * std::conj(sync_points[i]);
+      energy += std::norm(m[i]);
+    }
+    const double denom = std::sqrt(energy * static_cast<double>(m.size()));
+    const double score = denom > 0.0 ? std::abs(corr) / denom : 0.0;
+    if (score > best_score) {
+      best_score = score;
+      best_offset = offset;
+      best_reference = corr / static_cast<double>(m.size());
+    }
+  }
+  result.timing_offset = best_offset;
+  result.sync_correlation = best_score;
+  if (best_score < config_.sync_threshold) return result;
+  result.sync_found = true;
+
+  // Common complex correction from the sync word (absorbs estimation bias
+  // in amplitude and phase).
+  const cplx correction =
+      std::abs(best_reference) > 1e-12 ? best_reference : cplx{1.0, 0.0};
+
+  // --- 3. Noise variance from the corrected sync symbols ---
+  const std::size_t sync_start_best =
+      sync_begin + static_cast<std::size_t>(
+                       static_cast<std::ptrdiff_t>(best_offset));
+  double noise_var = 0.0;
+  {
+    const cvec m = mrc_symbol_estimates(y, yhat, sync_start_best, sps,
+                                        sync_labels.size(), guard);
+    for (std::size_t i = 0; i < m.size(); ++i)
+      noise_var += std::norm(m[i] / correction - sync_points[i]);
+    noise_var /= static_cast<double>(m.size());
+    noise_var = std::max(noise_var, 1e-12);
+  }
+  result.post_mrc_snr_db = -dsp::to_db(noise_var);
+
+  // --- 4. MRC + demodulation of the payload ---
+  const std::size_t data_start_best =
+      data_begin + static_cast<std::size_t>(
+                       static_cast<std::ptrdiff_t>(best_offset));
+  cvec symbols = mrc_symbol_estimates(y, yhat, data_start_best, sps,
+                                      n_payload_symbols, guard);
+  for (cplx& m : symbols) m /= correction;
+
+  // --- 5. Soft decoding ---
+  decode_result bits = decode_from_symbols(symbols, noise_var, payload_bits);
+  bits.sync_found = result.sync_found;
+  bits.timing_offset = result.timing_offset;
+  bits.sync_correlation = result.sync_correlation;
+  bits.post_mrc_snr_db = result.post_mrc_snr_db;
+  bits.h_fb = std::move(result.h_fb);
+  bits.symbol_estimates = std::move(symbols);
+  return bits;
+}
+
+decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
+                                                  double noise_var,
+                                                  std::size_t payload_bits) const {
+  decode_result result;
+  const auto& constellation =
+      phy::psk_constellation(tag::psk_order(tag_config_.rate.modulation));
+
+  // EVM against sliced points.
+  {
+    double acc = 0.0;
+    for (const cplx& m : symbols) {
+      const std::uint32_t label = constellation.slice(m);
+      for (std::size_t p = 0; p < constellation.points.size(); ++p)
+        if (constellation.labels[p] == label) {
+          acc += std::norm(m - constellation.points[p]);
+          break;
+        }
+    }
+    result.evm_rms = std::sqrt(acc / std::max<std::size_t>(symbols.size(), 1));
+  }
+
+  const std::size_t info_bits = payload_bits + 32;  // + CRC
+  const std::size_t coded_bits =
+      phy::coded_length(info_bits, tag_config_.rate.coding);
+  std::vector<double> soft = constellation.demap_llr_stream(
+      symbols, std::max(noise_var, 1e-12));
+  if (soft.size() < coded_bits) return result;
+  soft.resize(coded_bits);  // drop symbol-padding bits
+
+  const auto mother = phy::depuncture(soft, tag_config_.rate.coding,
+                                      2 * (info_bits + phy::conv_tail_bits));
+  const phy::bitvec decoded = phy::viterbi_decode(mother, info_bits);
+  result.decoded = true;
+  result.crc_ok = phy::check_crc32(decoded);
+  result.payload.assign(decoded.begin(), decoded.begin() + payload_bits);
+  return result;
+}
+
+}  // namespace backfi::reader

@@ -1,0 +1,78 @@
+// The BackFi backscatter decoder at the AP (paper Section 4.3):
+//   1. estimate the combined forward-backward channel h_fb = h_f * h_b by
+//      least squares over the tag's constant-phase estimation preamble;
+//   2. recover symbol timing from the tag's known sync word (the tag's
+//      wake detector fires with a few samples of jitter);
+//   3. per payload symbol, MRC-estimate the phase (Eq. 7);
+//   4. soft-demap the n-PSK symbols, depuncture, Viterbi-decode, check CRC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dsp/types.h"
+#include "phy/bits.h"
+#include "tag/tag_device.h"
+
+namespace backfi::reader {
+
+struct decoder_config {
+  /// Taps of the combined forward-backward channel estimate. The paper's
+  /// short indoor channels make L+M about 4-6 at 50 ns spacing.
+  std::size_t fb_taps = 5;
+  /// Timing search half-width [samples] around the nominal schedule
+  /// (covers tag wake-detector jitter).
+  int timing_search = 24;
+  /// Minimum normalized sync-word correlation to accept timing.
+  double sync_threshold = 0.55;
+  /// LS ridge for the h_fb estimate (scaled by excitation energy).
+  double ridge = 1e-9;
+};
+
+struct decode_result {
+  bool sync_found = false;   ///< sync word located above threshold
+  bool decoded = false;      ///< pipeline ran to completion
+  bool crc_ok = false;       ///< payload CRC-32 verified
+  phy::bitvec payload;       ///< decoded payload (without CRC)
+  int timing_offset = 0;     ///< samples relative to the nominal schedule
+  double sync_correlation = 0.0;
+  double post_mrc_snr_db = 0.0;  ///< SNR of the MRC symbol estimates
+  double evm_rms = 0.0;          ///< RMS error vs the sliced PSK points
+  cvec h_fb;                     ///< combined channel estimate
+  cvec symbol_estimates;         ///< raw MRC outputs (payload symbols)
+};
+
+class backfi_decoder {
+ public:
+  backfi_decoder(const tag::tag_config& tag_config,
+                 const decoder_config& config = {});
+
+  /// Decode one backscatter packet.
+  ///  x               the reader's own transmit samples (full timeline)
+  ///  y               the receive samples after SI cancellation
+  ///  nominal_origin  the reader's estimate of the tag's wake instant
+  ///  payload_bits    expected payload size (link-layer agreed)
+  decode_result decode(std::span<const cplx> x, std::span<const cplx> y,
+                       std::size_t nominal_origin, std::size_t payload_bits) const;
+
+  /// Demap, depuncture, Viterbi-decode and CRC-check a stream of per-symbol
+  /// MRC estimates (used by the multi-antenna combiner, which produces the
+  /// symbol stream itself). Fills decoded/crc_ok/payload/evm_rms.
+  decode_result decode_from_symbols(std::span<const cplx> symbols,
+                                    double noise_var,
+                                    std::size_t payload_bits) const;
+
+  /// Estimate h_fb from the constant-phase preamble window only (exposed
+  /// for the cancellation/estimation micro-benchmarks, Fig. 11a).
+  cvec estimate_combined_channel(std::span<const cplx> x, std::span<const cplx> y,
+                                 std::size_t preamble_begin,
+                                 std::size_t preamble_end) const;
+
+  const decoder_config& config() const { return config_; }
+
+ private:
+  tag::tag_config tag_config_;
+  decoder_config config_;
+};
+
+}  // namespace backfi::reader

@@ -1,0 +1,42 @@
+#include "reader/excitation.h"
+
+#include "phy/prbs.h"
+
+namespace backfi::reader {
+
+namespace {
+constexpr std::size_t samples_per_wake_bit = 20;  // 1 us at 20 MS/s
+}  // namespace
+
+excitation build_excitation(const excitation_config& config) {
+  excitation out;
+  out.wake_preamble = phy::wake_preamble(config.tag_id, config.wake_bits);
+
+  out.samples.reserve(excitation_length(config));
+  for (std::uint8_t bit : out.wake_preamble) {
+    const cplx level = bit ? cplx{1.0, 0.0} : cplx{0.0, 0.0};
+    out.samples.insert(out.samples.end(), samples_per_wake_bit, level);
+  }
+  out.wake_end = out.samples.size();
+  out.ppdu_start = out.samples.size();
+
+  out.ppdu = wifi::random_ppdu(config.ppdu_bytes, {.rate = config.rate},
+                               config.payload_seed);
+  out.samples.insert(out.samples.end(), out.ppdu.samples.begin(),
+                     out.ppdu.samples.end());
+  for (std::size_t i = 1; i < config.n_ppdus; ++i) {
+    const auto extra = wifi::random_ppdu(config.ppdu_bytes, {.rate = config.rate},
+                                         config.payload_seed + i);
+    out.samples.insert(out.samples.end(), extra.samples.begin(),
+                       extra.samples.end());
+  }
+  return out;
+}
+
+std::size_t excitation_length(const excitation_config& config) {
+  return config.wake_bits * samples_per_wake_bit +
+         std::max<std::size_t>(config.n_ppdus, 1) *
+             wifi::ppdu_length_samples(config.ppdu_bytes, config.rate);
+}
+
+}  // namespace backfi::reader

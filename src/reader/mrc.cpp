@@ -1,0 +1,52 @@
+#include "reader/mrc.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace backfi::reader {
+
+cplx mrc_estimate(std::span<const cplx> y, std::span<const cplx> yhat,
+                  std::size_t begin, std::size_t end) {
+  assert(y.size() == yhat.size());
+  assert(begin <= end && end <= y.size());
+  cplx numerator{0.0, 0.0};
+  double denominator = 0.0;
+  for (std::size_t n = begin; n < end; ++n) {
+    numerator += y[n] * std::conj(yhat[n]);
+    denominator += std::norm(yhat[n]);
+  }
+  if (denominator <= 0.0) return {0.0, 0.0};
+  return numerator / denominator;
+}
+
+cvec mrc_symbol_estimates(std::span<const cplx> y, std::span<const cplx> yhat,
+                          std::size_t first_symbol_start,
+                          std::size_t samples_per_symbol, std::size_t n_symbols,
+                          std::size_t guard) {
+  assert(guard < samples_per_symbol);
+  cvec out(n_symbols, cplx{0.0, 0.0});
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const std::size_t start = first_symbol_start + s * samples_per_symbol;
+    const std::size_t begin = start + guard;
+    const std::size_t end = start + samples_per_symbol;
+    if (end > y.size()) break;
+    out[s] = mrc_estimate(y, yhat, begin, end);
+  }
+  return out;
+}
+
+cplx naive_division_estimate(std::span<const cplx> y, std::span<const cplx> yhat,
+                             std::size_t begin, std::size_t end) {
+  assert(begin <= end && end <= y.size());
+  cplx acc{0.0, 0.0};
+  std::size_t count = 0;
+  for (std::size_t n = begin; n < end; ++n) {
+    if (std::norm(yhat[n]) <= 0.0) continue;
+    acc += y[n] / yhat[n];
+    ++count;
+  }
+  if (count == 0) return {0.0, 0.0};
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace backfi::reader

@@ -1,0 +1,40 @@
+// Maximal-ratio combining estimation of the tag's per-symbol phase
+// (paper Section 4.3.2, Eq. 7 and Fig. 6).
+//
+// Within one tag symbol the phase e^{j theta_c} is constant and the
+// combined forward-backward channel is short, so every sample in the
+// (guard-trimmed) symbol window is an independent noisy observation of
+// theta_c scaled by the known quantity yhat[n] = x_{n,L+M}^T h_fb. MRC
+// weights and sums them:
+//
+//   m = sum_n y[n] * conj(yhat[n]) / sum_n |yhat[n]|^2   ~   e^{j theta_c}
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace backfi::reader {
+
+/// MRC estimate over samples [begin, end) of y against the expected
+/// unmodulated backscatter yhat (same indexing). Returns ~e^{j theta}.
+/// Returns 0 when the window carries no usable energy.
+cplx mrc_estimate(std::span<const cplx> y, std::span<const cplx> yhat,
+                  std::size_t begin, std::size_t end);
+
+/// MRC estimates for a run of `n_symbols` symbols of `samples_per_symbol`
+/// starting at `first_symbol_start`, trimming `guard` samples at the head
+/// of each symbol (channel-memory transition region, "sample ignored" in
+/// the paper's Fig. 6).
+cvec mrc_symbol_estimates(std::span<const cplx> y, std::span<const cplx> yhat,
+                          std::size_t first_symbol_start,
+                          std::size_t samples_per_symbol, std::size_t n_symbols,
+                          std::size_t guard);
+
+/// Naive alternative the paper rejects (Section 4.3.2): divide y by yhat
+/// sample-wise and average. Amplifies noise wherever |yhat| is small;
+/// exists for the MRC-superiority tests and the ablation bench.
+cplx naive_division_estimate(std::span<const cplx> y, std::span<const cplx> yhat,
+                             std::size_t begin, std::size_t end);
+
+}  // namespace backfi::reader

@@ -1,0 +1,48 @@
+// Multi-antenna BackFi reader (paper Section 7, future work):
+// "multiple antennas at the AP provides additional diversity combining
+// gain... We can then perform MRC combining for the signals received
+// across space from multiple antennas."
+//
+// Each receive antenna sees the backscatter through its own backward
+// channel and its own self-interference; the reader cancels and estimates
+// per antenna, then combines the per-symbol MRC statistics across
+// antennas weighted by each antenna's post-MRC SNR.
+#pragma once
+
+#include <vector>
+
+#include "reader/decoder.h"
+
+namespace backfi::reader {
+
+/// Per-antenna observation handed to the combiner: the cleaned receive
+/// samples of one RX chain (all aligned to the same transmit timeline).
+struct antenna_observation {
+  cvec cleaned;  ///< after per-antenna self-interference cancellation
+};
+
+struct multi_antenna_result {
+  decode_result combined;                 ///< the jointly decoded packet
+  std::vector<decode_result> per_antenna; ///< individual decodes (diagnostics)
+  std::vector<double> weights;            ///< normalized combining weights
+};
+
+/// Decode a tag packet from several receive antennas. Per antenna, runs
+/// channel estimation + symbol-level MRC; then combines the per-symbol
+/// statistics with SNR-proportional weights and decodes once.
+class multi_antenna_decoder {
+ public:
+  multi_antenna_decoder(const tag::tag_config& tag_config,
+                        const decoder_config& config = {});
+
+  multi_antenna_result decode(std::span<const cplx> x,
+                              std::span<const antenna_observation> antennas,
+                              std::size_t nominal_origin,
+                              std::size_t payload_bits) const;
+
+ private:
+  tag::tag_config tag_config_;
+  decoder_config config_;
+};
+
+}  // namespace backfi::reader

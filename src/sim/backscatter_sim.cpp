@@ -1,0 +1,161 @@
+#include "sim/backscatter_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "dsp/fir.h"
+#include "dsp/math_util.h"
+#include "dsp/vec_ops.h"
+#include "phy/constellation.h"
+#include "tag/wake_detector.h"
+
+namespace backfi::sim {
+
+namespace {
+constexpr std::size_t samples_per_us = 20;
+}  // namespace
+
+double oracle_post_mrc_snr_db(std::span<const cplx> x,
+                              const channel::backscatter_channels& channels,
+                              double reflection_amplitude,
+                              std::size_t samples_per_symbol, std::size_t guard,
+                              std::size_t data_begin, std::size_t data_end) {
+  const cvec h_fb = dsp::convolve(channels.h_f, channels.h_b);
+  cvec yhat = dsp::convolve_same(x, h_fb);
+  const std::size_t end = std::min(data_end, yhat.size());
+  if (end <= data_begin) return -120.0;
+  const double mean_sig =
+      dsp::mean_power(std::span(yhat).subspan(data_begin, end - data_begin)) *
+      reflection_amplitude * reflection_amplitude;
+  const std::size_t usable = samples_per_symbol - guard;
+  const double snr =
+      mean_sig * static_cast<double>(usable) / std::max(channels.noise_power, 1e-30);
+  return dsp::to_db(std::max(snr, 1e-12));
+}
+
+trial_result run_backscatter_trial(const scenario_config& config) {
+  trial_result result;
+  dsp::rng gen(config.seed);
+
+  // --- Excitation and channels ---
+  reader::excitation_config ex_cfg = config.excitation;
+  ex_cfg.tag_id = config.tag.id;
+  ex_cfg.payload_seed = gen.next_u64();
+  const reader::excitation ex = reader::build_excitation(ex_cfg);
+  const auto channels =
+      channel::draw_backscatter_channels(config.budget, config.tag_distance_m, gen);
+
+  // --- Tag side: wake detection on the incident signal ---
+  const cvec incident = channel::apply_channel(ex.samples, channels.h_f);
+  const double incident_dbm =
+      channel::incident_power_at_tag_dbm(config.budget, config.tag_distance_m);
+  const std::size_t wake_window =
+      std::min<std::size_t>((ex_cfg.wake_bits + 4) * samples_per_us,
+                            incident.size());
+  const auto wake = tag::detect_wake(std::span(incident).first(wake_window),
+                                     ex.wake_preamble, incident_dbm);
+  result.woke = wake.woke;
+  if (!wake.woke) return result;
+
+  const std::size_t jitter =
+      config.tag_jitter_samples > 0
+          ? gen.uniform_int(config.tag_jitter_samples + 1)
+          : 0;
+  const std::size_t tag_origin = wake.preamble_end_sample + jitter;
+
+  // --- Tag backscatter ---
+  const phy::bitvec payload = gen.random_bits(config.payload_bits);
+  const tag::tag_device device(config.tag);
+  const auto tag_tx = device.backscatter(payload, ex.samples.size(), tag_origin);
+  result.payload_symbols = tag_tx.n_payload_symbols;
+  result.tag_energy_pj = tag_tx.energy_pj;
+  if (tag_tx.n_payload_symbols < device.payload_symbols(config.payload_bits))
+    return result;  // excitation too short for the payload
+
+  // --- Received signal at the reader ---
+  cvec rx = channel::apply_channel(ex.samples, channels.h_env);
+  const cvec reflected = dsp::hadamard(incident, tag_tx.reflection);
+  const cvec backscatter = channel::apply_channel(reflected, channels.h_b);
+  dsp::add_in_place(rx, backscatter);
+  channel::add_awgn(rx, channels.noise_power, gen);
+
+  // --- Self-interference cancellation over the silent window ---
+  // The reader adapts over its nominal silent window: the tag stays silent
+  // until (at least) wake_end + silent, so [wake_end, wake_end + silent) is
+  // guaranteed backscatter-free. This is the first 16 us of the PPDU.
+  const std::size_t silent_begin = ex.wake_end;
+  const std::size_t silent_end =
+      silent_begin + config.tag.silent_us * samples_per_us;
+  const auto chain =
+      fd::run_receive_chain(ex.samples, rx, silent_begin, silent_end, config.chain);
+  result.analog_depth_db = chain.analog_depth_db;
+  result.total_depth_db = chain.total_depth_db;
+  result.residual_si_over_noise_db =
+      dsp::to_db(std::max(chain.residual_power, 1e-30) /
+                 std::max(channels.noise_power, 1e-30));
+
+  // --- BackFi decoding ---
+  const reader::backfi_decoder decoder(config.tag, config.decoder);
+  const auto decoded = decoder.decode(ex.samples, chain.cleaned, ex.wake_end,
+                                      config.payload_bits);
+  result.sync_found = decoded.sync_found;
+  result.decoded = decoded.decoded;
+  result.crc_ok = decoded.crc_ok;
+  result.measured_snr_db = decoded.post_mrc_snr_db;
+  if (decoded.decoded)
+    result.bit_errors = phy::hamming_distance(decoded.payload, payload);
+
+  // Raw (pre-Viterbi) symbol errors for the Fig. 11b BER analysis.
+  if (decoded.sync_found && !decoded.symbol_estimates.empty()) {
+    const auto& constellation =
+        phy::psk_constellation(tag::psk_order(config.tag.rate.modulation));
+    const std::size_t bps = tag::bits_per_symbol(config.tag.rate.modulation);
+    std::size_t errors = 0;
+    // Reconstruct the transmitted coded stream to compare sliced symbols.
+    phy::bitvec coded =
+        phy::puncture(phy::conv_encode(tag_tx.info_bits), config.tag.rate.coding);
+    while (coded.size() % bps != 0) coded.push_back(0);
+    for (std::size_t s = 0;
+         s < decoded.symbol_estimates.size() && (s + 1) * bps <= coded.size();
+         ++s) {
+      std::uint32_t tx_label = 0;
+      for (std::size_t b = 0; b < bps; ++b)
+        tx_label = (tx_label << 1) | (coded[s * bps + b] & 1u);
+      if (constellation.slice(decoded.symbol_estimates[s]) != tx_label) ++errors;
+    }
+    result.raw_symbol_errors = errors;
+  }
+
+  // --- Oracle SNR (the paper's VNA-measured expectation) ---
+  const std::size_t guard = std::min<std::size_t>(
+      config.decoder.fb_taps - 1,
+      device.samples_per_symbol() > 2 ? device.samples_per_symbol() - 2 : 1);
+  result.expected_snr_db = oracle_post_mrc_snr_db(
+      ex.samples, channels,
+      dsp::db_to_amplitude(-config.tag.insertion_loss_db),
+      device.samples_per_symbol(), guard, tag_tx.data_start, tag_tx.data_end);
+
+  // --- Throughput accounting ---
+  if (result.crc_ok) {
+    const double airtime_s =
+        static_cast<double>(tag_tx.data_end - tag_tx.silent_start) *
+        sample_period_s;
+    result.effective_throughput_bps =
+        static_cast<double>(config.payload_bits) / airtime_s;
+  }
+  return result;
+}
+
+double packet_error_rate(const scenario_config& config, int trials) {
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    scenario_config c = config;
+    c.seed = config.seed * 1000003ULL + static_cast<std::uint64_t>(t);
+    const trial_result r = run_backscatter_trial(c);
+    if (!r.crc_ok || r.bit_errors != 0) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(std::max(trials, 1));
+}
+
+}  // namespace backfi::sim

@@ -1,0 +1,66 @@
+// End-to-end BackFi link simulation: excitation -> channels -> tag ->
+// self-interference cancellation -> BackFi decoder, with an oracle
+// ("VNA") path that knows the true channels for Fig. 11a-style
+// expected-vs-measured comparisons.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/backscatter_link.h"
+#include "fd/receive_chain.h"
+#include "reader/decoder.h"
+#include "reader/excitation.h"
+#include "tag/tag_device.h"
+
+namespace backfi::sim {
+
+struct scenario_config {
+  channel::link_budget budget;
+  tag::tag_config tag;
+  reader::excitation_config excitation;
+  reader::decoder_config decoder;
+  fd::receive_chain_config chain;
+  double tag_distance_m = 2.0;
+  std::size_t payload_bits = 1000;
+  /// Maximum tag wake-detection lateness [samples] (uniform draw).
+  std::size_t tag_jitter_samples = 8;
+  std::uint64_t seed = 1;
+};
+
+struct trial_result {
+  // Protocol stages.
+  bool woke = false;
+  bool sync_found = false;
+  bool decoded = false;
+  bool crc_ok = false;
+  std::size_t bit_errors = 0;       ///< payload bit errors after decoding
+  std::size_t raw_symbol_errors = 0;  ///< pre-Viterbi hard PSK symbol errors
+
+  // Quality probes.
+  double measured_snr_db = 0.0;   ///< decoder's post-MRC SNR
+  double expected_snr_db = 0.0;   ///< oracle (true channels, perfect SI
+                                  ///< cancellation) post-MRC SNR
+  double residual_si_over_noise_db = 0.0;  ///< cancellation residue
+  double analog_depth_db = 0.0;
+  double total_depth_db = 0.0;
+
+  // Link accounting.
+  std::size_t payload_symbols = 0;
+  double tag_energy_pj = 0.0;
+  double effective_throughput_bps = 0.0;  ///< info bits / data airtime if ok
+};
+
+/// Run one complete backscatter exchange.
+trial_result run_backscatter_trial(const scenario_config& config);
+
+/// Oracle post-MRC SNR: true combined channel, thermal noise only.
+double oracle_post_mrc_snr_db(std::span<const cplx> x,
+                              const channel::backscatter_channels& channels,
+                              double reflection_amplitude,
+                              std::size_t samples_per_symbol, std::size_t guard,
+                              std::size_t data_begin, std::size_t data_end);
+
+/// Packet error probability over `trials` independent trials (CRC-based).
+double packet_error_rate(const scenario_config& config, int trials);
+
+}  // namespace backfi::sim

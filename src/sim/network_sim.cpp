@@ -1,0 +1,63 @@
+#include "sim/network_sim.h"
+
+#include <stdexcept>
+
+#include "sim/rate_adaptation.h"
+
+namespace backfi::sim {
+
+network_result run_tag_network(const network_config& config) {
+  if (config.tags.empty())
+    throw std::invalid_argument("run_tag_network: no tags configured");
+
+  mac::tag_scheduler scheduler(config.policy);
+  for (const auto& t : config.tags)
+    scheduler.add_tag({.id = t.id, .rate = t.rate, .backlog_bits = 0.0,
+                       .weight = t.weight});
+
+  network_result result;
+  std::uint64_t seed = config.link.seed + 1;
+  for (std::size_t opp = 0; opp < config.opportunities; ++opp) {
+    // Sensors keep producing data regardless of the schedule.
+    for (const auto& t : config.tags)
+      scheduler.enqueue(t.id, t.arrival_bits_per_opportunity);
+
+    const auto chosen = scheduler.next();
+    if (!chosen) {
+      ++result.idle_opportunities;
+      continue;
+    }
+    const network_tag* tag_info = nullptr;
+    for (const auto& t : config.tags)
+      if (t.id == *chosen) tag_info = &t;
+
+    // scenario_for_point sizes the excitation burst, sync word and payload
+    // for the tag's current operating point (low symbol rates need longer
+    // bursts and carry fewer bits per opportunity).
+    scenario_config base = config.link;
+    base.payload_bits = config.payload_bits;
+    scenario_config trial = scenario_for_point(
+        base, scheduler.descriptor(*chosen).rate, tag_info->distance_m);
+    trial.tag.id = *chosen;
+    trial.seed = seed++;
+    const trial_result r = run_backscatter_trial(trial);
+    const bool ok = r.crc_ok && r.bit_errors == 0;
+    scheduler.report_result(*chosen, ok,
+                            ok ? static_cast<double>(trial.payload_bits) : 0.0);
+  }
+
+  for (const auto& t : config.tags) {
+    network_tag_result per;
+    per.id = t.id;
+    per.attempts = scheduler.stats(t.id).attempts;
+    per.successes = scheduler.stats(t.id).successes;
+    per.delivered_bits = scheduler.stats(t.id).delivered_bits;
+    per.final_rate = scheduler.descriptor(t.id).rate;
+    result.per_tag.push_back(per);
+  }
+  result.total_delivered_bits = scheduler.total_delivered_bits();
+  result.jain_fairness = scheduler.jain_fairness();
+  return result;
+}
+
+}  // namespace backfi::sim

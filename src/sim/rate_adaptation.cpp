@@ -1,0 +1,134 @@
+#include "sim/rate_adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace backfi::sim {
+
+namespace {
+constexpr std::size_t samples_per_us = 20;
+}  // namespace
+
+std::vector<operating_point> all_operating_points() {
+  std::vector<operating_point> points;
+  for (const auto& base : tag::fig7_configs()) {
+    for (const double f : tag::standard_symbol_rates()) {
+      tag::tag_rate_config rate = base;
+      rate.symbol_rate_hz = f;
+      points.push_back({rate, tag::throughput_bps(rate),
+                        tag::relative_energy_per_bit(rate)});
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const operating_point& a, const operating_point& b) {
+              return a.throughput_bps < b.throughput_bps;
+            });
+  return points;
+}
+
+scenario_config scenario_for_point(const scenario_config& base,
+                                   const tag::tag_rate_config& rate,
+                                   double distance_m) {
+  scenario_config config = base;
+  config.tag_distance_m = distance_m;
+  config.tag.rate = rate;
+
+  // Fewer (longer) sync symbols at low symbol rates to bound overhead.
+  const std::size_t sps = static_cast<std::size_t>(
+      std::llround(sample_rate_hz / rate.symbol_rate_hz));
+  config.tag.sync_symbols = sps <= 40 ? 16 : (sps <= 200 ? 8 : 4);
+
+  // Cap the payload by the paper's ~1000-bit tag packets and choose the
+  // excitation burst length so protocol overhead + payload fit. Low symbol
+  // rates cannot carry many bits per burst: bound the airtime to roughly
+  // 8 ms and shrink the payload to fit (8 bits minimum — the CRC and tail
+  // still dominate, as they would on real sub-10 kSPS links).
+  config.payload_bits = std::min<std::size_t>(base.payload_bits, 1000);
+  const std::size_t max_burst_samples = 160000;  // 8 ms
+  const tag::tag_device probe(config.tag);
+  while (config.payload_bits > 8) {
+    const std::size_t need =
+        config.excitation.wake_bits * samples_per_us +
+        config.tag.silent_us * samples_per_us +
+        config.tag.preamble_us * samples_per_us +
+        config.tag.sync_symbols * sps +
+        probe.payload_symbols(config.payload_bits) * sps +
+        static_cast<std::size_t>(config.decoder.timing_search) + 64;
+    if (need <= max_burst_samples) break;
+    config.payload_bits = std::max<std::size_t>(config.payload_bits * 2 / 3, 8);
+  }
+
+  // Size the excitation burst.
+  const std::size_t need =
+      config.tag.silent_us * samples_per_us +
+      config.tag.preamble_us * samples_per_us + config.tag.sync_symbols * sps +
+      probe.payload_symbols(config.payload_bits) * sps +
+      static_cast<std::size_t>(config.decoder.timing_search) + 64;
+  const std::size_t per_ppdu =
+      wifi::ppdu_length_samples(config.excitation.ppdu_bytes,
+                                config.excitation.rate);
+  config.excitation.n_ppdus = std::max<std::size_t>(1, (need + per_ppdu - 1) / per_ppdu);
+  return config;
+}
+
+std::vector<link_evaluation> evaluate_link(const scenario_config& base,
+                                           double distance_m, int trials,
+                                           double per_threshold) {
+  std::vector<link_evaluation> out;
+  for (const auto& point : all_operating_points()) {
+    link_evaluation eval;
+    eval.point = point;
+    const scenario_config config =
+        scenario_for_point(base, point.rate, distance_m);
+    eval.packet_error_rate = packet_error_rate(config, trials);
+    eval.goodput_bps = eval.point.throughput_bps * (1.0 - eval.packet_error_rate);
+    eval.usable = eval.packet_error_rate <= per_threshold;
+    out.push_back(eval);
+  }
+  return out;
+}
+
+std::optional<link_evaluation> max_goodput_point(
+    const std::vector<link_evaluation>& evaluations) {
+  std::optional<link_evaluation> best;
+  for (const auto& eval : evaluations) {
+    if (eval.packet_error_rate >= 1.0) continue;
+    if (!best || eval.goodput_bps > best->goodput_bps) best = eval;
+  }
+  return best;
+}
+
+std::optional<link_evaluation> find_max_goodput(const scenario_config& base,
+                                                double distance_m, int trials) {
+  std::vector<operating_point> points = all_operating_points();
+  std::sort(points.begin(), points.end(),
+            [](const operating_point& a, const operating_point& b) {
+              return a.throughput_bps > b.throughput_bps;
+            });
+  std::optional<link_evaluation> best;
+  for (const auto& point : points) {
+    if (best && point.throughput_bps <= best->goodput_bps) break;
+    const scenario_config config =
+        scenario_for_point(base, point.rate, distance_m);
+    link_evaluation eval;
+    eval.point = point;
+    eval.packet_error_rate = packet_error_rate(config, trials);
+    eval.goodput_bps = point.throughput_bps * (1.0 - eval.packet_error_rate);
+    eval.usable = eval.packet_error_rate < 1.0;
+    if (eval.usable && (!best || eval.goodput_bps > best->goodput_bps))
+      best = eval;
+  }
+  return best;
+}
+
+std::optional<operating_point> min_repb_point_for_throughput(
+    const std::vector<link_evaluation>& evaluations, double target_bps) {
+  std::optional<operating_point> best;
+  for (const auto& eval : evaluations) {
+    if (!eval.usable || eval.point.throughput_bps < target_bps) continue;
+    if (!best || eval.point.repb < best->repb) best = eval.point;
+  }
+  return best;
+}
+
+}  // namespace backfi::sim

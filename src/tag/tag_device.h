@@ -1,0 +1,81 @@
+// The BackFi tag: wake -> silent -> preamble -> sync -> payload
+// backscatter schedule (paper Fig. 4), producing the per-sample reflection
+// coefficient that multiplies the incident excitation signal.
+//
+// Timeline after the tag's wake detector fires (its local time origin):
+//   [ silent 16 us ]           no reflection; reader estimates h_env
+//   [ estimation preamble ]    constant phase, 32 us (or 96 us long mode);
+//                              reader solves for h_f * h_b
+//   [ sync word ]              known PSK symbols; reader finds the symbol
+//                              boundary despite detection jitter
+//   [ payload ]                CRC-protected, convolutionally coded n-PSK
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dsp/types.h"
+#include "phy/bits.h"
+#include "tag/energy_model.h"
+#include "tag/phase_modulator.h"
+
+namespace backfi::tag {
+
+struct tag_config {
+  std::uint32_t id = 1;
+  tag_rate_config rate;
+  double insertion_loss_db = 8.0;
+  std::size_t silent_us = 16;     ///< paper: 16 us silent period
+  std::size_t preamble_us = 32;   ///< 32 us default, 96 us long mode (Fig. 8)
+  std::size_t sync_symbols = 16;  ///< known symbols for timing recovery
+};
+
+/// The reflection waveform and bookkeeping of one backscatter transmission.
+struct tag_transmission {
+  /// Per-sample reflection coefficient over the whole excitation timeline
+  /// (zero while silent/asleep). The received backscatter contribution is
+  /// ((x * h_f) .* reflection) * h_b.
+  cvec reflection;
+  std::size_t silent_start = 0;
+  std::size_t preamble_start = 0;
+  std::size_t sync_start = 0;
+  std::size_t data_start = 0;
+  std::size_t data_end = 0;           ///< first sample after the last symbol
+  std::size_t samples_per_symbol = 0;
+  std::size_t n_payload_symbols = 0;
+  phy::bitvec info_bits;              ///< payload + CRC as encoded
+  double energy_pj = 0.0;             ///< EPB model x information bits
+  std::uint64_t switch_toggles = 0;   ///< from the switch-tree model
+};
+
+class tag_device {
+ public:
+  explicit tag_device(const tag_config& config);
+
+  const tag_config& config() const { return config_; }
+
+  /// Gray-coded labels of the sync word (deterministic per tag id).
+  std::vector<std::uint32_t> sync_labels() const;
+
+  /// Build the reflection waveform for `payload` bits. `time_origin` is the
+  /// sample index (in the excitation timeline of `total_samples` samples)
+  /// where the tag's wake detector fired; the schedule runs from there and
+  /// symbols that do not fit before `total_samples` are dropped (the tag
+  /// "stops when its detection logic signals the end of the transmission").
+  tag_transmission backscatter(std::span<const std::uint8_t> payload,
+                               std::size_t total_samples,
+                               std::size_t time_origin) const;
+
+  /// Number of payload symbols required for `n_payload_bits` (with CRC-32,
+  /// coding and tail included).
+  std::size_t payload_symbols(std::size_t n_payload_bits) const;
+
+  /// Samples per tag symbol at the configured symbol rate (must divide the
+  /// 20 MS/s sample rate exactly).
+  std::size_t samples_per_symbol() const;
+
+ private:
+  tag_config config_;
+};
+
+}  // namespace backfi::tag

@@ -1,0 +1,77 @@
+#include "tag/wake_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/vec_ops.h"
+
+namespace backfi::tag {
+
+phy::bitvec envelope_bits(std::span<const cplx> samples,
+                          const wake_detector_config& config) {
+  const std::size_t n_bits = samples.size() / config.samples_per_bit;
+  // Envelope: mean magnitude per bit period (the RC lowpass of the
+  // envelope detector integrates over the bit).
+  std::vector<double> envelope(n_bits, 0.0);
+  for (std::size_t b = 0; b < n_bits; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < config.samples_per_bit; ++i)
+      acc += std::abs(samples[b * config.samples_per_bit + i]);
+    envelope[b] = acc / static_cast<double>(config.samples_per_bit);
+  }
+  // Peak detector holds the maximum; set-threshold outputs a fraction.
+  const double peak = envelope.empty()
+                          ? 0.0
+                          : *std::max_element(envelope.begin(), envelope.end());
+  const double threshold = peak * config.threshold_fraction;
+  phy::bitvec bits(n_bits);
+  for (std::size_t b = 0; b < n_bits; ++b)
+    bits[b] = envelope[b] > threshold ? 1 : 0;
+  return bits;
+}
+
+wake_result detect_wake(std::span<const cplx> samples,
+                        std::span<const std::uint8_t> preamble,
+                        double incident_power_dbm,
+                        const wake_detector_config& config) {
+  wake_result result;
+  if (incident_power_dbm < config.sensitivity_dbm) return result;
+  if (preamble.empty()) return result;
+
+  const std::size_t n_bits = samples.size() / config.samples_per_bit;
+  if (n_bits < preamble.size()) return result;
+
+  // Per-bit envelope values (the comparator input).
+  std::vector<double> envelope(n_bits, 0.0);
+  for (std::size_t b = 0; b < n_bits; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < config.samples_per_bit; ++i)
+      acc += std::abs(samples[b * config.samples_per_bit + i]);
+    envelope[b] = acc / static_cast<double>(config.samples_per_bit);
+  }
+
+  // The peak detector tracks the recent input: threshold each candidate
+  // alignment against the peak *within that window*, so louder signal
+  // arriving later (e.g. the WiFi payload) cannot mask the pulses.
+  for (std::size_t start = 0; start + preamble.size() <= n_bits; ++start) {
+    double peak = 0.0;
+    for (std::size_t k = 0; k < preamble.size(); ++k)
+      peak = std::max(peak, envelope[start + k]);
+    const double threshold = peak * config.threshold_fraction;
+    std::size_t errors = 0;
+    for (std::size_t k = 0; k < preamble.size() && errors <= config.max_bit_errors;
+         ++k) {
+      const std::uint8_t bit = envelope[start + k] > threshold ? 1 : 0;
+      errors += (bit != (preamble[k] & 1u)) ? 1 : 0;
+    }
+    if (errors <= config.max_bit_errors) {
+      result.woke = true;
+      result.bit_errors = errors;
+      result.preamble_end_sample = (start + preamble.size()) * config.samples_per_bit;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace backfi::tag

@@ -1,0 +1,99 @@
+#include "wifi/ppdu.h"
+
+#include <stdexcept>
+
+#include "dsp/rng.h"
+#include "phy/constellation.h"
+#include "phy/interleaver.h"
+#include "phy/scrambler.h"
+#include "wifi/ofdm.h"
+#include "wifi/preamble.h"
+
+namespace backfi::wifi {
+
+phy::bitvec signal_info_bits(wifi_rate rate, std::size_t length_bytes) {
+  if (length_bytes == 0 || length_bytes > 4095)
+    throw std::invalid_argument("signal_info_bits: LENGTH must be 1..4095");
+  const auto& p = params_for(rate);
+  phy::bitvec bits;
+  bits.reserve(18);
+  // RATE: 4 bits, R1 first (stored MSB-first in signal_bits).
+  for (int i = 3; i >= 0; --i)
+    bits.push_back(static_cast<std::uint8_t>((p.signal_bits >> i) & 1u));
+  bits.push_back(0);  // reserved
+  // LENGTH: 12 bits, LSB first.
+  for (int i = 0; i < 12; ++i)
+    bits.push_back(static_cast<std::uint8_t>((length_bytes >> i) & 1u));
+  // Even parity over the first 17 bits.
+  std::uint8_t parity = 0;
+  for (std::uint8_t b : bits) parity ^= b;
+  bits.push_back(parity);
+  return bits;  // conv_encode's zero tail supplies the 6 SIGNAL tail bits
+}
+
+cvec signal_symbol(wifi_rate rate, std::size_t length_bytes) {
+  const phy::bitvec info = signal_info_bits(rate, length_bytes);
+  const phy::bitvec coded = phy::conv_encode(info);  // 48 bits, rate 1/2
+  const phy::interleaver il(48, 1);
+  const phy::bitvec interleaved = il.interleave(coded);
+  const cvec points = phy::wifi_constellation(1).map(interleaved);
+  return modulate_symbol(points, /*symbol_index=*/0);
+}
+
+tx_ppdu transmit(std::span<const std::uint8_t> psdu, const tx_config& config) {
+  if (psdu.empty() || psdu.size() > 4095)
+    throw std::invalid_argument("transmit: PSDU must be 1..4095 bytes");
+  const auto& p = params_for(config.rate);
+  const std::size_t n_sym = data_symbol_count(psdu.size(), config.rate);
+  // Info bits fed to the convolutional encoder: SERVICE + PSDU + pad; the
+  // encoder's own zero tail plays the role of the standard's tail bits.
+  const std::size_t n_info = n_sym * p.n_dbps - phy::conv_tail_bits;
+
+  phy::bitvec info(16, 0);  // SERVICE field (all zero)
+  const phy::bitvec payload_bits = phy::bytes_to_bits(psdu);
+  info.insert(info.end(), payload_bits.begin(), payload_bits.end());
+  info.resize(n_info, 0);  // pad bits
+
+  const phy::bitvec scrambled = phy::scramble(info, config.scrambler_seed);
+  const phy::bitvec mother = phy::conv_encode(scrambled);
+  const phy::bitvec coded = phy::puncture(mother, p.coding);
+  if (coded.size() != n_sym * p.n_cbps)
+    throw std::logic_error("transmit: coded length mismatch");
+
+  const phy::interleaver il(p.n_cbps, p.n_bpsc);
+  const auto& constellation = phy::wifi_constellation(p.n_bpsc);
+
+  tx_ppdu out;
+  out.rate = config.rate;
+  out.psdu_bytes = psdu.size();
+  out.payload.assign(psdu.begin(), psdu.end());
+  out.n_data_symbols = n_sym;
+  out.samples = legacy_preamble();
+  const cvec sig = signal_symbol(config.rate, psdu.size());
+  out.samples.insert(out.samples.end(), sig.begin(), sig.end());
+  out.data_start = out.samples.size();
+
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::span<const std::uint8_t> block(coded.data() + s * p.n_cbps, p.n_cbps);
+    const phy::bitvec interleaved = il.interleave(block);
+    const cvec points = constellation.map(interleaved);
+    const cvec symbol = modulate_symbol(points, s + 1);  // SIGNAL was index 0
+    out.samples.insert(out.samples.end(), symbol.begin(), symbol.end());
+  }
+  return out;
+}
+
+std::size_t ppdu_length_samples(std::size_t length_bytes, wifi_rate rate) {
+  return preamble_samples + symbol_samples +
+         data_symbol_count(length_bytes, rate) * symbol_samples;
+}
+
+tx_ppdu random_ppdu(std::size_t length_bytes, const tx_config& config,
+                    std::uint64_t seed) {
+  dsp::rng gen(seed);
+  std::vector<std::uint8_t> psdu(length_bytes);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(gen.uniform_int(256));
+  return transmit(psdu, config);
+}
+
+}  // namespace backfi::wifi

@@ -1,0 +1,49 @@
+#include "wifi/rates.h"
+
+#include <stdexcept>
+
+namespace backfi::wifi {
+
+namespace {
+
+using phy::code_rate;
+
+constexpr std::array<rate_params, 8> kRates = {{
+    {wifi_rate::mbps6, 6.0, 1, code_rate::half, 48, 24, 0b1101, "6 Mbps (BPSK 1/2)"},
+    {wifi_rate::mbps9, 9.0, 1, code_rate::three_quarters, 48, 36, 0b1111,
+     "9 Mbps (BPSK 3/4)"},
+    {wifi_rate::mbps12, 12.0, 2, code_rate::half, 96, 48, 0b0101,
+     "12 Mbps (QPSK 1/2)"},
+    {wifi_rate::mbps18, 18.0, 2, code_rate::three_quarters, 96, 72, 0b0111,
+     "18 Mbps (QPSK 3/4)"},
+    {wifi_rate::mbps24, 24.0, 4, code_rate::half, 192, 96, 0b1001,
+     "24 Mbps (16-QAM 1/2)"},
+    {wifi_rate::mbps36, 36.0, 4, code_rate::three_quarters, 192, 144, 0b1011,
+     "36 Mbps (16-QAM 3/4)"},
+    {wifi_rate::mbps48, 48.0, 6, code_rate::two_thirds, 288, 192, 0b0001,
+     "48 Mbps (64-QAM 2/3)"},
+    {wifi_rate::mbps54, 54.0, 6, code_rate::three_quarters, 288, 216, 0b0011,
+     "54 Mbps (64-QAM 3/4)"},
+}};
+
+}  // namespace
+
+const rate_params& params_for(wifi_rate rate) {
+  return kRates[static_cast<std::size_t>(rate)];
+}
+
+const rate_params* params_for_signal_bits(std::uint8_t signal_bits) {
+  for (const auto& p : kRates)
+    if (p.signal_bits == signal_bits) return &p;
+  return nullptr;
+}
+
+std::span<const rate_params> all_rates() { return kRates; }
+
+std::size_t data_symbol_count(std::size_t length_bytes, wifi_rate rate) {
+  const auto& p = params_for(rate);
+  const std::size_t payload_bits = 16 + 8 * length_bytes + 6;
+  return (payload_bits + p.n_dbps - 1) / p.n_dbps;
+}
+
+}  // namespace backfi::wifi

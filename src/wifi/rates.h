@@ -1,0 +1,48 @@
+// 802.11a/g 20 MHz OFDM rate set (Clause 17): modulation, coding rate and
+// per-symbol bit counts for 6..54 Mbps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "phy/convolutional.h"
+
+namespace backfi::wifi {
+
+enum class wifi_rate : std::uint8_t {
+  mbps6,
+  mbps9,
+  mbps12,
+  mbps18,
+  mbps24,
+  mbps36,
+  mbps48,
+  mbps54,
+};
+
+struct rate_params {
+  wifi_rate rate;
+  double mbps;                 ///< information bit rate
+  std::size_t n_bpsc;          ///< coded bits per subcarrier (1/2/4/6)
+  phy::code_rate coding;       ///< convolutional code rate
+  std::size_t n_cbps;          ///< coded bits per OFDM symbol (48 * n_bpsc)
+  std::size_t n_dbps;          ///< data bits per OFDM symbol
+  std::uint8_t signal_bits;    ///< RATE field of the SIGNAL symbol (4 bits)
+  const char* name;            ///< e.g. "24 Mbps (16-QAM 1/2)"
+};
+
+/// Parameters for one rate.
+const rate_params& params_for(wifi_rate rate);
+
+/// Look up a rate by its SIGNAL field RATE bits; returns nullptr if invalid.
+const rate_params* params_for_signal_bits(std::uint8_t signal_bits);
+
+/// All eight rates, ascending.
+std::span<const rate_params> all_rates();
+
+/// Number of OFDM data symbols needed for `length_bytes` of PSDU at `rate`
+/// (16 service bits + payload + 6 tail bits, rounded up to a whole symbol).
+std::size_t data_symbol_count(std::size_t length_bytes, wifi_rate rate);
+
+}  // namespace backfi::wifi

@@ -1,0 +1,48 @@
+#include "channel/awgn.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/math_util.h"
+#include "dsp/vec_ops.h"
+
+namespace backfi::channel {
+namespace {
+
+TEST(AwgnTest, AddedNoisePowerMatches) {
+  dsp::rng gen(1);
+  cvec x(100000, cplx{0.0, 0.0});
+  add_awgn(x, 0.04, gen);
+  EXPECT_NEAR(dsp::mean_power(x), 0.04, 0.002);
+}
+
+TEST(AwgnTest, ZeroPowerIsNoOp) {
+  dsp::rng gen(2);
+  cvec x(100, cplx{1.0, 1.0});
+  add_awgn(x, 0.0, gen);
+  for (const auto& v : x) EXPECT_EQ(v, cplx(1.0, 1.0));
+}
+
+TEST(AwgnTest, NoiseIsAdditive) {
+  dsp::rng gen_a(3), gen_b(3);
+  cvec zeros(64, cplx{0.0, 0.0});
+  cvec signal(64, cplx{2.0, -1.0});
+  add_awgn(zeros, 0.1, gen_a);
+  add_awgn(signal, 0.1, gen_b);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(std::abs((signal[i] - cplx(2.0, -1.0)) - zeros[i]), 0.0, 1e-12);
+}
+
+TEST(AwgnTest, NormalizedNoisePowerFor20dBmTransmitter) {
+  // Noise floor -95 dBm vs 20 dBm carrier -> -115 dB relative.
+  const double p = normalized_noise_power(20.0, 20e6, 6.0);
+  EXPECT_NEAR(dsp::to_db(p), -115.0, 0.3);
+}
+
+TEST(AwgnTest, NormalizedNoiseScalesWithTxPower) {
+  const double p20 = normalized_noise_power(20.0, 20e6, 6.0);
+  const double p30 = normalized_noise_power(30.0, 20e6, 6.0);
+  EXPECT_NEAR(p20 / p30, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace backfi::channel

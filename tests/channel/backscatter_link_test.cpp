@@ -1,0 +1,91 @@
+#include "channel/backscatter_link.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/pathloss.h"
+#include "dsp/math_util.h"
+
+namespace backfi::channel {
+namespace {
+
+TEST(BackscatterLinkTest, ChannelShapesAndNoise) {
+  dsp::rng gen(1);
+  const link_budget budget;
+  const auto ch = draw_backscatter_channels(budget, 2.0, gen);
+  EXPECT_EQ(ch.h_env.size(), 6u);
+  EXPECT_EQ(ch.h_f.size(), 3u);
+  EXPECT_EQ(ch.h_b.size(), 3u);
+  EXPECT_NEAR(dsp::to_db(ch.noise_power), -115.0, 0.5);
+}
+
+TEST(BackscatterLinkTest, LeakageDominatesSelfInterference) {
+  dsp::rng gen(2);
+  const link_budget budget;
+  double leak_power = 0.0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const auto ch = draw_backscatter_channels(budget, 2.0, gen);
+    leak_power += std::norm(ch.h_env[0]);
+  }
+  // Circulator isolation 20 dB -> first tap ~-20 dB, far above the
+  // -45 dB environment reflections.
+  EXPECT_NEAR(dsp::to_db(leak_power / trials), -20.0, 1.5);
+}
+
+TEST(BackscatterLinkTest, ForwardChannelPowerTracksPathLoss) {
+  dsp::rng gen(3);
+  const link_budget budget;
+  for (double d : {1.0, 3.0, 5.0}) {
+    double acc = 0.0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t)
+      acc += tap_power(draw_backscatter_channels(budget, d, gen).h_f);
+    const double expected_db =
+        -log_distance_path_loss_db(d, budget.frequency_hz,
+                                   budget.path_loss_exponent) +
+        budget.tag_antenna_gain_dbi;
+    EXPECT_NEAR(dsp::to_db(acc / trials), expected_db, 0.7) << d;
+  }
+}
+
+TEST(BackscatterLinkTest, SelfInterferenceDwarfsBackscatter) {
+  // The core difficulty of the paper: self-interference is tens of dB above
+  // the backscatter signal.
+  dsp::rng gen(4);
+  const link_budget budget;
+  const auto ch = draw_backscatter_channels(budget, 3.0, gen);
+  const double si_db = dsp::to_db(tap_power(ch.h_env));
+  const double bs_db = dsp::to_db(tap_power(ch.h_f) * tap_power(ch.h_b)) -
+                       budget.tag_insertion_loss_db;
+  EXPECT_GT(si_db - bs_db, 40.0);
+}
+
+TEST(BackscatterLinkTest, IncidentPowerWakesTagWithinRange) {
+  const link_budget budget;
+  // Paper: wake-up radio sensitivity -41 dBm gives ~5 m range.
+  EXPECT_GT(incident_power_at_tag_dbm(budget, 1.0), -41.0);
+  EXPECT_GT(incident_power_at_tag_dbm(budget, 5.0), -41.0);
+  // Well beyond the design range the tag cannot wake.
+  EXPECT_LT(incident_power_at_tag_dbm(budget, 40.0), -41.0);
+}
+
+TEST(BackscatterLinkTest, ExpectedBackscatterPowerAt1m) {
+  const link_budget budget;
+  // 20 dBm - 2*40.2 dB + 6 dB - 8 dB = -62.4 dBm (approx).
+  EXPECT_NEAR(expected_backscatter_power_dbm(budget, 1.0), -62.4, 1.0);
+}
+
+TEST(BackscatterLinkTest, OneWayChannelGainIncludesRxAntenna) {
+  dsp::rng gen(5);
+  const link_budget budget;
+  double p0 = 0.0, p3 = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    p0 += tap_power(draw_one_way_channel(budget, 2.0, 0.0, gen));
+    p3 += tap_power(draw_one_way_channel(budget, 2.0, 3.0, gen));
+  }
+  EXPECT_NEAR(dsp::to_db(p3 / p0), 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace backfi::channel

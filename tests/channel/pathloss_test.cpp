@@ -1,0 +1,49 @@
+#include "channel/pathloss.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/types.h"
+
+namespace backfi::channel {
+namespace {
+
+TEST(PathlossTest, FreeSpaceAt1m2p4GHz) {
+  // Classic reference value: ~40.05 dB at 1 m, 2.437 GHz.
+  EXPECT_NEAR(free_space_path_loss_db(1.0, carrier_hz), 40.2, 0.3);
+}
+
+TEST(PathlossTest, FreeSpaceDoublesWith6dBPerOctave) {
+  const double pl1 = free_space_path_loss_db(1.0, carrier_hz);
+  const double pl2 = free_space_path_loss_db(2.0, carrier_hz);
+  EXPECT_NEAR(pl2 - pl1, 6.02, 0.01);
+}
+
+TEST(PathlossTest, LogDistanceMatchesFreeSpaceForExponent2) {
+  for (double d : {0.5, 1.0, 3.0, 7.0}) {
+    EXPECT_NEAR(log_distance_path_loss_db(d, carrier_hz, 2.0),
+                free_space_path_loss_db(d, carrier_hz), 1e-9)
+        << d;
+  }
+}
+
+TEST(PathlossTest, HigherExponentLosesMoreBeyondReference) {
+  EXPECT_GT(log_distance_path_loss_db(5.0, carrier_hz, 3.0),
+            log_distance_path_loss_db(5.0, carrier_hz, 2.0));
+  // At the 1 m reference they agree.
+  EXPECT_NEAR(log_distance_path_loss_db(1.0, carrier_hz, 3.0),
+              log_distance_path_loss_db(1.0, carrier_hz, 2.0), 1e-9);
+}
+
+TEST(PathlossTest, AmplitudeGainIncludesAntennaGain) {
+  const double without = one_way_amplitude_gain(2.0, carrier_hz, 2.0, 0.0);
+  const double with = one_way_amplitude_gain(2.0, carrier_hz, 2.0, 3.0);
+  EXPECT_NEAR(with / without, std::pow(10.0, 3.0 / 20.0), 1e-9);
+}
+
+TEST(PathlossTest, NoiseFloor20MHz) {
+  // -174 dBm/Hz + 10log10(20e6) = -101 dBm; +6 dB NF = -95 dBm.
+  EXPECT_NEAR(noise_floor_dbm(20e6, 6.0), -95.0, 0.2);
+}
+
+}  // namespace
+}  // namespace backfi::channel

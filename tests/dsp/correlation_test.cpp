@@ -1,0 +1,93 @@
+#include "dsp/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/math_util.h"
+#include "dsp/rng.h"
+
+namespace backfi::dsp {
+namespace {
+
+cvec random_sequence(std::size_t n, std::uint64_t seed) {
+  rng gen(seed);
+  cvec x(n);
+  for (auto& v : x) v = gen.complex_gaussian();
+  return x;
+}
+
+TEST(CorrelationTest, PeakAtEmbeddedReferenceOffset) {
+  const cvec ref = random_sequence(32, 1);
+  cvec signal(200, cplx{0.0, 0.0});
+  const std::size_t offset = 77;
+  for (std::size_t i = 0; i < ref.size(); ++i) signal[offset + i] = ref[i];
+
+  const rvec metric = normalized_correlation(signal, ref);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < metric.size(); ++i)
+    if (metric[i] > metric[best]) best = i;
+  EXPECT_EQ(best, offset);
+  EXPECT_NEAR(metric[best], 1.0, 1e-9);
+}
+
+TEST(CorrelationTest, NormalizedCorrelationInvariantToScaling) {
+  const cvec ref = random_sequence(16, 2);
+  cvec signal(100, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < ref.size(); ++i) signal[40 + i] = ref[i] * cplx{0.0, 3.0};
+  const rvec metric = normalized_correlation(signal, ref);
+  EXPECT_NEAR(metric[40], 1.0, 1e-9);
+}
+
+TEST(CorrelationTest, FindPeakHonoursThreshold) {
+  const cvec ref = random_sequence(16, 3);
+  cvec signal = random_sequence(128, 4);  // noise only
+  const auto miss = find_correlation_peak(signal, ref, 0.95);
+  EXPECT_FALSE(miss.found);
+
+  for (std::size_t i = 0; i < ref.size(); ++i) signal[60 + i] = ref[i] * 4.0;
+  const auto hit = find_correlation_peak(signal, ref, 0.9);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.index, 60u);
+}
+
+TEST(CorrelationTest, CrossCorrelateMatchesDirectComputation) {
+  const cvec signal = random_sequence(20, 5);
+  const cvec ref = random_sequence(4, 6);
+  const cvec out = cross_correlate(signal, ref);
+  ASSERT_EQ(out.size(), 17u);
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    cplx expected{0.0, 0.0};
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      expected += signal[n + k] * std::conj(ref[k]);
+    EXPECT_NEAR(std::abs(out[n] - expected), 0.0, 1e-12);
+  }
+}
+
+TEST(CorrelationTest, TooShortSignalGivesEmpty) {
+  const cvec ref = random_sequence(16, 7);
+  const cvec signal = random_sequence(8, 8);
+  EXPECT_TRUE(cross_correlate(signal, ref).empty());
+  EXPECT_TRUE(normalized_correlation(signal, ref).empty());
+}
+
+TEST(CorrelationTest, DelayedAutocorrelationDetectsPeriodicity) {
+  // A signal with period 16 has autocorrelation metric ~1 at lag 16.
+  const std::size_t lag = 16;
+  cvec periodic;
+  const cvec seed = random_sequence(lag, 9);
+  for (int rep = 0; rep < 6; ++rep)
+    periodic.insert(periodic.end(), seed.begin(), seed.end());
+
+  const rvec metric = delayed_autocorrelation(periodic, lag);
+  ASSERT_FALSE(metric.empty());
+  for (std::size_t i = 0; i < metric.size(); ++i) EXPECT_NEAR(metric[i], 1.0, 1e-9);
+
+  const cvec noise = random_sequence(96, 10);
+  const rvec noise_metric = delayed_autocorrelation(noise, lag);
+  double mean = 0.0;
+  for (double v : noise_metric) mean += v;
+  mean /= static_cast<double>(noise_metric.size());
+  EXPECT_LT(mean, 0.6);
+}
+
+}  // namespace
+}  // namespace backfi::dsp

@@ -1,0 +1,96 @@
+#include "dsp/fir.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+
+namespace backfi::dsp {
+namespace {
+
+TEST(FirTest, ConvolveWithDeltaIsIdentity) {
+  const cvec x = {{1.0, 2.0}, {3.0, -1.0}, {0.5, 0.5}};
+  const cvec delta = {cplx{1.0, 0.0}};
+  const cvec y = convolve(x, delta);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-15);
+}
+
+TEST(FirTest, ConvolveWithShiftedDeltaDelays) {
+  const cvec x = {{1.0, 0.0}, {2.0, 0.0}};
+  const cvec h = {{0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}};
+  const cvec y = convolve(x, h);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_NEAR(std::abs(y[0]), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(y[1]), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(y[2] - cplx(1.0, 0.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(y[3] - cplx(2.0, 0.0)), 0.0, 1e-15);
+}
+
+TEST(FirTest, ConvolutionIsCommutative) {
+  rng gen(8);
+  cvec x(20), h(5);
+  for (auto& v : x) v = gen.complex_gaussian();
+  for (auto& v : h) v = gen.complex_gaussian();
+  const cvec xy = convolve(x, h);
+  const cvec yx = convolve(h, x);
+  ASSERT_EQ(xy.size(), yx.size());
+  for (std::size_t i = 0; i < xy.size(); ++i)
+    EXPECT_NEAR(std::abs(xy[i] - yx[i]), 0.0, 1e-12);
+}
+
+TEST(FirTest, ConvolveEmptyReturnsEmpty) {
+  const cvec x;
+  const cvec h = {cplx{1.0, 0.0}};
+  EXPECT_TRUE(convolve(x, h).empty());
+  EXPECT_TRUE(convolve(h, x).empty());
+}
+
+TEST(FirTest, ConvolveSameTruncatesToInputLength) {
+  rng gen(9);
+  cvec x(50), h(7);
+  for (auto& v : x) v = gen.complex_gaussian();
+  for (auto& v : h) v = gen.complex_gaussian();
+  const cvec same = convolve_same(x, h);
+  const cvec full = convolve(x, h);
+  ASSERT_EQ(same.size(), x.size());
+  for (std::size_t i = 0; i < same.size(); ++i)
+    EXPECT_NEAR(std::abs(same[i] - full[i]), 0.0, 1e-15);
+}
+
+TEST(FirTest, StreamingMatchesBatchAcrossBlockBoundaries) {
+  rng gen(10);
+  cvec x(100), taps(9);
+  for (auto& v : x) v = gen.complex_gaussian();
+  for (auto& v : taps) v = gen.complex_gaussian();
+
+  const cvec batch = convolve_same(x, taps);
+
+  fir_filter filt(taps);
+  cvec streamed;
+  // Deliberately irregular block sizes to stress the history handling.
+  const std::size_t blocks[] = {1, 3, 13, 40, 43};
+  std::size_t pos = 0;
+  for (std::size_t len : blocks) {
+    const cvec out = filt.process(std::span(x).subspan(pos, len));
+    streamed.insert(streamed.end(), out.begin(), out.end());
+    pos += len;
+  }
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_NEAR(std::abs(streamed[i] - batch[i]), 0.0, 1e-12) << "at index " << i;
+}
+
+TEST(FirTest, ResetClearsHistory) {
+  const cvec taps = {{1.0, 0.0}, {1.0, 0.0}};
+  fir_filter filt(taps);
+  const cvec block = {{1.0, 0.0}};
+  (void)filt.process(block);
+  filt.reset();
+  const cvec out = filt.process(block);
+  // Without reset the first output would be 1 + previous(1) = 2.
+  EXPECT_NEAR(std::abs(out[0] - cplx(1.0, 0.0)), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace backfi::dsp

@@ -1,0 +1,118 @@
+#include "dsp/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/fir.h"
+#include "dsp/rng.h"
+
+namespace backfi::dsp {
+namespace {
+
+TEST(LinalgTest, SolveIdentitySystem) {
+  cmatrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const cvec b = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const cvec x = solve_hermitian_positive_definite(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(std::abs(x[i] - b[i]), 0.0, 1e-12);
+}
+
+TEST(LinalgTest, SolveKnownHermitianSystem) {
+  // A = [[2, j], [-j, 2]] is Hermitian positive definite.
+  cmatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = cplx{0.0, 1.0};
+  a(1, 0) = cplx{0.0, -1.0};
+  a(1, 1) = 2.0;
+  const cvec x_true = {{1.0, -1.0}, {2.0, 0.5}};
+  cvec b(2);
+  b[0] = a(0, 0) * x_true[0] + a(0, 1) * x_true[1];
+  b[1] = a(1, 0) * x_true[0] + a(1, 1) * x_true[1];
+  const cvec x = solve_hermitian_positive_definite(a, b);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-12);
+}
+
+TEST(LinalgTest, SolveRejectsNonPositiveDefinite) {
+  cmatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;  // indefinite
+  const cvec b = {{1.0, 0.0}, {1.0, 0.0}};
+  EXPECT_THROW(solve_hermitian_positive_definite(a, b), std::runtime_error);
+}
+
+TEST(LinalgTest, SolveRejectsDimensionMismatch) {
+  cmatrix a(2, 3);
+  const cvec b = {{1.0, 0.0}, {1.0, 0.0}};
+  EXPECT_THROW(solve_hermitian_positive_definite(a, b), std::invalid_argument);
+}
+
+TEST(LinalgTest, LeastSquaresRecoversExactSolution) {
+  rng gen(42);
+  const std::size_t m = 20, n = 4;
+  cmatrix a(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = gen.complex_gaussian();
+  cvec x_true(n);
+  for (auto& v : x_true) v = gen.complex_gaussian();
+  cvec b(m, cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) b[r] += a(r, c) * x_true[c];
+
+  const cvec x = least_squares(a, b);
+  for (std::size_t c = 0; c < n; ++c)
+    EXPECT_NEAR(std::abs(x[c] - x_true[c]), 0.0, 1e-9);
+}
+
+TEST(LinalgTest, RidgeShrinksSolutionNorm) {
+  rng gen(43);
+  const std::size_t m = 16, n = 4;
+  cmatrix a(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = gen.complex_gaussian();
+  cvec b(m);
+  for (auto& v : b) v = gen.complex_gaussian();
+
+  const cvec x_plain = least_squares(a, b, 0.0);
+  const cvec x_ridge = least_squares(a, b, 100.0);
+  double norm_plain = 0.0, norm_ridge = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    norm_plain += std::norm(x_plain[c]);
+    norm_ridge += std::norm(x_ridge[c]);
+  }
+  EXPECT_LT(norm_ridge, norm_plain);
+}
+
+TEST(LinalgTest, FirEstimateRecoversChannelNoiseless) {
+  rng gen(44);
+  cvec x(400);
+  for (auto& v : x) v = gen.complex_gaussian();
+  const cvec h_true = {{0.8, 0.1}, {0.0, -0.3}, {0.05, 0.02}};
+  const cvec y = convolve_same(x, h_true);
+
+  const cvec h_est = estimate_fir_least_squares(x, y, h_true.size());
+  ASSERT_EQ(h_est.size(), h_true.size());
+  for (std::size_t k = 0; k < h_true.size(); ++k)
+    EXPECT_NEAR(std::abs(h_est[k] - h_true[k]), 0.0, 1e-6);
+}
+
+TEST(LinalgTest, FirEstimateToleratesNoise) {
+  rng gen(45);
+  cvec x(2000);
+  for (auto& v : x) v = gen.complex_gaussian();
+  const cvec h_true = {{1.0, 0.0}, {-0.4, 0.2}};
+  cvec y = convolve_same(x, h_true);
+  for (auto& v : y) v += 0.01 * gen.complex_gaussian();
+
+  const cvec h_est = estimate_fir_least_squares(x, y, h_true.size());
+  for (std::size_t k = 0; k < h_true.size(); ++k)
+    EXPECT_NEAR(std::abs(h_est[k] - h_true[k]), 0.0, 0.01);
+}
+
+TEST(LinalgTest, FirEstimateRejectsTooFewSamples) {
+  const cvec x(4, cplx{1.0, 0.0});
+  const cvec y(4, cplx{1.0, 0.0});
+  EXPECT_THROW(estimate_fir_least_squares(x, y, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace backfi::dsp

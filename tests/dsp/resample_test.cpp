@@ -1,0 +1,85 @@
+#include "dsp/resample.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/math_util.h"
+#include "dsp/rng.h"
+#include "dsp/vec_ops.h"
+
+namespace backfi::dsp {
+namespace {
+
+TEST(ResampleTest, IntegerDelayShiftsExactly) {
+  const cvec x = {{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}, {4.0, 0.0}};
+  const cvec y = fractional_delay(x, 2.0);
+  ASSERT_EQ(y.size(), x.size());
+  EXPECT_NEAR(std::abs(y[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[1]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[2] - x[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[3] - x[1]), 0.0, 1e-12);
+}
+
+TEST(ResampleTest, HalfSampleDelayOfBandlimitedTone) {
+  // Delaying a slow complex tone by half a sample multiplies it by
+  // exp(-j*omega/2); check the interpolator approximates that.
+  const std::size_t n = 256;
+  const double omega = 0.2;  // rad/sample, well inside the band
+  cvec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = phasor(omega * static_cast<double>(i));
+  const cvec y = fractional_delay(x, 0.5);
+  // Compare in the steady-state middle region.
+  for (std::size_t i = 40; i < n - 40; ++i) {
+    const cplx expected = phasor(omega * (static_cast<double>(i) - 0.5));
+    EXPECT_NEAR(std::abs(y[i] - expected), 0.0, 1e-3) << "at " << i;
+  }
+}
+
+TEST(ResampleTest, FractionalDelayPreservesPower) {
+  rng gen(60);
+  // Band-limit the noise by upsampling a slow sequence.
+  cvec slow(64);
+  for (auto& v : slow) v = gen.complex_gaussian();
+  const cvec x = upsample(slow, 4);
+  const cvec y = fractional_delay(x, 3.3);
+  const double px = mean_power(std::span(x).subspan(32, x.size() - 64));
+  const double py = mean_power(std::span(y).subspan(32, y.size() - 64));
+  EXPECT_NEAR(py / px, 1.0, 0.05);
+}
+
+TEST(ResampleTest, UpsampleKeepsToneFrequencyScaled) {
+  const std::size_t n = 128;
+  const double omega = 0.3;
+  cvec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = phasor(omega * static_cast<double>(i));
+  const cvec y = upsample(x, 2);
+  ASSERT_EQ(y.size(), 2 * n);
+  // The upsampled tone should advance at omega/2 per output sample.
+  for (std::size_t i = 64; i + 64 < y.size(); i += 7) {
+    const cplx ratio = y[i + 2] / y[i];
+    EXPECT_NEAR(std::arg(ratio), omega, 0.01);
+  }
+}
+
+TEST(ResampleTest, DecimateKeepsEveryNth) {
+  cvec x(12);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  const cvec y = decimate(x, 3);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[1].real(), 3.0);
+  EXPECT_DOUBLE_EQ(y[3].real(), 9.0);
+}
+
+TEST(ResampleTest, UpsampleThenDecimateIsNearIdentity) {
+  rng gen(61);
+  cvec slow(64);
+  for (auto& v : slow) v = gen.complex_gaussian();
+  const cvec x = upsample(slow, 4);  // band-limited input
+  const cvec up = upsample(x, 2);
+  const cvec back = decimate(up, 2);
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 32; i + 32 < x.size(); ++i)
+    EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 0.02) << "at " << i;
+}
+
+}  // namespace
+}  // namespace backfi::dsp

@@ -1,0 +1,74 @@
+#include "dsp/window.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/math_util.h"
+#include "dsp/rng.h"
+
+namespace backfi::dsp {
+namespace {
+
+TEST(WindowTest, RectangularIsAllOnes) {
+  const rvec w = rectangular_window(10);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WindowTest, HammingEndpointsAndSymmetry) {
+  const rvec w = hamming_window(33);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+  EXPECT_NEAR(w[32], 0.08, 1e-12);
+  EXPECT_NEAR(w[16], 1.0, 1e-12);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+}
+
+TEST(WindowTest, HannEndpointsAreZero) {
+  const rvec w = hann_window(17);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[16], 0.0, 1e-12);
+  EXPECT_NEAR(w[8], 1.0, 1e-12);
+}
+
+TEST(WindowTest, BlackmanNonNegativePeakCentred) {
+  const rvec w = blackman_window(65);
+  for (double v : w) EXPECT_GE(v, -1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(WindowTest, ApplyWindowMultiplies) {
+  const cvec x = {{2.0, 2.0}, {4.0, 0.0}};
+  const rvec w = {0.5, 0.25};
+  const cvec y = apply_window(x, w);
+  EXPECT_NEAR(std::abs(y[0] - cplx(1.0, 1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(y[1] - cplx(1.0, 0.0)), 0.0, 1e-15);
+}
+
+TEST(WindowTest, WelchPsdLocatesTone) {
+  const std::size_t nfft = 64;
+  const std::size_t bin = 12;
+  cvec x(1024);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = phasor(two_pi * static_cast<double>(bin * i) / static_cast<double>(nfft));
+  const rvec psd = welch_psd(x, nfft);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < psd.size(); ++k)
+    if (psd[k] > psd[peak]) peak = k;
+  EXPECT_EQ(peak, bin);
+}
+
+TEST(WindowTest, WelchPsdOfWhiteNoiseIsFlat) {
+  rng gen(50);
+  cvec x(1 << 14);
+  for (auto& v : x) v = gen.complex_gaussian();
+  const rvec psd = welch_psd(x, 64);
+  double mean = 0.0;
+  for (double v : psd) mean += v;
+  mean /= static_cast<double>(psd.size());
+  for (double v : psd) {
+    EXPECT_GT(v, mean * 0.5);
+    EXPECT_LT(v, mean * 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace backfi::dsp

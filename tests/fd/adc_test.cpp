@@ -1,0 +1,57 @@
+#include "fd/adc.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+#include "dsp/vec_ops.h"
+
+namespace backfi::fd {
+namespace {
+
+TEST(AdcTest, QuantizationErrorBoundedByHalfStep) {
+  dsp::rng gen(1);
+  cvec x(1000);
+  for (auto& v : x) v = 0.5 * gen.complex_gaussian();
+  const adc_config cfg{.bits = 10, .full_scale = 4.0};
+  const double step = 2.0 * cfg.full_scale / 1024.0;
+  const cvec q = quantize(x, cfg);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(std::abs(q[i].real() - x[i].real()), step / 2 + 1e-12);
+    EXPECT_LE(std::abs(q[i].imag() - x[i].imag()), step / 2 + 1e-12);
+  }
+}
+
+TEST(AdcTest, ClipsBeyondFullScale) {
+  const cvec x = {{10.0, -10.0}};
+  const cvec q = quantize(x, {.bits = 8, .full_scale = 1.0});
+  EXPECT_LE(q[0].real(), 1.0);
+  EXPECT_GE(q[0].imag(), -1.0);
+  EXPECT_NEAR(q[0].real(), 1.0, 0.01);
+}
+
+TEST(AdcTest, MeasuredNoiseMatchesTheory) {
+  dsp::rng gen(2);
+  cvec x(200000);
+  for (auto& v : x) v = 0.2 * gen.complex_gaussian();
+  const adc_config cfg{.bits = 8, .full_scale = 1.0};
+  const cvec q = quantize(x, cfg);
+  double err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) err += std::norm(q[i] - x[i]);
+  err /= static_cast<double>(x.size());
+  EXPECT_NEAR(err / quantization_noise_power(cfg), 1.0, 0.1);
+}
+
+TEST(AdcTest, MoreBitsLessNoise) {
+  EXPECT_LT(quantization_noise_power({.bits = 12, .full_scale = 1.0}),
+            quantization_noise_power({.bits = 8, .full_scale = 1.0}) / 100.0);
+}
+
+TEST(AdcTest, AgcTracksInputRms) {
+  dsp::rng gen(3);
+  cvec x(5000);
+  for (auto& v : x) v = 0.1 * gen.complex_gaussian();
+  EXPECT_NEAR(agc_full_scale(x, 4.0), 0.4, 0.02);
+}
+
+}  // namespace
+}  // namespace backfi::fd

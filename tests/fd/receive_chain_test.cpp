@@ -1,0 +1,81 @@
+#include "fd/receive_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "channel/backscatter_link.h"
+#include "dsp/math_util.h"
+#include "dsp/vec_ops.h"
+#include "wifi/ppdu.h"
+
+namespace backfi::fd {
+namespace {
+
+struct chain_scenario {
+  cvec tx;
+  cvec rx;
+  double noise_power;
+};
+
+chain_scenario make_scenario(std::uint64_t seed) {
+  dsp::rng gen(seed);
+  chain_scenario s;
+  s.tx = wifi::random_ppdu(300, {.rate = wifi::wifi_rate::mbps24}, seed).samples;
+  const channel::link_budget budget;
+  const auto ch = channel::draw_backscatter_channels(budget, 2.0, gen);
+  s.rx = channel::apply_channel(s.tx, ch.h_env);
+  s.noise_power = ch.noise_power;
+  channel::add_awgn(s.rx, s.noise_power, gen);
+  return s;
+}
+
+TEST(ReceiveChainTest, FullChainReachesNearNoiseFloor) {
+  const chain_scenario s = make_scenario(1);
+  const auto result = run_receive_chain(s.tx, s.rx, 0, 320, {});
+  EXPECT_FALSE(result.adc_saturated);
+  EXPECT_GT(result.analog_depth_db, 25.0);
+  EXPECT_GT(result.total_depth_db, result.analog_depth_db);
+  // Residual within ~3 dB of thermal (paper reports 1.7-2.3 dB residue).
+  const double excess_db = dsp::to_db(result.residual_power / s.noise_power);
+  EXPECT_LT(excess_db, 3.5);
+  EXPECT_GE(excess_db, -1.0);
+}
+
+TEST(ReceiveChainTest, WithoutAnalogStageAdcLimitsCancellation) {
+  const chain_scenario s = make_scenario(2);
+  receive_chain_config no_analog;
+  no_analog.enable_analog = false;
+  no_analog.adc.bits = 8;  // a modest ADC makes the failure stark
+  const auto crippled = run_receive_chain(s.tx, s.rx, 0, 320, no_analog);
+  const auto full = run_receive_chain(s.tx, s.rx, 0, 320, {});
+  // Quantization noise of the full-SI-scale ADC floors the residual far
+  // above what the two-stage design achieves.
+  EXPECT_GT(crippled.residual_power, 10.0 * full.residual_power);
+}
+
+TEST(ReceiveChainTest, DigitalStageAddsDepth) {
+  const chain_scenario s = make_scenario(3);
+  receive_chain_config analog_only;
+  analog_only.enable_digital = false;
+  const auto partial = run_receive_chain(s.tx, s.rx, 0, 320, analog_only);
+  const auto full = run_receive_chain(s.tx, s.rx, 0, 320, {});
+  EXPECT_GT(full.total_depth_db, partial.total_depth_db + 10.0);
+}
+
+TEST(ReceiveChainTest, IdealFrontEndSlightlyBetterThanAdc) {
+  const chain_scenario s = make_scenario(4);
+  receive_chain_config ideal;
+  ideal.enable_adc = false;
+  const auto with_adc = run_receive_chain(s.tx, s.rx, 0, 320, {});
+  const auto without_adc = run_receive_chain(s.tx, s.rx, 0, 320, ideal);
+  EXPECT_GE(without_adc.total_depth_db, with_adc.total_depth_db - 1.0);
+}
+
+TEST(ReceiveChainTest, CleanedBufferKeepsLength) {
+  const chain_scenario s = make_scenario(5);
+  const auto result = run_receive_chain(s.tx, s.rx, 0, 320, {});
+  EXPECT_EQ(result.cleaned.size(), s.rx.size());
+}
+
+}  // namespace
+}  // namespace backfi::fd

@@ -1,0 +1,35 @@
+#include "mac/airtime.h"
+
+#include <gtest/gtest.h>
+
+namespace backfi::mac {
+namespace {
+
+TEST(AirtimeTest, PpduAirtimeExamples) {
+  // 1500 bytes at 54 Mbps: (16+12000+6)/216 = 56 symbols -> 20 + 224 us.
+  EXPECT_NEAR(ppdu_airtime_us(1500, wifi::wifi_rate::mbps54), 244.0, 1e-9);
+  // 1500 bytes at 6 Mbps: (12022)/24 = 501 symbols -> 20 + 2004 us.
+  EXPECT_NEAR(ppdu_airtime_us(1500, wifi::wifi_rate::mbps6), 2024.0, 1e-9);
+}
+
+TEST(AirtimeTest, AirtimeMonotonicInBytesAndRate) {
+  EXPECT_GT(ppdu_airtime_us(1500, wifi::wifi_rate::mbps24),
+            ppdu_airtime_us(100, wifi::wifi_rate::mbps24));
+  EXPECT_GT(ppdu_airtime_us(1000, wifi::wifi_rate::mbps6),
+            ppdu_airtime_us(1000, wifi::wifi_rate::mbps54));
+}
+
+TEST(AirtimeTest, CtsToSelfIsShort) {
+  const double cts = cts_to_self_airtime_us();
+  EXPECT_GT(cts, 20.0);
+  EXPECT_LT(cts, 40.0);
+}
+
+TEST(AirtimeTest, BackfiOverheadComposition) {
+  EXPECT_NEAR(backfi_overhead_us(32.0),
+              cts_to_self_airtime_us() + 16.0 + 16.0 + 32.0, 1e-9);
+  EXPECT_NEAR(backfi_overhead_us(96.0) - backfi_overhead_us(32.0), 64.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace backfi::mac

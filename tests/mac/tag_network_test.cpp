@@ -1,0 +1,123 @@
+#include "mac/tag_network.h"
+
+#include <gtest/gtest.h>
+
+namespace backfi::mac {
+namespace {
+
+tag_descriptor make_tag(std::uint32_t id, double backlog = 1000.0,
+                        double weight = 1.0) {
+  return {.id = id,
+          .rate = {tag::tag_modulation::qpsk, phy::code_rate::half, 1e6},
+          .backlog_bits = backlog,
+          .weight = weight};
+}
+
+TEST(TagSchedulerTest, RejectsDuplicateIds) {
+  tag_scheduler s;
+  s.add_tag(make_tag(1));
+  EXPECT_THROW(s.add_tag(make_tag(1)), std::invalid_argument);
+}
+
+TEST(TagSchedulerTest, EmptyOrIdleReturnsNothing) {
+  tag_scheduler s;
+  EXPECT_FALSE(s.next().has_value());
+  s.add_tag(make_tag(1, 0.0));
+  EXPECT_FALSE(s.next().has_value());
+  s.enqueue(1, 100.0);
+  EXPECT_TRUE(s.next().has_value());
+}
+
+TEST(TagSchedulerTest, RoundRobinCyclesBackloggedTags) {
+  tag_scheduler s(tag_scheduler::policy::round_robin);
+  for (std::uint32_t id : {1u, 2u, 3u}) s.add_tag(make_tag(id));
+  std::vector<std::uint32_t> order;
+  for (int i = 0; i < 6; ++i) order.push_back(*s.next());
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(TagSchedulerTest, RoundRobinSkipsEmptyQueues) {
+  tag_scheduler s(tag_scheduler::policy::round_robin);
+  s.add_tag(make_tag(1, 0.0));
+  s.add_tag(make_tag(2, 500.0));
+  s.add_tag(make_tag(3, 0.0));
+  EXPECT_EQ(*s.next(), 2u);
+  EXPECT_EQ(*s.next(), 2u);
+}
+
+TEST(TagSchedulerTest, MaxBacklogPicksLargestQueue) {
+  tag_scheduler s(tag_scheduler::policy::max_backlog);
+  s.add_tag(make_tag(1, 100.0));
+  s.add_tag(make_tag(2, 900.0));
+  s.add_tag(make_tag(3, 400.0));
+  EXPECT_EQ(*s.next(), 2u);
+  s.report_result(2, true, 850.0);  // drains to 50
+  EXPECT_EQ(*s.next(), 3u);
+}
+
+TEST(TagSchedulerTest, WeightedSharesFollowWeights) {
+  tag_scheduler s(tag_scheduler::policy::weighted);
+  s.add_tag(make_tag(1, 1e9, 3.0));
+  s.add_tag(make_tag(2, 1e9, 1.0));
+  int wins1 = 0, wins2 = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto id = *s.next();
+    (id == 1 ? wins1 : wins2)++;
+    s.report_result(id, true, 100.0);
+  }
+  EXPECT_NEAR(static_cast<double>(wins1) / wins2, 3.0, 0.4);
+}
+
+TEST(TagSchedulerTest, SuccessDrainsBacklog) {
+  tag_scheduler s;
+  s.add_tag(make_tag(1, 300.0));
+  s.report_result(1, true, 300.0);
+  EXPECT_FALSE(s.next().has_value());
+  EXPECT_DOUBLE_EQ(s.stats(1).delivered_bits, 300.0);
+  EXPECT_EQ(s.stats(1).successes, 1u);
+}
+
+TEST(TagSchedulerTest, RepeatedFailuresTriggerRateFallback) {
+  tag_scheduler s;
+  s.add_tag(make_tag(1));
+  const double initial_rate = s.descriptor(1).rate.symbol_rate_hz;
+  s.report_result(1, false, 0.0);
+  EXPECT_DOUBLE_EQ(s.descriptor(1).rate.symbol_rate_hz, initial_rate);
+  s.report_result(1, false, 0.0);  // second consecutive failure
+  EXPECT_LT(s.descriptor(1).rate.symbol_rate_hz, initial_rate);
+}
+
+TEST(TagSchedulerTest, JainFairnessBounds) {
+  tag_scheduler s;
+  s.add_tag(make_tag(1));
+  s.add_tag(make_tag(2));
+  s.report_result(1, true, 500.0);
+  s.report_result(2, true, 500.0);
+  EXPECT_NEAR(s.jain_fairness(), 1.0, 1e-12);
+  s.report_result(1, true, 5000.0);
+  EXPECT_LT(s.jain_fairness(), 0.8);
+  EXPECT_GE(s.jain_fairness(), 0.5);  // lower bound 1/n with n=2
+}
+
+TEST(FallbackRateTest, WalksDownToMostRobustPoint) {
+  tag::tag_rate_config rate{tag::tag_modulation::psk16,
+                            phy::code_rate::two_thirds, 2.5e6};
+  int steps = 0;
+  while (fallback_rate(rate) && steps < 100) ++steps;
+  EXPECT_EQ(rate.modulation, tag::tag_modulation::bpsk);
+  EXPECT_EQ(rate.coding, phy::code_rate::half);
+  EXPECT_DOUBLE_EQ(rate.symbol_rate_hz, 1e4);
+  EXPECT_GT(steps, 5);
+  EXPECT_FALSE(fallback_rate(rate));
+}
+
+TEST(FallbackRateTest, FirstStepSlowsSymbolClock) {
+  tag::tag_rate_config rate{tag::tag_modulation::qpsk, phy::code_rate::half,
+                            1e6};
+  ASSERT_TRUE(fallback_rate(rate));
+  EXPECT_EQ(rate.modulation, tag::tag_modulation::qpsk);
+  EXPECT_DOUBLE_EQ(rate.symbol_rate_hz, 5e5);
+}
+
+}  // namespace
+}  // namespace backfi::mac

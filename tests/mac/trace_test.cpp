@@ -1,0 +1,85 @@
+#include "mac/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace backfi::mac {
+namespace {
+
+TEST(TraceTest, BusyFractionHitsTarget) {
+  for (double target : {0.6, 0.8, 0.9}) {
+    const ap_trace trace = generate_loaded_ap_trace(
+        {.duration_s = 5.0, .target_busy_fraction = target, .seed = 1});
+    EXPECT_NEAR(trace.busy_fraction(), target, 0.06) << target;
+  }
+}
+
+TEST(TraceTest, TransmissionsAreOrderedAndDisjoint) {
+  const ap_trace trace = generate_loaded_ap_trace({.seed = 2});
+  ASSERT_GT(trace.transmissions.size(), 10u);
+  for (std::size_t i = 1; i < trace.transmissions.size(); ++i) {
+    const auto& prev = trace.transmissions[i - 1];
+    const auto& cur = trace.transmissions[i];
+    EXPECT_GE(cur.start_us, prev.start_us + prev.airtime_us);
+  }
+  EXPECT_LE(trace.transmissions.back().start_us +
+                trace.transmissions.back().airtime_us,
+            trace.duration_us + 1e-9);
+}
+
+TEST(TraceTest, GapsIncludeDifs) {
+  const ap_trace trace = generate_loaded_ap_trace({.seed = 3});
+  for (std::size_t i = 1; i < trace.transmissions.size(); ++i) {
+    const double gap = trace.transmissions[i].start_us -
+                       (trace.transmissions[i - 1].start_us +
+                        trace.transmissions[i - 1].airtime_us);
+    EXPECT_GE(gap, difs_us - 1e-9);
+  }
+}
+
+TEST(TraceTest, DeterministicPerSeed) {
+  const ap_trace a = generate_loaded_ap_trace({.seed = 4});
+  const ap_trace b = generate_loaded_ap_trace({.seed = 4});
+  ASSERT_EQ(a.transmissions.size(), b.transmissions.size());
+  for (std::size_t i = 0; i < a.transmissions.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.transmissions[i].start_us, b.transmissions[i].start_us);
+}
+
+TEST(TraceTest, ReplayThroughputBelowOptimalAndAboveHalf) {
+  // Paper Fig. 12a: a loaded network still yields ~80% of the optimal
+  // backscatter throughput.
+  const ap_trace trace = generate_loaded_ap_trace(
+      {.duration_s = 5.0, .target_busy_fraction = 0.85, .seed = 5});
+  const double tput = replay_backscatter_throughput_bps(
+      trace, {.optimal_throughput_bps = 5e6});
+  EXPECT_LT(tput, 5e6);
+  EXPECT_GT(tput, 2.5e6);
+}
+
+TEST(TraceTest, ReplayScalesWithBusyFraction) {
+  const replay_config rc{.optimal_throughput_bps = 5e6};
+  const double low = replay_backscatter_throughput_bps(
+      generate_loaded_ap_trace({.target_busy_fraction = 0.5, .seed = 6}), rc);
+  const double high = replay_backscatter_throughput_bps(
+      generate_loaded_ap_trace({.target_busy_fraction = 0.9, .seed = 6}), rc);
+  EXPECT_GT(high, 1.4 * low);
+}
+
+TEST(TraceTest, OverheadReducesThroughput) {
+  const ap_trace trace = generate_loaded_ap_trace({.seed = 7});
+  const double small_oh = replay_backscatter_throughput_bps(
+      trace, {.optimal_throughput_bps = 5e6, .overhead_us = 10.0});
+  const double large_oh = replay_backscatter_throughput_bps(
+      trace, {.optimal_throughput_bps = 5e6, .overhead_us = 200.0});
+  EXPECT_GT(small_oh, large_oh);
+}
+
+TEST(TraceTest, EmptyTraceGivesZero) {
+  const ap_trace empty;
+  EXPECT_DOUBLE_EQ(replay_backscatter_throughput_bps(
+                       empty, {.optimal_throughput_bps = 5e6}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(empty.busy_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace backfi::mac

@@ -1,0 +1,137 @@
+#include "phy/constellation.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+
+namespace backfi::phy {
+namespace {
+
+TEST(GrayTest, EncodeDecodeRoundTrip) {
+  for (std::uint32_t v = 0; v < 64; ++v) EXPECT_EQ(gray_decode(gray_encode(v)), v);
+}
+
+TEST(GrayTest, AdjacentValuesDifferInOneBit) {
+  for (std::uint32_t v = 0; v + 1 < 64; ++v) {
+    const std::uint32_t diff = gray_encode(v) ^ gray_encode(v + 1);
+    EXPECT_EQ(diff & (diff - 1), 0u) << v;  // power of two -> single bit
+  }
+}
+
+class WifiConstellationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WifiConstellationTest, UnitMeanEnergy) {
+  const auto& c = wifi_constellation(GetParam());
+  EXPECT_NEAR(c.mean_energy(), 1.0, 1e-12);
+}
+
+TEST_P(WifiConstellationTest, MapDemapHardRoundTrip) {
+  const auto& c = wifi_constellation(GetParam());
+  dsp::rng gen(GetParam());
+  const bitvec bits = gen.random_bits(c.bits_per_symbol * 100);
+  const cvec symbols = c.map(bits);
+  EXPECT_EQ(c.demap_hard(symbols), bits);
+}
+
+TEST_P(WifiConstellationTest, LlrSignsMatchTransmittedBits) {
+  const auto& c = wifi_constellation(GetParam());
+  dsp::rng gen(GetParam() + 100);
+  const bitvec bits = gen.random_bits(c.bits_per_symbol * 50);
+  const cvec symbols = c.map(bits);
+  const auto llrs = c.demap_llr_stream(symbols, 0.01);
+  ASSERT_EQ(llrs.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // positive favours bit 0
+    EXPECT_EQ(llrs[i] < 0.0, bits[i] != 0) << "bit " << i;
+  }
+}
+
+TEST_P(WifiConstellationTest, NoisyLlrMajorityCorrect) {
+  const auto& c = wifi_constellation(GetParam());
+  dsp::rng gen(GetParam() + 200);
+  const bitvec bits = gen.random_bits(c.bits_per_symbol * 500);
+  cvec symbols = c.map(bits);
+  const double sigma = 0.05;
+  for (auto& s : symbols) s += sigma * gen.complex_gaussian();
+  const auto llrs = c.demap_llr_stream(symbols, sigma * sigma);
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if ((llrs[i] < 0.0) != (bits[i] != 0)) ++wrong;
+  EXPECT_LT(wrong, bits.size() / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, WifiConstellationTest,
+                         ::testing::Values(1u, 2u, 4u, 6u));
+
+TEST(WifiConstellationTest, BpskMapsOnRealAxis) {
+  const auto& c = wifi_constellation(1);
+  const bitvec bits = {0, 1};
+  const cvec pts = c.map(bits);
+  EXPECT_NEAR(pts[0].real(), -1.0, 1e-15);
+  EXPECT_NEAR(pts[1].real(), 1.0, 1e-15);
+  EXPECT_NEAR(pts[0].imag(), 0.0, 1e-15);
+}
+
+TEST(WifiConstellationTest, SixteenQamCornerPoint) {
+  // Label 0b1010 -> I bits 10 -> +3, Q bits 10 -> +3 (times 1/sqrt(10)).
+  const auto& c = wifi_constellation(4);
+  const bitvec bits = {1, 0, 1, 0};
+  const cvec pts = c.map(bits);
+  const double k = 1.0 / std::sqrt(10.0);
+  EXPECT_NEAR(pts[0].real(), 3.0 * k, 1e-12);
+  EXPECT_NEAR(pts[0].imag(), 3.0 * k, 1e-12);
+}
+
+TEST(WifiConstellationTest, RejectsUnsupportedOrder) {
+  EXPECT_THROW(wifi_constellation(3), std::invalid_argument);
+}
+
+class PskConstellationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PskConstellationTest, PointsOnUnitCircle) {
+  const auto& c = psk_constellation(GetParam());
+  for (const cplx& p : c.points) EXPECT_NEAR(std::abs(p), 1.0, 1e-12);
+}
+
+TEST_P(PskConstellationTest, AdjacentPhasesAreGrayNeighbours) {
+  const auto& c = psk_constellation(GetParam());
+  const std::size_t order = c.points.size();
+  for (std::size_t k = 0; k < order; ++k) {
+    const std::uint32_t diff = c.labels[k] ^ c.labels[(k + 1) % order];
+    EXPECT_EQ(diff & (diff - 1), 0u) << "phase step " << k;
+  }
+}
+
+TEST_P(PskConstellationTest, MapDemapRoundTrip) {
+  const auto& c = psk_constellation(GetParam());
+  dsp::rng gen(GetParam() + 300);
+  const bitvec bits = gen.random_bits(c.bits_per_symbol * 64);
+  EXPECT_EQ(c.demap_hard(c.map(bits)), bits);
+}
+
+TEST_P(PskConstellationTest, SliceRobustToSmallPhaseError) {
+  const auto& c = psk_constellation(GetParam());
+  const double half_step = pi / static_cast<double>(c.points.size());
+  for (std::size_t k = 0; k < c.points.size(); ++k) {
+    const cplx rotated = c.points[k] * cplx{std::cos(half_step * 0.8),
+                                            std::sin(half_step * 0.8)};
+    EXPECT_EQ(c.slice(rotated), c.labels[k]) << "point " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, PskConstellationTest,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(PskConstellationTest, RejectsUnsupportedOrder) {
+  EXPECT_THROW(psk_constellation(3), std::invalid_argument);
+  EXPECT_THROW(psk_constellation(32), std::invalid_argument);
+}
+
+TEST(ConstellationTest, MapRejectsMisalignedBits) {
+  const auto& c = wifi_constellation(2);
+  const bitvec bits(3, 1);
+  EXPECT_THROW(c.map(bits), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace backfi::phy

@@ -1,0 +1,131 @@
+#include "phy/convolutional.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+
+namespace backfi::phy {
+namespace {
+
+TEST(ConvolutionalTest, RateValuesAndNames) {
+  EXPECT_DOUBLE_EQ(code_rate_value(code_rate::half), 0.5);
+  EXPECT_NEAR(code_rate_value(code_rate::two_thirds), 2.0 / 3.0, 1e-15);
+  EXPECT_DOUBLE_EQ(code_rate_value(code_rate::three_quarters), 0.75);
+  EXPECT_STREQ(code_rate_name(code_rate::half), "1/2");
+}
+
+TEST(ConvolutionalTest, EncodeKnownVector) {
+  // 802.11 K=7 (133,171) encoder, all-zero input stays all-zero.
+  const bitvec zeros(8, 0);
+  const bitvec coded = conv_encode(zeros);
+  ASSERT_EQ(coded.size(), 2 * (8 + conv_tail_bits));
+  for (auto b : coded) EXPECT_EQ(b, 0);
+}
+
+TEST(ConvolutionalTest, SingleOneProducesImpulseResponse) {
+  // Input 1 followed by zeros emits the generator taps interleaved:
+  // g0 = 133o = 1011011, g1 = 171o = 1111001 (MSB = current input bit).
+  const bitvec one = {1};
+  const bitvec coded = conv_encode(one);
+  // First 7 steps cover the constraint length (1 info bit + 6 tail).
+  const bitvec expected_a = {1, 0, 1, 1, 0, 1, 1};  // g0 taps, MSB first
+  const bitvec expected_b = {1, 1, 1, 1, 0, 0, 1};  // g1 taps
+  ASSERT_EQ(coded.size(), 14u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(coded[2 * i], expected_a[i]) << "A output step " << i;
+    EXPECT_EQ(coded[2 * i + 1], expected_b[i]) << "B output step " << i;
+  }
+}
+
+TEST(ConvolutionalTest, HardDecodeNoErrorsRoundTrip) {
+  dsp::rng gen(2);
+  const bitvec info = gen.random_bits(200);
+  const bitvec coded = conv_encode(info);
+  EXPECT_EQ(viterbi_decode_hard(coded, info.size()), info);
+}
+
+TEST(ConvolutionalTest, CorrectsScatteredBitErrors) {
+  dsp::rng gen(3);
+  const bitvec info = gen.random_bits(300);
+  bitvec coded = conv_encode(info);
+  // Flip well-separated bits; K=7 free distance 10 corrects these easily.
+  for (std::size_t pos = 10; pos + 40 < coded.size(); pos += 40) coded[pos] ^= 1u;
+  EXPECT_EQ(viterbi_decode_hard(coded, info.size()), info);
+}
+
+TEST(ConvolutionalTest, SoftDecisionsOutperformErasures) {
+  dsp::rng gen(4);
+  const bitvec info = gen.random_bits(100);
+  const bitvec coded = conv_encode(info);
+  std::vector<double> soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    soft[i] = coded[i] ? -1.0 : 1.0;
+  // Zero out (erase) a long run; decoder should still recover from code
+  // memory as long as the run is not catastrophic.
+  for (std::size_t i = 50; i < 58; ++i) soft[i] = 0.0;
+  EXPECT_EQ(viterbi_decode(soft, info.size()), info);
+}
+
+TEST(ConvolutionalTest, PunctureLengthsMatchCodedLength) {
+  dsp::rng gen(5);
+  for (const code_rate rate :
+       {code_rate::half, code_rate::two_thirds, code_rate::three_quarters}) {
+    const bitvec info = gen.random_bits(120);
+    const bitvec mother = conv_encode(info);
+    const bitvec punctured = puncture(mother, rate);
+    EXPECT_EQ(punctured.size(), coded_length(info.size(), rate))
+        << code_rate_name(rate);
+  }
+}
+
+TEST(ConvolutionalTest, PuncturedRoundTripAllRates) {
+  dsp::rng gen(6);
+  for (const code_rate rate :
+       {code_rate::half, code_rate::two_thirds, code_rate::three_quarters}) {
+    const bitvec info = gen.random_bits(240);
+    const bitvec mother = conv_encode(info);
+    const bitvec punctured = puncture(mother, rate);
+    std::vector<double> soft(punctured.size());
+    for (std::size_t i = 0; i < punctured.size(); ++i)
+      soft[i] = punctured[i] ? -1.0 : 1.0;
+    const auto depunct = depuncture(soft, rate, mother.size());
+    ASSERT_EQ(depunct.size(), mother.size());
+    EXPECT_EQ(viterbi_decode(depunct, info.size()), info)
+        << code_rate_name(rate);
+  }
+}
+
+TEST(ConvolutionalTest, DepunctureValidatesLength) {
+  const std::vector<double> soft(10, 1.0);
+  EXPECT_THROW(depuncture(soft, code_rate::two_thirds, 100), std::invalid_argument);
+  EXPECT_THROW(depuncture(soft, code_rate::two_thirds, 4), std::invalid_argument);
+}
+
+TEST(ConvolutionalTest, DecodeRejectsShortStream) {
+  const std::vector<double> soft(10, 1.0);
+  EXPECT_THROW(viterbi_decode(soft, 100), std::invalid_argument);
+}
+
+class ConvolutionalNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConvolutionalNoiseTest, SoftDecodingSurvivesGaussianNoise) {
+  // Property: at Es/N0 >= 3 dB-ish the K=7 code decodes 500 info bits
+  // with zero errors w.h.p. under soft decoding.
+  const double noise_sigma = GetParam();
+  dsp::rng gen(static_cast<std::uint64_t>(noise_sigma * 1000));
+  const bitvec info = gen.random_bits(500);
+  const bitvec coded = conv_encode(info);
+  std::vector<double> soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double tx = coded[i] ? -1.0 : 1.0;
+    soft[i] = tx + noise_sigma * gen.gaussian();
+  }
+  const bitvec decoded = viterbi_decode(soft, info.size());
+  EXPECT_EQ(hamming_distance(decoded, info), 0u) << "sigma=" << noise_sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSweep, ConvolutionalNoiseTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace backfi::phy

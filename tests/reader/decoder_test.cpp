@@ -1,0 +1,176 @@
+#include "reader/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "dsp/fir.h"
+#include "dsp/math_util.h"
+#include "dsp/vec_ops.h"
+#include "reader/excitation.h"
+
+namespace backfi::reader {
+namespace {
+
+/// A synthetic backscatter exchange with controllable channels/noise and
+/// no cancellation stage (the decoder sees backscatter + noise directly).
+struct exchange {
+  cvec x;          // excitation
+  cvec y;          // backscatter + noise at the reader
+  phy::bitvec payload;
+  std::size_t origin;       // true tag time origin
+  std::size_t nominal;      // reader's assumed origin
+};
+
+exchange make_exchange(const tag::tag_config& tag_cfg, std::size_t payload_bits,
+                       double noise_db, int jitter, std::uint64_t seed) {
+  dsp::rng gen(seed);
+  exchange ex;
+  excitation_config ex_cfg;
+  ex_cfg.tag_id = tag_cfg.id;
+  ex_cfg.ppdu_bytes = 4000;
+  ex_cfg.n_ppdus = 2;
+  ex_cfg.payload_seed = seed;
+  const excitation e = build_excitation(ex_cfg);
+  ex.x = e.samples;
+  ex.nominal = e.wake_end;
+  ex.origin = e.wake_end + static_cast<std::size_t>(jitter);
+
+  const cvec h_f = {cplx{5e-3, 1e-3}, cplx{1e-3, -5e-4}};
+  const cvec h_b = {cplx{4e-3, -2e-3}, cplx{8e-4, 6e-4}};
+
+  ex.payload = gen.random_bits(payload_bits);
+  const tag::tag_device device(tag_cfg);
+  const auto tag_tx = device.backscatter(ex.payload, ex.x.size(), ex.origin);
+
+  const cvec incident = dsp::convolve_same(ex.x, h_f);
+  const cvec reflected = dsp::hadamard(incident, tag_tx.reflection);
+  ex.y = dsp::convolve_same(reflected, h_b);
+  channel::add_awgn(ex.y, dsp::from_db(noise_db), gen);
+  return ex;
+}
+
+tag::tag_config default_tag() {
+  tag::tag_config cfg;
+  cfg.id = 4;
+  cfg.rate = {tag::tag_modulation::qpsk, phy::code_rate::half, 1e6};
+  return cfg;
+}
+
+TEST(DecoderTest, DecodesCleanExchange) {
+  const auto ex = make_exchange(default_tag(), 400, -120.0, 0, 1);
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 400);
+  ASSERT_TRUE(result.sync_found);
+  ASSERT_TRUE(result.decoded);
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_EQ(result.payload, ex.payload);
+  EXPECT_EQ(result.timing_offset, 0);
+  EXPECT_GT(result.post_mrc_snr_db, 25.0);
+}
+
+TEST(DecoderTest, RecoversTagTimingJitter) {
+  for (int jitter : {3, 9, 17}) {
+    const auto ex = make_exchange(default_tag(), 300, -110.0, jitter,
+                                  static_cast<std::uint64_t>(jitter));
+    const backfi_decoder decoder(default_tag());
+    const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 300);
+    ASSERT_TRUE(result.crc_ok) << jitter;
+    EXPECT_EQ(result.payload, ex.payload) << jitter;
+    // The score is flat over offsets the guard absorbs; only coarse
+    // agreement is required for correct decoding.
+    EXPECT_NEAR(result.timing_offset, jitter, 6) << jitter;
+  }
+}
+
+class DecoderModulationTest
+    : public ::testing::TestWithParam<std::tuple<tag::tag_modulation,
+                                                 phy::code_rate, double>> {};
+
+TEST_P(DecoderModulationTest, DecodesAllTagRates) {
+  const auto [mod, coding, symbol_rate] = GetParam();
+  tag::tag_config cfg = default_tag();
+  cfg.rate = {mod, coding, symbol_rate};
+  const auto ex = make_exchange(cfg, 200, -112.0, 5, 42);
+  const backfi_decoder decoder(cfg);
+  const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 200);
+  ASSERT_TRUE(result.crc_ok);
+  EXPECT_EQ(result.payload, ex.payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateMatrix, DecoderModulationTest,
+    ::testing::Values(
+        std::make_tuple(tag::tag_modulation::bpsk, phy::code_rate::half, 1e6),
+        std::make_tuple(tag::tag_modulation::bpsk, phy::code_rate::two_thirds, 2e6),
+        std::make_tuple(tag::tag_modulation::qpsk, phy::code_rate::half, 2.5e6),
+        std::make_tuple(tag::tag_modulation::qpsk, phy::code_rate::two_thirds, 5e5),
+        std::make_tuple(tag::tag_modulation::psk16, phy::code_rate::half, 1e6),
+        std::make_tuple(tag::tag_modulation::psk16, phy::code_rate::two_thirds,
+                        2.5e6)));
+
+TEST(DecoderTest, FailsGracefullyOnPureNoise) {
+  const auto ex = make_exchange(default_tag(), 300, -110.0, 0, 7);
+  cvec noise(ex.y.size());
+  dsp::rng gen(9);
+  for (auto& v : noise) v = 1e-5 * gen.complex_gaussian();
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode(ex.x, noise, ex.nominal, 300);
+  EXPECT_FALSE(result.sync_found);
+  EXPECT_FALSE(result.crc_ok);
+}
+
+TEST(DecoderTest, CrcCatchesResidualErrors) {
+  // Heavy noise: if decoding completes, corrupted payloads must be flagged.
+  int crc_false_accepts = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto ex = make_exchange(default_tag(), 300, -63.0, 0,
+                                  static_cast<std::uint64_t>(t) + 100);
+    const backfi_decoder decoder(default_tag());
+    const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 300);
+    if (result.decoded && result.crc_ok && result.payload != ex.payload)
+      ++crc_false_accepts;
+  }
+  EXPECT_EQ(crc_false_accepts, 0);
+}
+
+TEST(DecoderTest, SnrEstimateTracksNoiseLevel) {
+  const auto quiet = make_exchange(default_tag(), 300, -115.0, 0, 11);
+  const auto loud = make_exchange(default_tag(), 300, -95.0, 0, 11);
+  const backfi_decoder decoder(default_tag());
+  const auto r_quiet = decoder.decode(quiet.x, quiet.y, quiet.nominal, 300);
+  const auto r_loud = decoder.decode(loud.x, loud.y, loud.nominal, 300);
+  ASSERT_TRUE(r_quiet.sync_found);
+  ASSERT_TRUE(r_loud.sync_found);
+  EXPECT_GT(r_quiet.post_mrc_snr_db, r_loud.post_mrc_snr_db + 10.0);
+}
+
+TEST(DecoderTest, CombinedChannelEstimateMatchesTruth) {
+  const tag::tag_config cfg = default_tag();
+  const auto ex = make_exchange(cfg, 300, -120.0, 0, 13);
+  const backfi_decoder decoder(cfg);
+  const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 300);
+  ASSERT_TRUE(result.crc_ok);
+  // True combined channel (with the tag's reflection amplitude and the
+  // constant preamble phase absorbed).
+  const cvec h_f = {cplx{5e-3, 1e-3}, cplx{1e-3, -5e-4}};
+  const cvec h_b = {cplx{4e-3, -2e-3}, cplx{8e-4, 6e-4}};
+  const cvec h_fb = dsp::convolve(h_f, h_b);
+  const double amp = dsp::db_to_amplitude(-cfg.insertion_loss_db);
+  ASSERT_GE(result.h_fb.size(), h_fb.size());
+  for (std::size_t k = 0; k < h_fb.size(); ++k) {
+    EXPECT_NEAR(std::abs(result.h_fb[k] - h_fb[k] * amp),
+                0.0, 0.05 * std::abs(h_fb[0])) << k;
+  }
+}
+
+TEST(DecoderTest, ReturnsEarlyWhenPayloadCannotFit) {
+  const auto ex = make_exchange(default_tag(), 300, -120.0, 0, 15);
+  const backfi_decoder decoder(default_tag());
+  // Absurd payload size: cannot fit in the excitation.
+  const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 1000000);
+  EXPECT_FALSE(result.decoded);
+  EXPECT_FALSE(result.crc_ok);
+}
+
+}  // namespace
+}  // namespace backfi::reader

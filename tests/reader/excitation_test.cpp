@@ -1,0 +1,65 @@
+#include "reader/excitation.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/vec_ops.h"
+#include "phy/prbs.h"
+
+namespace backfi::reader {
+namespace {
+
+TEST(ExcitationTest, LayoutMatchesConfig) {
+  const excitation_config cfg{.tag_id = 3, .wake_bits = 16, .ppdu_bytes = 500};
+  const excitation ex = build_excitation(cfg);
+  EXPECT_EQ(ex.wake_end, 16u * 20u);
+  EXPECT_EQ(ex.ppdu_start, ex.wake_end);
+  EXPECT_EQ(ex.samples.size(), excitation_length(cfg));
+  EXPECT_EQ(ex.wake_preamble, phy::wake_preamble(3, 16));
+}
+
+TEST(ExcitationTest, WakeSectionIsOokOfPreamble) {
+  const excitation ex = build_excitation({.tag_id = 5});
+  for (std::size_t b = 0; b < ex.wake_preamble.size(); ++b) {
+    for (std::size_t i = 0; i < 20; ++i) {
+      const cplx v = ex.samples[b * 20 + i];
+      if (ex.wake_preamble[b]) {
+        EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+      } else {
+        EXPECT_NEAR(std::abs(v), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ExcitationTest, PpduFollowsWakeSection) {
+  const excitation ex = build_excitation({.tag_id = 1, .ppdu_bytes = 100});
+  ASSERT_EQ(ex.samples.size(), ex.ppdu_start + ex.ppdu.samples.size());
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(ex.samples[ex.ppdu_start + i], ex.ppdu.samples[i]);
+}
+
+TEST(ExcitationTest, MultiPpduBurstConcatenates) {
+  excitation_config cfg{.ppdu_bytes = 200};
+  cfg.n_ppdus = 3;
+  const excitation ex = build_excitation(cfg);
+  EXPECT_EQ(ex.samples.size(),
+            16u * 20u + 3u * wifi::ppdu_length_samples(200, cfg.rate));
+  // The PPDUs carry different payloads (different seeds).
+  const std::size_t ppdu_len = wifi::ppdu_length_samples(200, cfg.rate);
+  double diff = 0.0;
+  for (std::size_t i = 500; i < ppdu_len; ++i)
+    diff += std::abs(ex.samples[ex.ppdu_start + i] -
+                     ex.samples[ex.ppdu_start + ppdu_len + i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(ExcitationTest, DeterministicForSameConfig) {
+  const excitation a = build_excitation({.tag_id = 9, .payload_seed = 7});
+  const excitation b = build_excitation({.tag_id = 9, .payload_seed = 7});
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    ASSERT_EQ(a.samples[i], b.samples[i]);
+}
+
+}  // namespace
+}  // namespace backfi::reader

@@ -1,0 +1,124 @@
+#include "sim/backscatter_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace backfi::sim {
+namespace {
+
+scenario_config fast_scenario() {
+  scenario_config cfg;
+  cfg.excitation.ppdu_bytes = 2000;
+  cfg.payload_bits = 300;
+  cfg.tag.rate = {tag::tag_modulation::qpsk, phy::code_rate::half, 1e6};
+  cfg.tag_distance_m = 2.0;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(BackscatterSimTest, FullExchangeSucceedsAtShortRange) {
+  const auto r = run_backscatter_trial(fast_scenario());
+  EXPECT_TRUE(r.woke);
+  EXPECT_TRUE(r.sync_found);
+  ASSERT_TRUE(r.crc_ok);
+  EXPECT_EQ(r.bit_errors, 0u);
+  EXPECT_GT(r.effective_throughput_bps, 0.0);
+  EXPECT_GT(r.tag_energy_pj, 0.0);
+}
+
+TEST(BackscatterSimTest, DeterministicPerSeed) {
+  const auto a = run_backscatter_trial(fast_scenario());
+  const auto b = run_backscatter_trial(fast_scenario());
+  EXPECT_EQ(a.crc_ok, b.crc_ok);
+  EXPECT_DOUBLE_EQ(a.measured_snr_db, b.measured_snr_db);
+  EXPECT_DOUBLE_EQ(a.expected_snr_db, b.expected_snr_db);
+}
+
+TEST(BackscatterSimTest, MeasuredSnrBelowButNearOracle) {
+  // Paper Fig. 11a: imperfect cancellation/estimation costs a couple of dB
+  // against the VNA-predicted SNR.
+  double total_gap = 0.0;
+  int n = 0;
+  for (int t = 0; t < 8; ++t) {
+    scenario_config cfg = fast_scenario();
+    cfg.seed = 100 + t;
+    const auto r = run_backscatter_trial(cfg);
+    if (!r.sync_found) continue;
+    total_gap += r.expected_snr_db - r.measured_snr_db;
+    ++n;
+  }
+  ASSERT_GT(n, 4);
+  const double mean_gap = total_gap / n;
+  EXPECT_GT(mean_gap, 0.0);
+  EXPECT_LT(mean_gap, 6.0);
+}
+
+TEST(BackscatterSimTest, ResidualSiWithinFewDbOfNoise) {
+  scenario_config cfg = fast_scenario();
+  cfg.seed = 21;
+  const auto r = run_backscatter_trial(cfg);
+  ASSERT_TRUE(r.woke);
+  // Paper: ~1.7 dB residue after cancellation.
+  EXPECT_LT(r.residual_si_over_noise_db, 4.0);
+  EXPECT_GT(r.total_depth_db, 50.0);
+}
+
+TEST(BackscatterSimTest, SnrFallsWithDistance) {
+  double near_snr = 0.0, far_snr = 0.0;
+  for (int t = 0; t < 4; ++t) {
+    scenario_config cfg = fast_scenario();
+    cfg.seed = 300 + t;
+    cfg.tag_distance_m = 1.0;
+    near_snr += run_backscatter_trial(cfg).measured_snr_db;
+    cfg.tag_distance_m = 4.0;
+    far_snr += run_backscatter_trial(cfg).measured_snr_db;
+  }
+  EXPECT_GT(near_snr, far_snr + 4 * 10.0);  // >10 dB/trial difference
+}
+
+TEST(BackscatterSimTest, TagDoesNotWakeFarBeyondSensitivity) {
+  scenario_config cfg = fast_scenario();
+  cfg.tag_distance_m = 60.0;
+  const auto r = run_backscatter_trial(cfg);
+  EXPECT_FALSE(r.woke);
+  EXPECT_FALSE(r.crc_ok);
+}
+
+TEST(BackscatterSimTest, FailureInjectionNoSilentAdaptation) {
+  // Bypassing the digital canceller leaves residual SI that degrades or
+  // kills decoding relative to the full chain.
+  scenario_config with = fast_scenario();
+  with.seed = 50;
+  scenario_config without = with;
+  without.chain.enable_digital = false;
+  const auto r_with = run_backscatter_trial(with);
+  const auto r_without = run_backscatter_trial(without);
+  ASSERT_TRUE(r_with.crc_ok);
+  EXPECT_GT(r_with.measured_snr_db, r_without.measured_snr_db + 3.0);
+}
+
+TEST(BackscatterSimTest, PacketErrorRateBoundsAndMonotonicity) {
+  scenario_config cfg = fast_scenario();
+  cfg.seed = 70;
+  const double near_per = packet_error_rate(cfg, 4);
+  cfg.tag_distance_m = 30.0;  // far outside the usable range
+  const double far_per = packet_error_rate(cfg, 4);
+  EXPECT_LE(near_per, 0.25);
+  EXPECT_DOUBLE_EQ(far_per, 1.0);
+}
+
+TEST(BackscatterSimTest, OracleSnrScalesWithSymbolLength) {
+  // Doubling the symbol period doubles the MRC window: +3 dB.
+  scenario_config slow = fast_scenario();
+  slow.tag.rate.symbol_rate_hz = 5e5;
+  slow.excitation.n_ppdus = 2;  // halved symbol rate needs a longer burst
+  const auto r_fast = run_backscatter_trial(fast_scenario());
+  const auto r_slow = run_backscatter_trial(slow);
+  ASSERT_TRUE(r_fast.woke);
+  ASSERT_TRUE(r_slow.woke);
+  // Same seed -> same channels; the guard subtraction makes it not exactly
+  // 3 dB, allow slack.
+  EXPECT_NEAR(r_slow.expected_snr_db - r_fast.expected_snr_db, 3.0, 1.5);
+}
+
+}  // namespace
+}  // namespace backfi::sim

@@ -1,0 +1,138 @@
+// End-to-end integration properties across the whole stack: protocol
+// selectivity, long-preamble mode, distance/BER monotonicity, and the
+// determinism guarantees the benches rely on.
+#include <gtest/gtest.h>
+
+#include "phy/prbs.h"
+#include "sim/backscatter_sim.h"
+#include "sim/coexistence.h"
+#include "sim/rate_adaptation.h"
+#include "tag/wake_detector.h"
+
+namespace backfi::sim {
+namespace {
+
+scenario_config baseline() {
+  scenario_config cfg;
+  cfg.excitation.ppdu_bytes = 2000;
+  cfg.payload_bits = 300;
+  cfg.tag.rate = {tag::tag_modulation::qpsk, phy::code_rate::half, 1e6};
+  cfg.tag_distance_m = 2.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(IntegrationTest, WrongTagIdStaysAsleep) {
+  // The AP addresses tag 1; a tag with a different id must not wake
+  // (per-tag pseudo-random wake preambles, paper Section 4.1).
+  scenario_config cfg = baseline();
+  cfg.excitation.tag_id = 1;
+  cfg.tag.id = 1;
+  const auto addressed = run_backscatter_trial(cfg);
+  EXPECT_TRUE(addressed.woke);
+
+  // run_backscatter_trial keys the excitation off config.tag.id (the AP
+  // addresses the tag under test), so emulate the mismatch directly: the
+  // excitation carries tag 2's preamble while tag 9 listens.
+  const reader::excitation ex = reader::build_excitation({.tag_id = 2});
+  const auto wake =
+      tag::detect_wake(std::span<const cplx>(ex.samples).first(400),
+                       phy::wake_preamble(9), -20.0);
+  EXPECT_FALSE(wake.woke);
+}
+
+TEST(IntegrationTest, LongPreambleModeWorksEndToEnd) {
+  scenario_config cfg = baseline();
+  cfg.tag.preamble_us = 96;
+  const auto r = run_backscatter_trial(cfg);
+  ASSERT_TRUE(r.crc_ok);
+  EXPECT_EQ(r.bit_errors, 0u);
+}
+
+TEST(IntegrationTest, PerNonDecreasingWithDistance) {
+  scenario_config cfg = baseline();
+  cfg.tag.rate = {tag::tag_modulation::psk16, phy::code_rate::two_thirds, 2.5e6};
+  cfg.seed = 31;
+  const double per_near = packet_error_rate(cfg, 5);
+  cfg.tag_distance_m = 5.0;
+  const double per_mid = packet_error_rate(cfg, 5);
+  cfg.tag_distance_m = 9.0;
+  const double per_far = packet_error_rate(cfg, 5);
+  EXPECT_LE(per_near, per_mid + 0.21);  // allow one-trial noise
+  EXPECT_LE(per_mid, per_far + 0.21);
+  EXPECT_LE(per_near, 0.2);
+  EXPECT_GE(per_far, 0.8);
+}
+
+TEST(IntegrationTest, AllFig7PointsDecodeAtPointBlankRange) {
+  // Every operating point the tag supports must work somewhere; at 0.75 m
+  // the link budget is enormous.
+  scenario_config base = baseline();
+  base.seed = 55;
+  for (const auto& point : all_operating_points()) {
+    const auto cfg = scenario_for_point(base, point.rate, 0.75);
+    const auto r = run_backscatter_trial(cfg);
+    EXPECT_TRUE(r.crc_ok) << tag::modulation_name(point.rate.modulation) << " "
+                          << phy::code_rate_name(point.rate.coding) << " @ "
+                          << point.rate.symbol_rate_hz;
+  }
+}
+
+TEST(IntegrationTest, EnergyScalesWithPayload) {
+  scenario_config small = baseline();
+  small.payload_bits = 100;
+  scenario_config large = baseline();
+  large.payload_bits = 400;
+  const auto r_small = run_backscatter_trial(small);
+  const auto r_large = run_backscatter_trial(large);
+  ASSERT_TRUE(r_small.woke);
+  ASSERT_TRUE(r_large.woke);
+  // Energy proportional to info bits (payload + CRC) at a fixed EPB.
+  EXPECT_NEAR(r_large.tag_energy_pj / r_small.tag_energy_pj,
+              (400.0 + 32.0) / (100.0 + 32.0), 1e-9);
+}
+
+TEST(IntegrationTest, FullyDeterministicAcrossRuns) {
+  const auto a = run_backscatter_trial(baseline());
+  const auto b = run_backscatter_trial(baseline());
+  EXPECT_EQ(a.crc_ok, b.crc_ok);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+  EXPECT_EQ(a.raw_symbol_errors, b.raw_symbol_errors);
+  EXPECT_DOUBLE_EQ(a.measured_snr_db, b.measured_snr_db);
+  EXPECT_DOUBLE_EQ(a.total_depth_db, b.total_depth_db);
+  EXPECT_DOUBLE_EQ(a.tag_energy_pj, b.tag_energy_pj);
+
+  coexistence_config cc;
+  cc.seed = 3;
+  const auto c1 = run_coexistence_trial(cc);
+  const auto c2 = run_coexistence_trial(cc);
+  EXPECT_EQ(c1.client_decoded, c2.client_decoded);
+  EXPECT_DOUBLE_EQ(c1.client_snr_db, c2.client_snr_db);
+}
+
+class DistanceSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistanceSweepTest, MeasuredSnrWithinFewDbOfOracle) {
+  // Property over ranges: whenever the decoder syncs, its measured SNR
+  // sits within a few dB below the oracle (never meaningfully above).
+  scenario_config cfg = baseline();
+  cfg.tag_distance_m = GetParam();
+  int synced = 0;
+  for (int t = 0; t < 5; ++t) {
+    cfg.seed = 400 + static_cast<std::uint64_t>(GetParam() * 10) + t;
+    const auto r = run_backscatter_trial(cfg);
+    if (!r.sync_found) continue;
+    ++synced;
+    EXPECT_LT(r.measured_snr_db, r.expected_snr_db + 2.0) << GetParam();
+    EXPECT_GT(r.measured_snr_db, r.expected_snr_db - 12.0) << GetParam();
+  }
+  if (GetParam() <= 3.0) {
+    EXPECT_GE(synced, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, DistanceSweepTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace backfi::sim

@@ -1,0 +1,72 @@
+#include "sim/network_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace backfi::sim {
+namespace {
+
+network_config small_network() {
+  network_config cfg;
+  cfg.link.excitation.ppdu_bytes = 2000;
+  cfg.link.seed = 5;
+  cfg.opportunities = 12;
+  cfg.payload_bits = 300;
+  cfg.tags = {
+      {.id = 1, .distance_m = 1.0, .arrival_bits_per_opportunity = 300.0},
+      {.id = 2, .distance_m = 2.0, .arrival_bits_per_opportunity = 300.0},
+      {.id = 3, .distance_m = 3.0, .arrival_bits_per_opportunity = 300.0},
+  };
+  return cfg;
+}
+
+TEST(NetworkSimTest, RejectsEmptyNetwork) {
+  network_config cfg;
+  EXPECT_THROW(run_tag_network(cfg), std::invalid_argument);
+}
+
+TEST(NetworkSimTest, AllTagsGetServedRoundRobin) {
+  const auto result = run_tag_network(small_network());
+  ASSERT_EQ(result.per_tag.size(), 3u);
+  for (const auto& t : result.per_tag) {
+    EXPECT_GE(t.attempts, 3u) << t.id;
+    EXPECT_GT(t.successes, 0u) << t.id;
+    EXPECT_GT(t.delivered_bits, 0.0) << t.id;
+  }
+  EXPECT_GT(result.total_delivered_bits, 0.0);
+  EXPECT_EQ(result.idle_opportunities, 0u);
+}
+
+TEST(NetworkSimTest, FairnessNearOneForSymmetricTags) {
+  network_config cfg = small_network();
+  for (auto& t : cfg.tags) t.distance_m = 1.5;  // identical placements
+  cfg.opportunities = 15;
+  const auto result = run_tag_network(cfg);
+  EXPECT_GT(result.jain_fairness, 0.95);
+}
+
+TEST(NetworkSimTest, DistantUnreachableTagFallsBack) {
+  network_config cfg = small_network();
+  cfg.tags[2].distance_m = 30.0;  // beyond any usable range
+  cfg.tags[2].rate = {tag::tag_modulation::psk16, phy::code_rate::two_thirds,
+                      2.5e6};
+  cfg.opportunities = 16;
+  const auto result = run_tag_network(cfg);
+  const auto& far_tag = result.per_tag[2];
+  EXPECT_EQ(far_tag.successes, 0u);
+  // The scheduler's fallback should have walked its operating point down.
+  EXPECT_LT(tag::throughput_bps(far_tag.final_rate),
+            tag::throughput_bps(cfg.tags[2].rate));
+  // And the reachable tags still delivered.
+  EXPECT_GT(result.per_tag[0].delivered_bits, 0.0);
+  EXPECT_GT(result.per_tag[1].delivered_bits, 0.0);
+}
+
+TEST(NetworkSimTest, DeterministicPerSeed) {
+  const auto a = run_tag_network(small_network());
+  const auto b = run_tag_network(small_network());
+  EXPECT_DOUBLE_EQ(a.total_delivered_bits, b.total_delivered_bits);
+  EXPECT_DOUBLE_EQ(a.jain_fairness, b.jain_fairness);
+}
+
+}  // namespace
+}  // namespace backfi::sim

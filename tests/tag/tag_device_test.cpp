@@ -1,0 +1,156 @@
+#include "tag/tag_device.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+#include "phy/constellation.h"
+#include "phy/crc32.h"
+
+namespace backfi::tag {
+namespace {
+
+tag_config default_config() {
+  tag_config cfg;
+  cfg.id = 1;
+  cfg.rate = {tag_modulation::qpsk, phy::code_rate::half, 1e6};
+  return cfg;
+}
+
+TEST(TagDeviceTest, RejectsNonDividingSymbolRate) {
+  tag_config cfg = default_config();
+  cfg.rate.symbol_rate_hz = 3e6;  // 20e6/3e6 not integer
+  EXPECT_THROW(tag_device{cfg}, std::invalid_argument);
+}
+
+TEST(TagDeviceTest, RejectsThreeQuarterRate) {
+  tag_config cfg = default_config();
+  cfg.rate.coding = phy::code_rate::three_quarters;
+  EXPECT_THROW(tag_device{cfg}, std::invalid_argument);
+}
+
+TEST(TagDeviceTest, SamplesPerSymbolForStandardRates) {
+  const std::size_t expected[] = {2000, 200, 40, 20, 10, 8};
+  std::size_t i = 0;
+  for (double rate : standard_symbol_rates()) {
+    tag_config cfg = default_config();
+    cfg.rate.symbol_rate_hz = rate;
+    EXPECT_EQ(tag_device(cfg).samples_per_symbol(), expected[i]) << rate;
+    ++i;
+  }
+}
+
+TEST(TagDeviceTest, TimelineMatchesPaperFigure4) {
+  const tag_device dev(default_config());
+  dsp::rng gen(1);
+  const auto payload = gen.random_bits(200);
+  const std::size_t origin = 320;  // wake fired 16 us into the timeline
+  const auto tx = dev.backscatter(payload, 80000, origin);
+
+  EXPECT_EQ(tx.silent_start, origin);
+  EXPECT_EQ(tx.preamble_start, origin + 16 * 20);      // 16 us silent
+  EXPECT_EQ(tx.sync_start, tx.preamble_start + 32 * 20);  // 32 us preamble
+  EXPECT_EQ(tx.data_start, tx.sync_start + 16 * dev.samples_per_symbol());
+}
+
+TEST(TagDeviceTest, SilentPeriodReflectsNothing) {
+  const tag_device dev(default_config());
+  dsp::rng gen(2);
+  const auto tx = dev.backscatter(gen.random_bits(100), 80000, 400);
+  for (std::size_t n = 0; n < tx.preamble_start; ++n)
+    EXPECT_EQ(tx.reflection[n], cplx(0.0, 0.0)) << n;
+}
+
+TEST(TagDeviceTest, PreambleIsConstantPhase) {
+  const tag_device dev(default_config());
+  dsp::rng gen(3);
+  const auto tx = dev.backscatter(gen.random_bits(100), 80000, 400);
+  const cplx first = tx.reflection[tx.preamble_start];
+  EXPECT_GT(std::abs(first), 0.0);
+  for (std::size_t n = tx.preamble_start; n < tx.sync_start; ++n)
+    EXPECT_EQ(tx.reflection[n], first) << n;
+}
+
+TEST(TagDeviceTest, ReflectionAmplitudeMatchesInsertionLoss) {
+  tag_config cfg = default_config();
+  cfg.insertion_loss_db = 6.0;
+  const tag_device dev(cfg);
+  dsp::rng gen(4);
+  const auto tx = dev.backscatter(gen.random_bits(64), 80000, 0);
+  for (std::size_t n = tx.data_start; n < tx.data_end; ++n)
+    EXPECT_NEAR(std::abs(tx.reflection[n]), std::pow(10.0, -6.0 / 20.0), 1e-12);
+}
+
+TEST(TagDeviceTest, PayloadSymbolsPerModulationAndRate) {
+  // 100 payload bits + 32 CRC = 132 info; rate 1/2 -> 2*(132+6) = 276 coded.
+  tag_config cfg = default_config();
+  cfg.rate.modulation = tag_modulation::qpsk;
+  EXPECT_EQ(tag_device(cfg).payload_symbols(100), 138u);  // 276/2
+  cfg.rate.modulation = tag_modulation::psk16;
+  EXPECT_EQ(tag_device(cfg).payload_symbols(100), 69u);  // 276/4
+  cfg.rate.coding = phy::code_rate::two_thirds;
+  // 2/3: coded = 207 -> ceil(207/4) = 52.
+  EXPECT_EQ(tag_device(cfg).payload_symbols(100), 52u);
+}
+
+TEST(TagDeviceTest, SymbolsArePiecewiseConstantPskPoints) {
+  const tag_device dev(default_config());
+  dsp::rng gen(5);
+  const auto tx = dev.backscatter(gen.random_bits(80), 80000, 0);
+  const auto& c = phy::psk_constellation(4);
+  const double amp = std::pow(10.0, -default_config().insertion_loss_db / 20.0);
+  for (std::size_t s = 0; s < tx.n_payload_symbols; ++s) {
+    const std::size_t start = tx.data_start + s * tx.samples_per_symbol;
+    const cplx value = tx.reflection[start];
+    // Constant across the symbol.
+    for (std::size_t n = start; n < start + tx.samples_per_symbol; ++n)
+      ASSERT_EQ(tx.reflection[n], value);
+    // On the scaled PSK circle.
+    bool found = false;
+    for (const cplx& p : c.points)
+      if (std::abs(value - amp * p) < 1e-9) found = true;
+    EXPECT_TRUE(found) << "symbol " << s;
+  }
+}
+
+TEST(TagDeviceTest, InfoBitsCarryValidCrc) {
+  const tag_device dev(default_config());
+  dsp::rng gen(6);
+  const auto payload = gen.random_bits(128);
+  const auto tx = dev.backscatter(payload, 80000, 0);
+  EXPECT_EQ(tx.info_bits.size(), payload.size() + 32);
+  EXPECT_TRUE(phy::check_crc32(tx.info_bits));
+}
+
+TEST(TagDeviceTest, TruncatesWhenExcitationEnds) {
+  const tag_device dev(default_config());
+  dsp::rng gen(7);
+  // Room for the protocol overhead but only a few payload symbols.
+  const std::size_t total = 320 + 320 + 640 + 16 * 20 + 5 * 20 + 7;
+  const auto tx = dev.backscatter(gen.random_bits(500), total, 320);
+  EXPECT_EQ(tx.n_payload_symbols, 5u);
+  EXPECT_LE(tx.data_end, total);
+}
+
+TEST(TagDeviceTest, EnergyAccountingUsesModel) {
+  const tag_device dev(default_config());
+  dsp::rng gen(8);
+  const auto payload = gen.random_bits(100);
+  const auto tx = dev.backscatter(payload, 80000, 0);
+  const double expected =
+      energy_per_bit_pj(default_config().rate) * (100.0 + 32.0);
+  EXPECT_NEAR(tx.energy_pj, expected, 1e-9);
+  EXPECT_GT(tx.switch_toggles, 0u);
+}
+
+TEST(TagDeviceTest, SyncLabelsDeterministicPerId) {
+  tag_config a = default_config();
+  const auto la = tag_device(a).sync_labels();
+  const auto lb = tag_device(a).sync_labels();
+  EXPECT_EQ(la, lb);
+  a.id = 99;
+  const auto lc = tag_device(a).sync_labels();
+  EXPECT_NE(la, lc);
+}
+
+}  // namespace
+}  // namespace backfi::tag

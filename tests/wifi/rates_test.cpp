@@ -1,0 +1,61 @@
+#include "wifi/rates.h"
+
+#include <gtest/gtest.h>
+
+namespace backfi::wifi {
+namespace {
+
+TEST(RatesTest, TableIsConsistent) {
+  for (const auto& p : all_rates()) {
+    EXPECT_EQ(p.n_cbps, 48 * p.n_bpsc) << p.name;
+    EXPECT_NEAR(static_cast<double>(p.n_dbps),
+                p.n_cbps * phy::code_rate_value(p.coding), 1e-9)
+        << p.name;
+    // Rate in Mbps = n_dbps per 4 us symbol.
+    EXPECT_NEAR(p.mbps, static_cast<double>(p.n_dbps) / 4.0, 1e-9) << p.name;
+  }
+}
+
+TEST(RatesTest, AllEightRatesPresentAscending) {
+  const auto rates = all_rates();
+  ASSERT_EQ(rates.size(), 8u);
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    EXPECT_GT(rates[i].mbps, rates[i - 1].mbps);
+}
+
+TEST(RatesTest, SignalBitsRoundTrip) {
+  for (const auto& p : all_rates()) {
+    const rate_params* found = params_for_signal_bits(p.signal_bits);
+    ASSERT_NE(found, nullptr) << p.name;
+    EXPECT_EQ(found->rate, p.rate);
+  }
+  EXPECT_EQ(params_for_signal_bits(0b0000), nullptr);
+}
+
+TEST(RatesTest, KnownSignalBitValues) {
+  EXPECT_EQ(params_for(wifi_rate::mbps6).signal_bits, 0b1101);
+  EXPECT_EQ(params_for(wifi_rate::mbps54).signal_bits, 0b0011);
+}
+
+TEST(RatesTest, DataSymbolCountExamples) {
+  // 100 bytes at 24 Mbps: (16 + 800 + 6)/96 = 8.56 -> 9 symbols.
+  EXPECT_EQ(data_symbol_count(100, wifi_rate::mbps24), 9u);
+  // 1 byte at 6 Mbps: (16 + 8 + 6)/24 = 1.25 -> 2 symbols.
+  EXPECT_EQ(data_symbol_count(1, wifi_rate::mbps6), 2u);
+  // Exact fit: (16 + 8*25 + 6) = 222... at 54 Mbps 222/216 -> 2 symbols.
+  EXPECT_EQ(data_symbol_count(25, wifi_rate::mbps54), 2u);
+}
+
+TEST(RatesTest, SymbolCountMonotonicInLength) {
+  for (const auto& p : all_rates()) {
+    std::size_t prev = 0;
+    for (std::size_t len = 1; len < 200; len += 7) {
+      const std::size_t n = data_symbol_count(len, p.rate);
+      EXPECT_GE(n, prev) << p.name;
+      prev = n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace backfi::wifi
