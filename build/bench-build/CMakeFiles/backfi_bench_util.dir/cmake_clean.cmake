@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/backfi_bench_util.dir/bench_util.cpp.o.d"
+  "libbackfi_bench_util.a"
+  "libbackfi_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

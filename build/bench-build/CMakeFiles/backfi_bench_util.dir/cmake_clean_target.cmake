@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbackfi_bench_util.a"
+)

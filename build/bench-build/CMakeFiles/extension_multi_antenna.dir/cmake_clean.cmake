@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_multi_antenna"
+  "../bench/extension_multi_antenna.pdb"
+  "CMakeFiles/extension_multi_antenna.dir/extension_multi_antenna.cpp.o"
+  "CMakeFiles/extension_multi_antenna.dir/extension_multi_antenna.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multi_antenna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_repb_table"
+  "../bench/fig07_repb_table.pdb"
+  "CMakeFiles/fig07_repb_table.dir/fig07_repb_table.cpp.o"
+  "CMakeFiles/fig07_repb_table.dir/fig07_repb_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_repb_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

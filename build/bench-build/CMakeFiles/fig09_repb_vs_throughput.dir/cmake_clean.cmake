@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_repb_vs_throughput"
+  "../bench/fig09_repb_vs_throughput.pdb"
+  "CMakeFiles/fig09_repb_vs_throughput.dir/fig09_repb_vs_throughput.cpp.o"
+  "CMakeFiles/fig09_repb_vs_throughput.dir/fig09_repb_vs_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_repb_vs_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_repb_vs_range.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11a_cancellation_snr"
+  "../bench/fig11a_cancellation_snr.pdb"
+  "CMakeFiles/fig11a_cancellation_snr.dir/fig11a_cancellation_snr.cpp.o"
+  "CMakeFiles/fig11a_cancellation_snr.dir/fig11a_cancellation_snr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_cancellation_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

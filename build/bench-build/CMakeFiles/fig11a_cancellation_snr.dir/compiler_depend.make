@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11a_cancellation_snr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11b_ber_vs_symbol_rate"
+  "../bench/fig11b_ber_vs_symbol_rate.pdb"
+  "CMakeFiles/fig11b_ber_vs_symbol_rate.dir/fig11b_ber_vs_symbol_rate.cpp.o"
+  "CMakeFiles/fig11b_ber_vs_symbol_rate.dir/fig11b_ber_vs_symbol_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_ber_vs_symbol_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

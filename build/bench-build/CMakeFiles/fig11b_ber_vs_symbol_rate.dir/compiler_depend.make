@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11b_ber_vs_symbol_rate.
+# This may be replaced when dependencies are built.

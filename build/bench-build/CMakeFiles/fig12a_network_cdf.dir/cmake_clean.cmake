@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12a_network_cdf"
+  "../bench/fig12a_network_cdf.pdb"
+  "CMakeFiles/fig12a_network_cdf.dir/fig12a_network_cdf.cpp.o"
+  "CMakeFiles/fig12a_network_cdf.dir/fig12a_network_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_network_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

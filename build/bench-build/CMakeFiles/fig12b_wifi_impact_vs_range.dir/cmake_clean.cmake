@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12b_wifi_impact_vs_range"
+  "../bench/fig12b_wifi_impact_vs_range.pdb"
+  "CMakeFiles/fig12b_wifi_impact_vs_range.dir/fig12b_wifi_impact_vs_range.cpp.o"
+  "CMakeFiles/fig12b_wifi_impact_vs_range.dir/fig12b_wifi_impact_vs_range.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_wifi_impact_vs_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12b_wifi_impact_vs_range.
+# This may be replaced when dependencies are built.

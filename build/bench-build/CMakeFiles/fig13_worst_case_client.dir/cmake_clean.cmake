@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_worst_case_client"
+  "../bench/fig13_worst_case_client.pdb"
+  "CMakeFiles/fig13_worst_case_client.dir/fig13_worst_case_client.cpp.o"
+  "CMakeFiles/fig13_worst_case_client.dir/fig13_worst_case_client.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_worst_case_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_worst_case_client.
+# This may be replaced when dependencies are built.

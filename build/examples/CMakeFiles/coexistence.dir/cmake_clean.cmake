@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coexistence.dir/coexistence.cpp.o"
+  "CMakeFiles/coexistence.dir/coexistence.cpp.o.d"
+  "coexistence"
+  "coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

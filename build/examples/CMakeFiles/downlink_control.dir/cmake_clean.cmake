@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downlink_control.dir/downlink_control.cpp.o"
+  "CMakeFiles/downlink_control.dir/downlink_control.cpp.o.d"
+  "downlink_control"
+  "downlink_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downlink_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

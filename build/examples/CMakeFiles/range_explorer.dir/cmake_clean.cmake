@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_explorer.dir/range_explorer.cpp.o"
+  "CMakeFiles/range_explorer.dir/range_explorer.cpp.o.d"
+  "range_explorer"
+  "range_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sensor_stream.cpp" "examples/CMakeFiles/sensor_stream.dir/sensor_stream.cpp.o" "gcc" "examples/CMakeFiles/sensor_stream.dir/sensor_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/backfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/backfi_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/backfi_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/backfi_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/backfi_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/backfi_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/backfi_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

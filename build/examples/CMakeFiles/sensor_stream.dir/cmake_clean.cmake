@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_stream.dir/sensor_stream.cpp.o"
+  "CMakeFiles/sensor_stream.dir/sensor_stream.cpp.o.d"
+  "sensor_stream"
+  "sensor_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_network.dir/tag_network.cpp.o"
+  "CMakeFiles/tag_network.dir/tag_network.cpp.o.d"
+  "tag_network"
+  "tag_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/awgn.cpp" "src/channel/CMakeFiles/backfi_channel.dir/awgn.cpp.o" "gcc" "src/channel/CMakeFiles/backfi_channel.dir/awgn.cpp.o.d"
+  "/root/repo/src/channel/backscatter_link.cpp" "src/channel/CMakeFiles/backfi_channel.dir/backscatter_link.cpp.o" "gcc" "src/channel/CMakeFiles/backfi_channel.dir/backscatter_link.cpp.o.d"
+  "/root/repo/src/channel/multipath.cpp" "src/channel/CMakeFiles/backfi_channel.dir/multipath.cpp.o" "gcc" "src/channel/CMakeFiles/backfi_channel.dir/multipath.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/backfi_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/backfi_channel.dir/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_channel.dir/awgn.cpp.o"
+  "CMakeFiles/backfi_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/backfi_channel.dir/backscatter_link.cpp.o"
+  "CMakeFiles/backfi_channel.dir/backscatter_link.cpp.o.d"
+  "CMakeFiles/backfi_channel.dir/multipath.cpp.o"
+  "CMakeFiles/backfi_channel.dir/multipath.cpp.o.d"
+  "CMakeFiles/backfi_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/backfi_channel.dir/pathloss.cpp.o.d"
+  "libbackfi_channel.a"
+  "libbackfi_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/correlation.cpp" "src/dsp/CMakeFiles/backfi_dsp.dir/correlation.cpp.o" "gcc" "src/dsp/CMakeFiles/backfi_dsp.dir/correlation.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/backfi_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/backfi_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/backfi_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/backfi_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/dsp/CMakeFiles/backfi_dsp.dir/linalg.cpp.o" "gcc" "src/dsp/CMakeFiles/backfi_dsp.dir/linalg.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/backfi_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/backfi_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/rng.cpp" "src/dsp/CMakeFiles/backfi_dsp.dir/rng.cpp.o" "gcc" "src/dsp/CMakeFiles/backfi_dsp.dir/rng.cpp.o.d"
+  "/root/repo/src/dsp/vec_ops.cpp" "src/dsp/CMakeFiles/backfi_dsp.dir/vec_ops.cpp.o" "gcc" "src/dsp/CMakeFiles/backfi_dsp.dir/vec_ops.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/backfi_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/backfi_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

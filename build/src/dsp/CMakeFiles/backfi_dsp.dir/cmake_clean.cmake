@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_dsp.dir/correlation.cpp.o"
+  "CMakeFiles/backfi_dsp.dir/correlation.cpp.o.d"
+  "CMakeFiles/backfi_dsp.dir/fft.cpp.o"
+  "CMakeFiles/backfi_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/backfi_dsp.dir/fir.cpp.o"
+  "CMakeFiles/backfi_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/backfi_dsp.dir/linalg.cpp.o"
+  "CMakeFiles/backfi_dsp.dir/linalg.cpp.o.d"
+  "CMakeFiles/backfi_dsp.dir/resample.cpp.o"
+  "CMakeFiles/backfi_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/backfi_dsp.dir/rng.cpp.o"
+  "CMakeFiles/backfi_dsp.dir/rng.cpp.o.d"
+  "CMakeFiles/backfi_dsp.dir/vec_ops.cpp.o"
+  "CMakeFiles/backfi_dsp.dir/vec_ops.cpp.o.d"
+  "CMakeFiles/backfi_dsp.dir/window.cpp.o"
+  "CMakeFiles/backfi_dsp.dir/window.cpp.o.d"
+  "libbackfi_dsp.a"
+  "libbackfi_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

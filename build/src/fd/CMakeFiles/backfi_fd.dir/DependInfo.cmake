@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/adc.cpp" "src/fd/CMakeFiles/backfi_fd.dir/adc.cpp.o" "gcc" "src/fd/CMakeFiles/backfi_fd.dir/adc.cpp.o.d"
+  "/root/repo/src/fd/canceller.cpp" "src/fd/CMakeFiles/backfi_fd.dir/canceller.cpp.o" "gcc" "src/fd/CMakeFiles/backfi_fd.dir/canceller.cpp.o.d"
+  "/root/repo/src/fd/receive_chain.cpp" "src/fd/CMakeFiles/backfi_fd.dir/receive_chain.cpp.o" "gcc" "src/fd/CMakeFiles/backfi_fd.dir/receive_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_fd.dir/adc.cpp.o"
+  "CMakeFiles/backfi_fd.dir/adc.cpp.o.d"
+  "CMakeFiles/backfi_fd.dir/canceller.cpp.o"
+  "CMakeFiles/backfi_fd.dir/canceller.cpp.o.d"
+  "CMakeFiles/backfi_fd.dir/receive_chain.cpp.o"
+  "CMakeFiles/backfi_fd.dir/receive_chain.cpp.o.d"
+  "libbackfi_fd.a"
+  "libbackfi_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

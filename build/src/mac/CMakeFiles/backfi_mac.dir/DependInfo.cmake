@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/airtime.cpp" "src/mac/CMakeFiles/backfi_mac.dir/airtime.cpp.o" "gcc" "src/mac/CMakeFiles/backfi_mac.dir/airtime.cpp.o.d"
+  "/root/repo/src/mac/tag_network.cpp" "src/mac/CMakeFiles/backfi_mac.dir/tag_network.cpp.o" "gcc" "src/mac/CMakeFiles/backfi_mac.dir/tag_network.cpp.o.d"
+  "/root/repo/src/mac/trace.cpp" "src/mac/CMakeFiles/backfi_mac.dir/trace.cpp.o" "gcc" "src/mac/CMakeFiles/backfi_mac.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wifi/CMakeFiles/backfi_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/backfi_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

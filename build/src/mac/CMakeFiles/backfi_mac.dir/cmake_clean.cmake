@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_mac.dir/airtime.cpp.o"
+  "CMakeFiles/backfi_mac.dir/airtime.cpp.o.d"
+  "CMakeFiles/backfi_mac.dir/tag_network.cpp.o"
+  "CMakeFiles/backfi_mac.dir/tag_network.cpp.o.d"
+  "CMakeFiles/backfi_mac.dir/trace.cpp.o"
+  "CMakeFiles/backfi_mac.dir/trace.cpp.o.d"
+  "libbackfi_mac.a"
+  "libbackfi_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/bits.cpp" "src/phy/CMakeFiles/backfi_phy.dir/bits.cpp.o" "gcc" "src/phy/CMakeFiles/backfi_phy.dir/bits.cpp.o.d"
+  "/root/repo/src/phy/constellation.cpp" "src/phy/CMakeFiles/backfi_phy.dir/constellation.cpp.o" "gcc" "src/phy/CMakeFiles/backfi_phy.dir/constellation.cpp.o.d"
+  "/root/repo/src/phy/convolutional.cpp" "src/phy/CMakeFiles/backfi_phy.dir/convolutional.cpp.o" "gcc" "src/phy/CMakeFiles/backfi_phy.dir/convolutional.cpp.o.d"
+  "/root/repo/src/phy/crc32.cpp" "src/phy/CMakeFiles/backfi_phy.dir/crc32.cpp.o" "gcc" "src/phy/CMakeFiles/backfi_phy.dir/crc32.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/backfi_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/backfi_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/prbs.cpp" "src/phy/CMakeFiles/backfi_phy.dir/prbs.cpp.o" "gcc" "src/phy/CMakeFiles/backfi_phy.dir/prbs.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/backfi_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/backfi_phy.dir/scrambler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_phy.dir/bits.cpp.o"
+  "CMakeFiles/backfi_phy.dir/bits.cpp.o.d"
+  "CMakeFiles/backfi_phy.dir/constellation.cpp.o"
+  "CMakeFiles/backfi_phy.dir/constellation.cpp.o.d"
+  "CMakeFiles/backfi_phy.dir/convolutional.cpp.o"
+  "CMakeFiles/backfi_phy.dir/convolutional.cpp.o.d"
+  "CMakeFiles/backfi_phy.dir/crc32.cpp.o"
+  "CMakeFiles/backfi_phy.dir/crc32.cpp.o.d"
+  "CMakeFiles/backfi_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/backfi_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/backfi_phy.dir/prbs.cpp.o"
+  "CMakeFiles/backfi_phy.dir/prbs.cpp.o.d"
+  "CMakeFiles/backfi_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/backfi_phy.dir/scrambler.cpp.o.d"
+  "libbackfi_phy.a"
+  "libbackfi_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reader/decoder.cpp" "src/reader/CMakeFiles/backfi_reader.dir/decoder.cpp.o" "gcc" "src/reader/CMakeFiles/backfi_reader.dir/decoder.cpp.o.d"
+  "/root/repo/src/reader/excitation.cpp" "src/reader/CMakeFiles/backfi_reader.dir/excitation.cpp.o" "gcc" "src/reader/CMakeFiles/backfi_reader.dir/excitation.cpp.o.d"
+  "/root/repo/src/reader/mrc.cpp" "src/reader/CMakeFiles/backfi_reader.dir/mrc.cpp.o" "gcc" "src/reader/CMakeFiles/backfi_reader.dir/mrc.cpp.o.d"
+  "/root/repo/src/reader/multi_antenna.cpp" "src/reader/CMakeFiles/backfi_reader.dir/multi_antenna.cpp.o" "gcc" "src/reader/CMakeFiles/backfi_reader.dir/multi_antenna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tag/CMakeFiles/backfi_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/backfi_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_reader.dir/decoder.cpp.o"
+  "CMakeFiles/backfi_reader.dir/decoder.cpp.o.d"
+  "CMakeFiles/backfi_reader.dir/excitation.cpp.o"
+  "CMakeFiles/backfi_reader.dir/excitation.cpp.o.d"
+  "CMakeFiles/backfi_reader.dir/mrc.cpp.o"
+  "CMakeFiles/backfi_reader.dir/mrc.cpp.o.d"
+  "CMakeFiles/backfi_reader.dir/multi_antenna.cpp.o"
+  "CMakeFiles/backfi_reader.dir/multi_antenna.cpp.o.d"
+  "libbackfi_reader.a"
+  "libbackfi_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_sim.dir/backscatter_sim.cpp.o"
+  "CMakeFiles/backfi_sim.dir/backscatter_sim.cpp.o.d"
+  "CMakeFiles/backfi_sim.dir/coexistence.cpp.o"
+  "CMakeFiles/backfi_sim.dir/coexistence.cpp.o.d"
+  "CMakeFiles/backfi_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/backfi_sim.dir/network_sim.cpp.o.d"
+  "CMakeFiles/backfi_sim.dir/rate_adaptation.cpp.o"
+  "CMakeFiles/backfi_sim.dir/rate_adaptation.cpp.o.d"
+  "libbackfi_sim.a"
+  "libbackfi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

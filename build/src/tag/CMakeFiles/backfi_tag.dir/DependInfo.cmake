@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tag/downlink.cpp" "src/tag/CMakeFiles/backfi_tag.dir/downlink.cpp.o" "gcc" "src/tag/CMakeFiles/backfi_tag.dir/downlink.cpp.o.d"
+  "/root/repo/src/tag/energy_model.cpp" "src/tag/CMakeFiles/backfi_tag.dir/energy_model.cpp.o" "gcc" "src/tag/CMakeFiles/backfi_tag.dir/energy_model.cpp.o.d"
+  "/root/repo/src/tag/phase_modulator.cpp" "src/tag/CMakeFiles/backfi_tag.dir/phase_modulator.cpp.o" "gcc" "src/tag/CMakeFiles/backfi_tag.dir/phase_modulator.cpp.o.d"
+  "/root/repo/src/tag/tag_device.cpp" "src/tag/CMakeFiles/backfi_tag.dir/tag_device.cpp.o" "gcc" "src/tag/CMakeFiles/backfi_tag.dir/tag_device.cpp.o.d"
+  "/root/repo/src/tag/wake_detector.cpp" "src/tag/CMakeFiles/backfi_tag.dir/wake_detector.cpp.o" "gcc" "src/tag/CMakeFiles/backfi_tag.dir/wake_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_tag.dir/downlink.cpp.o"
+  "CMakeFiles/backfi_tag.dir/downlink.cpp.o.d"
+  "CMakeFiles/backfi_tag.dir/energy_model.cpp.o"
+  "CMakeFiles/backfi_tag.dir/energy_model.cpp.o.d"
+  "CMakeFiles/backfi_tag.dir/phase_modulator.cpp.o"
+  "CMakeFiles/backfi_tag.dir/phase_modulator.cpp.o.d"
+  "CMakeFiles/backfi_tag.dir/tag_device.cpp.o"
+  "CMakeFiles/backfi_tag.dir/tag_device.cpp.o.d"
+  "CMakeFiles/backfi_tag.dir/wake_detector.cpp.o"
+  "CMakeFiles/backfi_tag.dir/wake_detector.cpp.o.d"
+  "libbackfi_tag.a"
+  "libbackfi_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/ofdm.cpp" "src/wifi/CMakeFiles/backfi_wifi.dir/ofdm.cpp.o" "gcc" "src/wifi/CMakeFiles/backfi_wifi.dir/ofdm.cpp.o.d"
+  "/root/repo/src/wifi/ppdu.cpp" "src/wifi/CMakeFiles/backfi_wifi.dir/ppdu.cpp.o" "gcc" "src/wifi/CMakeFiles/backfi_wifi.dir/ppdu.cpp.o.d"
+  "/root/repo/src/wifi/preamble.cpp" "src/wifi/CMakeFiles/backfi_wifi.dir/preamble.cpp.o" "gcc" "src/wifi/CMakeFiles/backfi_wifi.dir/preamble.cpp.o.d"
+  "/root/repo/src/wifi/rates.cpp" "src/wifi/CMakeFiles/backfi_wifi.dir/rates.cpp.o" "gcc" "src/wifi/CMakeFiles/backfi_wifi.dir/rates.cpp.o.d"
+  "/root/repo/src/wifi/receiver.cpp" "src/wifi/CMakeFiles/backfi_wifi.dir/receiver.cpp.o" "gcc" "src/wifi/CMakeFiles/backfi_wifi.dir/receiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

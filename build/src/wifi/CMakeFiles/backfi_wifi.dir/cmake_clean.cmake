@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfi_wifi.dir/ofdm.cpp.o"
+  "CMakeFiles/backfi_wifi.dir/ofdm.cpp.o.d"
+  "CMakeFiles/backfi_wifi.dir/ppdu.cpp.o"
+  "CMakeFiles/backfi_wifi.dir/ppdu.cpp.o.d"
+  "CMakeFiles/backfi_wifi.dir/preamble.cpp.o"
+  "CMakeFiles/backfi_wifi.dir/preamble.cpp.o.d"
+  "CMakeFiles/backfi_wifi.dir/rates.cpp.o"
+  "CMakeFiles/backfi_wifi.dir/rates.cpp.o.d"
+  "CMakeFiles/backfi_wifi.dir/receiver.cpp.o"
+  "CMakeFiles/backfi_wifi.dir/receiver.cpp.o.d"
+  "libbackfi_wifi.a"
+  "libbackfi_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfi_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for backfi_wifi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/channel/awgn_test.cpp" "tests/CMakeFiles/channel_test.dir/channel/awgn_test.cpp.o" "gcc" "tests/CMakeFiles/channel_test.dir/channel/awgn_test.cpp.o.d"
+  "/root/repo/tests/channel/backscatter_link_test.cpp" "tests/CMakeFiles/channel_test.dir/channel/backscatter_link_test.cpp.o" "gcc" "tests/CMakeFiles/channel_test.dir/channel/backscatter_link_test.cpp.o.d"
+  "/root/repo/tests/channel/multipath_test.cpp" "tests/CMakeFiles/channel_test.dir/channel/multipath_test.cpp.o" "gcc" "tests/CMakeFiles/channel_test.dir/channel/multipath_test.cpp.o.d"
+  "/root/repo/tests/channel/pathloss_test.cpp" "tests/CMakeFiles/channel_test.dir/channel/pathloss_test.cpp.o" "gcc" "tests/CMakeFiles/channel_test.dir/channel/pathloss_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/backfi_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_test.dir/channel/awgn_test.cpp.o"
+  "CMakeFiles/channel_test.dir/channel/awgn_test.cpp.o.d"
+  "CMakeFiles/channel_test.dir/channel/backscatter_link_test.cpp.o"
+  "CMakeFiles/channel_test.dir/channel/backscatter_link_test.cpp.o.d"
+  "CMakeFiles/channel_test.dir/channel/multipath_test.cpp.o"
+  "CMakeFiles/channel_test.dir/channel/multipath_test.cpp.o.d"
+  "CMakeFiles/channel_test.dir/channel/pathloss_test.cpp.o"
+  "CMakeFiles/channel_test.dir/channel/pathloss_test.cpp.o.d"
+  "channel_test"
+  "channel_test.pdb"
+  "channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

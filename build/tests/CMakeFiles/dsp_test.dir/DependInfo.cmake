@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp/correlation_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/correlation_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/correlation_test.cpp.o.d"
+  "/root/repo/tests/dsp/fft_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/fft_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/fft_test.cpp.o.d"
+  "/root/repo/tests/dsp/fir_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/fir_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/fir_test.cpp.o.d"
+  "/root/repo/tests/dsp/linalg_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/linalg_test.cpp.o.d"
+  "/root/repo/tests/dsp/math_util_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/math_util_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/math_util_test.cpp.o.d"
+  "/root/repo/tests/dsp/resample_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/resample_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/resample_test.cpp.o.d"
+  "/root/repo/tests/dsp/rng_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/rng_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/rng_test.cpp.o.d"
+  "/root/repo/tests/dsp/vec_ops_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/vec_ops_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/vec_ops_test.cpp.o.d"
+  "/root/repo/tests/dsp/window_test.cpp" "tests/CMakeFiles/dsp_test.dir/dsp/window_test.cpp.o" "gcc" "tests/CMakeFiles/dsp_test.dir/dsp/window_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test.dir/dsp/correlation_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/correlation_test.cpp.o.d"
+  "CMakeFiles/dsp_test.dir/dsp/fft_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/fft_test.cpp.o.d"
+  "CMakeFiles/dsp_test.dir/dsp/fir_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/fir_test.cpp.o.d"
+  "CMakeFiles/dsp_test.dir/dsp/linalg_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/linalg_test.cpp.o.d"
+  "CMakeFiles/dsp_test.dir/dsp/math_util_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/math_util_test.cpp.o.d"
+  "CMakeFiles/dsp_test.dir/dsp/resample_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/resample_test.cpp.o.d"
+  "CMakeFiles/dsp_test.dir/dsp/rng_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/rng_test.cpp.o.d"
+  "CMakeFiles/dsp_test.dir/dsp/vec_ops_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/vec_ops_test.cpp.o.d"
+  "CMakeFiles/dsp_test.dir/dsp/window_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp/window_test.cpp.o.d"
+  "dsp_test"
+  "dsp_test.pdb"
+  "dsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

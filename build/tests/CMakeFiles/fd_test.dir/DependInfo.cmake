@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fd/adc_test.cpp" "tests/CMakeFiles/fd_test.dir/fd/adc_test.cpp.o" "gcc" "tests/CMakeFiles/fd_test.dir/fd/adc_test.cpp.o.d"
+  "/root/repo/tests/fd/canceller_test.cpp" "tests/CMakeFiles/fd_test.dir/fd/canceller_test.cpp.o" "gcc" "tests/CMakeFiles/fd_test.dir/fd/canceller_test.cpp.o.d"
+  "/root/repo/tests/fd/receive_chain_test.cpp" "tests/CMakeFiles/fd_test.dir/fd/receive_chain_test.cpp.o" "gcc" "tests/CMakeFiles/fd_test.dir/fd/receive_chain_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fd/CMakeFiles/backfi_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/backfi_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/backfi_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_test.dir/fd/adc_test.cpp.o"
+  "CMakeFiles/fd_test.dir/fd/adc_test.cpp.o.d"
+  "CMakeFiles/fd_test.dir/fd/canceller_test.cpp.o"
+  "CMakeFiles/fd_test.dir/fd/canceller_test.cpp.o.d"
+  "CMakeFiles/fd_test.dir/fd/receive_chain_test.cpp.o"
+  "CMakeFiles/fd_test.dir/fd/receive_chain_test.cpp.o.d"
+  "fd_test"
+  "fd_test.pdb"
+  "fd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mac/airtime_test.cpp" "tests/CMakeFiles/mac_test.dir/mac/airtime_test.cpp.o" "gcc" "tests/CMakeFiles/mac_test.dir/mac/airtime_test.cpp.o.d"
+  "/root/repo/tests/mac/tag_network_test.cpp" "tests/CMakeFiles/mac_test.dir/mac/tag_network_test.cpp.o" "gcc" "tests/CMakeFiles/mac_test.dir/mac/tag_network_test.cpp.o.d"
+  "/root/repo/tests/mac/trace_test.cpp" "tests/CMakeFiles/mac_test.dir/mac/trace_test.cpp.o" "gcc" "tests/CMakeFiles/mac_test.dir/mac/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/backfi_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/backfi_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/backfi_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

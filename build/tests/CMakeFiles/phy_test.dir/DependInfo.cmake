@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/bits_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/bits_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/bits_test.cpp.o.d"
+  "/root/repo/tests/phy/constellation_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/constellation_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/constellation_test.cpp.o.d"
+  "/root/repo/tests/phy/convolutional_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/convolutional_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/convolutional_test.cpp.o.d"
+  "/root/repo/tests/phy/crc32_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/crc32_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/crc32_test.cpp.o.d"
+  "/root/repo/tests/phy/interleaver_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/interleaver_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/interleaver_test.cpp.o.d"
+  "/root/repo/tests/phy/prbs_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/prbs_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/prbs_test.cpp.o.d"
+  "/root/repo/tests/phy/scrambler_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/scrambler_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/scrambler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

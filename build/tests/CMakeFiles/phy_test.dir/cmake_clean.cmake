@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_test.dir/phy/bits_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/bits_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/constellation_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/constellation_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/convolutional_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/convolutional_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/crc32_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/crc32_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/interleaver_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/interleaver_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/prbs_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/prbs_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/scrambler_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/scrambler_test.cpp.o.d"
+  "phy_test"
+  "phy_test.pdb"
+  "phy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

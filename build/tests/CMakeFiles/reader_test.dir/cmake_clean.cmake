@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reader_test.dir/reader/decoder_test.cpp.o"
+  "CMakeFiles/reader_test.dir/reader/decoder_test.cpp.o.d"
+  "CMakeFiles/reader_test.dir/reader/excitation_test.cpp.o"
+  "CMakeFiles/reader_test.dir/reader/excitation_test.cpp.o.d"
+  "CMakeFiles/reader_test.dir/reader/mrc_test.cpp.o"
+  "CMakeFiles/reader_test.dir/reader/mrc_test.cpp.o.d"
+  "CMakeFiles/reader_test.dir/reader/multi_antenna_test.cpp.o"
+  "CMakeFiles/reader_test.dir/reader/multi_antenna_test.cpp.o.d"
+  "reader_test"
+  "reader_test.pdb"
+  "reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/backscatter_sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/backscatter_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/backscatter_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/coexistence_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/coexistence_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/coexistence_test.cpp.o.d"
+  "/root/repo/tests/sim/integration_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/integration_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/integration_test.cpp.o.d"
+  "/root/repo/tests/sim/network_sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/network_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/network_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/rate_adaptation_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/rate_adaptation_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/rate_adaptation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/backfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/backfi_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/backfi_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/backfi_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/backfi_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/backfi_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/backfi_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

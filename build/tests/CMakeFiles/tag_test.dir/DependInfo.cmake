@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tag/downlink_test.cpp" "tests/CMakeFiles/tag_test.dir/tag/downlink_test.cpp.o" "gcc" "tests/CMakeFiles/tag_test.dir/tag/downlink_test.cpp.o.d"
+  "/root/repo/tests/tag/energy_model_test.cpp" "tests/CMakeFiles/tag_test.dir/tag/energy_model_test.cpp.o" "gcc" "tests/CMakeFiles/tag_test.dir/tag/energy_model_test.cpp.o.d"
+  "/root/repo/tests/tag/phase_modulator_test.cpp" "tests/CMakeFiles/tag_test.dir/tag/phase_modulator_test.cpp.o" "gcc" "tests/CMakeFiles/tag_test.dir/tag/phase_modulator_test.cpp.o.d"
+  "/root/repo/tests/tag/tag_device_test.cpp" "tests/CMakeFiles/tag_test.dir/tag/tag_device_test.cpp.o" "gcc" "tests/CMakeFiles/tag_test.dir/tag/tag_device_test.cpp.o.d"
+  "/root/repo/tests/tag/wake_detector_test.cpp" "tests/CMakeFiles/tag_test.dir/tag/wake_detector_test.cpp.o" "gcc" "tests/CMakeFiles/tag_test.dir/tag/wake_detector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tag/CMakeFiles/backfi_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/backfi_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

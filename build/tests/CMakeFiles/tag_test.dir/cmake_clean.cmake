@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_test.dir/tag/downlink_test.cpp.o"
+  "CMakeFiles/tag_test.dir/tag/downlink_test.cpp.o.d"
+  "CMakeFiles/tag_test.dir/tag/energy_model_test.cpp.o"
+  "CMakeFiles/tag_test.dir/tag/energy_model_test.cpp.o.d"
+  "CMakeFiles/tag_test.dir/tag/phase_modulator_test.cpp.o"
+  "CMakeFiles/tag_test.dir/tag/phase_modulator_test.cpp.o.d"
+  "CMakeFiles/tag_test.dir/tag/tag_device_test.cpp.o"
+  "CMakeFiles/tag_test.dir/tag/tag_device_test.cpp.o.d"
+  "CMakeFiles/tag_test.dir/tag/wake_detector_test.cpp.o"
+  "CMakeFiles/tag_test.dir/tag/wake_detector_test.cpp.o.d"
+  "tag_test"
+  "tag_test.pdb"
+  "tag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wifi/ofdm_test.cpp" "tests/CMakeFiles/wifi_test.dir/wifi/ofdm_test.cpp.o" "gcc" "tests/CMakeFiles/wifi_test.dir/wifi/ofdm_test.cpp.o.d"
+  "/root/repo/tests/wifi/ppdu_test.cpp" "tests/CMakeFiles/wifi_test.dir/wifi/ppdu_test.cpp.o" "gcc" "tests/CMakeFiles/wifi_test.dir/wifi/ppdu_test.cpp.o.d"
+  "/root/repo/tests/wifi/preamble_test.cpp" "tests/CMakeFiles/wifi_test.dir/wifi/preamble_test.cpp.o" "gcc" "tests/CMakeFiles/wifi_test.dir/wifi/preamble_test.cpp.o.d"
+  "/root/repo/tests/wifi/rates_test.cpp" "tests/CMakeFiles/wifi_test.dir/wifi/rates_test.cpp.o" "gcc" "tests/CMakeFiles/wifi_test.dir/wifi/rates_test.cpp.o.d"
+  "/root/repo/tests/wifi/receiver_test.cpp" "tests/CMakeFiles/wifi_test.dir/wifi/receiver_test.cpp.o" "gcc" "tests/CMakeFiles/wifi_test.dir/wifi/receiver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wifi/CMakeFiles/backfi_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/backfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/backfi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

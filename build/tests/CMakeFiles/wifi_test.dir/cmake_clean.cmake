@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_test.dir/wifi/ofdm_test.cpp.o"
+  "CMakeFiles/wifi_test.dir/wifi/ofdm_test.cpp.o.d"
+  "CMakeFiles/wifi_test.dir/wifi/ppdu_test.cpp.o"
+  "CMakeFiles/wifi_test.dir/wifi/ppdu_test.cpp.o.d"
+  "CMakeFiles/wifi_test.dir/wifi/preamble_test.cpp.o"
+  "CMakeFiles/wifi_test.dir/wifi/preamble_test.cpp.o.d"
+  "CMakeFiles/wifi_test.dir/wifi/rates_test.cpp.o"
+  "CMakeFiles/wifi_test.dir/wifi/rates_test.cpp.o.d"
+  "CMakeFiles/wifi_test.dir/wifi/receiver_test.cpp.o"
+  "CMakeFiles/wifi_test.dir/wifi/receiver_test.cpp.o.d"
+  "wifi_test"
+  "wifi_test.pdb"
+  "wifi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
