@@ -54,11 +54,79 @@ void digital_canceller::adapt(std::span<const cplx> tx, std::span<const cplx> rx
   const std::size_t n = std::min(tx.size(), rx.size());
   taps_ = dsp::estimate_fir_least_squares(tx.first(n), rx.first(n),
                                           config_.n_taps, config_.ridge);
+  conj_taps_.clear();
+  dc_ = {0.0, 0.0};
+  if (!config_.widely_linear && !config_.remove_dc) return;
+
+  // convolve_same zero-pads, so the first (taps - 1) samples of every
+  // emulated waveform are a full-scale warm-up transient — it must be
+  // excluded from all the statistics below or it swamps them.
+  const std::size_t edge = config_.n_taps > 0 ? config_.n_taps - 1 : 0;
+  if (n <= 3 * edge + 4) return;
+
+  if (config_.widely_linear) {
+    cvec ctx(n);
+    for (std::size_t i = 0; i < n; ++i) ctx[i] = std::conj(tx[i]);
+    const auto ctxv = std::span<const cplx>(ctx).subspan(edge);
+    const cvec residual = subtract_filtered(tx.first(n), rx.first(n), taps_);
+    const auto res = std::span<const cplx>(residual).subspan(edge);
+    conj_taps_ = dsp::estimate_fir_least_squares(ctxv, res, config_.n_taps,
+                                                 config_.ridge);
+    // Keep the branch only if it clearly explains training-window power.
+    // On a healthy front end the residual is thermal noise; an LS fit of
+    // that noise yields tiny taps which, multiplied by the full-scale
+    // conj(tx) over the whole packet, would inject interference far above
+    // the noise floor. Requiring a 3 dB training improvement rejects the
+    // noise fit while an actual IQ image (tens of dB above noise) passes.
+    const cvec after = subtract_filtered(ctxv, res, conj_taps_);
+    if (dsp::mean_power(std::span<const cplx>(after).subspan(edge)) <
+        0.5 * dsp::mean_power(res.subspan(edge))) {
+      // Alternating refits: over a short training window, tx and conj(tx)
+      // are spuriously correlated at the 1/sqrt(window) level, so each
+      // sequential fit leaks a few percent of the other branch. A couple
+      // of rounds of re-fitting each branch against rx minus the other's
+      // emulation shrinks that crosstalk geometrically.
+      for (int round = 0; round < 2; ++round) {
+        const cvec conj_emul = dsp::convolve_same(
+            std::span<const cplx>(ctx), conj_taps_);
+        cvec target(n);
+        for (std::size_t i = 0; i < n; ++i) target[i] = rx[i] - conj_emul[i];
+        taps_ = dsp::estimate_fir_least_squares(tx.first(n), target,
+                                                config_.n_taps, config_.ridge);
+        const cvec lin_emul = dsp::convolve_same(tx.first(n), taps_);
+        for (std::size_t i = 0; i < n; ++i) target[i] = rx[i] - lin_emul[i];
+        conj_taps_ = dsp::estimate_fir_least_squares(
+            ctxv, std::span<const cplx>(target).subspan(edge), config_.n_taps,
+            config_.ridge);
+      }
+    } else {
+      conj_taps_.clear();
+    }
+  }
+  if (config_.remove_dc) {
+    // Mean of the fully-cancelled training residual (dc_ is still zero
+    // here, so cancel() applies only the FIR branches).
+    const cvec out = cancel(tx.first(n), rx.first(n));
+    const auto v = std::span<const cplx>(out).subspan(edge);
+    cplx sum = {0.0, 0.0};
+    for (const cplx& s : v) sum += s;
+    dc_ = sum / static_cast<double>(v.size());
+  }
 }
 
 cvec digital_canceller::cancel(std::span<const cplx> tx,
                                std::span<const cplx> rx) const {
-  return subtract_filtered(tx, rx, taps_);
+  cvec out = subtract_filtered(tx, rx, taps_);
+  if (!conj_taps_.empty()) {
+    cvec ctx(tx.size());
+    for (std::size_t i = 0; i < tx.size(); ++i) ctx[i] = std::conj(tx[i]);
+    const cvec emulated = dsp::convolve_same(ctx, conj_taps_);
+    const std::size_t n = std::min(out.size(), emulated.size());
+    for (std::size_t i = 0; i < n; ++i) out[i] -= emulated[i];
+  }
+  if (dc_ != cplx{0.0, 0.0})
+    for (cplx& v : out) v -= dc_;
+  return out;
 }
 
 double cancellation_depth_db(std::span<const cplx> before,

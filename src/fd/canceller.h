@@ -48,6 +48,14 @@ class analog_canceller {
 struct digital_canceller_config {
   std::size_t n_taps = 8;
   double ridge = 1e-9;
+  /// Widely-linear augmentation: also estimate an FIR on conj(tx) and
+  /// subtract it. A plain FIR of tx cannot cancel the image the receive
+  /// path's IQ imbalance makes of the (60+ dB stronger) self-interference;
+  /// the conjugate branch can. Estimated sequentially on the residual.
+  bool widely_linear = false;
+  /// Estimate and subtract the residual's DC component (front-end DC
+  /// offset / LO leakage, which no FIR of a zero-mean tx can produce).
+  bool remove_dc = false;
 };
 
 /// Digital cancellation stage: unconstrained LS FIR estimate of the
@@ -61,11 +69,14 @@ class digital_canceller {
   cvec cancel(std::span<const cplx> tx, std::span<const cplx> rx) const;
 
   const cvec& taps() const { return taps_; }
+  const cvec& conjugate_taps() const { return conj_taps_; }
   bool adapted() const { return !taps_.empty(); }
 
  private:
   digital_canceller_config config_;
   cvec taps_;
+  cvec conj_taps_;          ///< widely-linear branch (empty when disabled)
+  cplx dc_ = {0.0, 0.0};    ///< estimated residual DC (remove_dc)
 };
 
 /// Cancellation depth [dB]: input power over residual power for a segment.

@@ -1,6 +1,6 @@
 #include "fd/receive_chain.h"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
 
 #include "dsp/vec_ops.h"
@@ -12,9 +12,17 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
                                        std::size_t silent_begin,
                                        std::size_t silent_end,
                                        const receive_chain_config& config) {
-  assert(tx.size() == rx.size());
-  assert(silent_begin < silent_end && silent_end <= rx.size());
   receive_chain_result result;
+  // A degenerate adaptation window (or misaligned tx/rx) would train both
+  // cancellers on garbage and silently "cancel" the backscatter itself.
+  // Flag it and pass the input through untouched instead.
+  if (tx.size() != rx.size() || silent_begin >= silent_end ||
+      silent_end > rx.size()) {
+    result.cancellation_bypassed = true;
+    result.cleaned.assign(rx.begin(), rx.end());
+    result.residual_power = dsp::mean_power(result.cleaned);
+    return result;
+  }
 
   const auto tx_silent = tx.subspan(silent_begin, silent_end - silent_begin);
   const auto rx_silent = rx.subspan(silent_begin, silent_end - silent_begin);
@@ -31,6 +39,11 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
   result.analog_depth_db = cancellation_depth_db(
       rx_silent, std::span(after_analog).subspan(silent_begin,
                                                  silent_end - silent_begin));
+
+  // --- Receive front end (downconverter) fault hook ---
+  if (config.front_end_hook) {
+    config.front_end_hook(std::span<cplx>(after_analog));
+  }
 
   // --- AGC + ADC ---
   cvec digitized;
@@ -58,6 +71,89 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
     result.cleaned = digital.cancel(tx, digitized);
   } else {
     result.cleaned = std::move(digitized);
+  }
+
+  // --- Residual gain tracking (see receive_chain_config) ---
+  // Tracks against the DIGITAL stage's SI model (digitized - cleaned): the
+  // front end sits after the analog canceller, so every LO/IQ blemish acts
+  // on the analog residual, whose tx-correlated part is exactly what the
+  // digital taps captured on the silent window.
+  //
+  // Two passes:
+  //  1. A single widely-linear (a, conj) fit over the WHOLE buffer. The IQ
+  //     image coefficient of the front end is static, and while the
+  //     BPSK-subcarrier OFDM excitation is strongly improper over any one
+  //     symbol (the E[x^2] comb makes model and conjugate near-collinear
+  //     per block), the comb lands on the null DC/Nyquist subcarriers when
+  //     averaged over the full packet — globally the 2x2 solve is well
+  //     conditioned even though per-block it is not.
+  //  2. A per-block complex gain on the model alone, linearly interpolated
+  //     between block centres: absorbs LO rotation (CFO/phase noise) that
+  //     is locally linear in time, leaving only second-order residue.
+  // The backscatter's projection on the model is ~SI - 90 dB, so neither
+  // pass touches the tag signal.
+  if (config.track_residual_gain && config.enable_digital &&
+      result.cleaned.size() > 1) {
+    const std::size_t n = result.cleaned.size();
+    // Pass 1: static widely-linear residual fit.
+    {
+      double p = 0.0;     // sum |m|^2
+      cplx s{0.0, 0.0};   // sum conj(m)^2 — cross term of the two columns
+      cplx r1{0.0, 0.0};  // sum cleaned * conj(m)
+      cplx r2{0.0, 0.0};  // sum cleaned * m
+      for (std::size_t i = 0; i < n; ++i) {
+        const cplx m = digitized[i] - result.cleaned[i];
+        p += std::norm(m);
+        s += std::conj(m * m);
+        r1 += result.cleaned[i] * std::conj(m);
+        r2 += result.cleaned[i] * m;
+      }
+      const double loaded = p * (1.0 + 1e-3) + 1e-30;
+      const double det = loaded * loaded - std::norm(s);
+      const cplx a0 = (loaded * r1 - s * r2) / det;
+      const cplx b0 = (loaded * r2 - std::conj(s) * r1) / det;
+      for (std::size_t i = 0; i < n; ++i) {
+        const cplx m = digitized[i] - result.cleaned[i];
+        result.cleaned[i] -= a0 * m + b0 * std::conj(m);
+      }
+    }
+    // Pass 2: per-block rotation tracking.
+    const std::size_t block = std::max<std::size_t>(config.gain_block, 2);
+    const std::size_t n_blocks = (n + block - 1) / block;
+    std::vector<cplx> gain_a(n_blocks);
+    std::vector<double> centre(n_blocks, 0.0);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const std::size_t begin = b * block;
+      const std::size_t end = std::min(begin + block, n);
+      double p = 0.0;
+      cplx r1{0.0, 0.0};
+      for (std::size_t i = begin; i < end; ++i) {
+        const cplx m = digitized[i] - result.cleaned[i];
+        p += std::norm(m);
+        r1 += result.cleaned[i] * std::conj(m);
+      }
+      gain_a[b] = r1 / (p * (1.0 + 1e-3) + 1e-30);
+      centre[b] = 0.5 * static_cast<double>(begin + end - 1);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pos = static_cast<double>(i);
+      std::size_t b = std::min(i / block, n_blocks - 1);
+      cplx a;
+      if (pos <= centre[0] || n_blocks == 1) {
+        a = gain_a[0];
+      } else if (pos >= centre[n_blocks - 1]) {
+        a = gain_a[n_blocks - 1];
+      } else {
+        if (pos < centre[b] && b > 0) --b;
+        const std::size_t hi = std::min(b + 1, n_blocks - 1);
+        const double span_len = centre[hi] - centre[b];
+        const double frac =
+            span_len > 0.0 ? (pos - centre[b]) / span_len : 0.0;
+        a = gain_a[b] + (gain_a[hi] - gain_a[b]) * frac;
+      }
+      const cplx m = digitized[i] - result.cleaned[i];
+      result.cleaned[i] -= a * m;
+    }
   }
 
   const auto cleaned_silent = std::span(result.cleaned)

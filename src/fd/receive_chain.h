@@ -3,6 +3,7 @@
 // the packet (paper Fig. 5).
 #pragma once
 
+#include <functional>
 #include <span>
 
 #include "fd/adc.h"
@@ -18,6 +19,22 @@ struct receive_chain_config {
   bool enable_digital = true;  ///< failure injection: bypass digital stage
   bool enable_adc = true;      ///< ideal (infinite resolution) front end
   double agc_headroom = 4.0;
+  /// Residual gain tracking: both cancellation stages are static fits from
+  /// the silent window, so any LO rotation (TX/RX reference mismatch,
+  /// phase noise) re-grows the 90+ dB self-interference as SI*(e^{j\theta(t)}-1)
+  /// over the packet. Tracking re-estimates a complex gain on the summed
+  /// SI model per `gain_block` samples (linearly interpolated between block
+  /// centres) and subtracts it. The backscatter's projection on the model
+  /// is ~SI - 90 dB, so the tracker barely sees it — the scalar analogue
+  /// of hardware residual phase tracking, not a protocol violation.
+  bool track_residual_gain = false;
+  std::size_t gain_block = 80;
+  /// Fault-injection hook for the receive front end, applied between the
+  /// analog cancellation stage and the ADC — the physical location of the
+  /// downconverter, whose LO/IQ blemishes (CFO, phase noise, IQ imbalance,
+  /// DC offset) act on the analog-cancelled waveform, not on the raw
+  /// antenna signal the RF canceller sees.
+  std::function<void(std::span<cplx>)> front_end_hook;
 };
 
 /// Result of running the chain over a full packet.
@@ -27,11 +44,16 @@ struct receive_chain_result {
   double total_depth_db = 0.0;    ///< SI suppression of both stages
   double residual_power = 0.0;    ///< mean residual power in the silent window
   bool adc_saturated = false;     ///< clipping detected at the ADC
+  /// Set when the adaptation window was degenerate (empty/reversed/past the
+  /// buffer, or tx/rx misaligned): no stage adapted, `cleaned` is the raw
+  /// rx, and the depths are zero. Callers must not trust the cancellation.
+  bool cancellation_bypassed = false;
 };
 
 /// Adapt on rx[silent_begin, silent_end) against the aligned tx samples and
 /// clean the entire rx buffer. tx and rx must be time-aligned and equally
-/// long.
+/// long; a degenerate silent window or misaligned buffers return a flagged
+/// pass-through result instead of adapting on garbage.
 receive_chain_result run_receive_chain(std::span<const cplx> tx,
                                        std::span<const cplx> rx,
                                        std::size_t silent_begin,

@@ -1,0 +1,40 @@
+// Bursty additive faults on the receive path: ADC-saturating impulse
+// bursts (a nearby radar/microwave-oven-class blocker that blows through
+// the AGC) and a moderate bursty WiFi interferer (a hidden BSS transmitting
+// over the excitation, GuardRider's "unreliable excitation in the wild").
+// Burst arrivals are a Poisson process over the span; everything is driven
+// by an explicit dsp::rng for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace backfi::impair {
+
+/// High-power impulsive bursts sized relative to the span's RMS so they
+/// saturate any AGC-set ADC full scale (headroom is typically 4x RMS).
+struct saturation_burst_config {
+  double bursts_per_ms = 0.0;       ///< Poisson arrival rate
+  double mean_duration_us = 2.0;    ///< exponential burst length
+  double amplitude_over_rms = 40.0; ///< burst amplitude relative to span RMS
+};
+
+void apply_saturation_bursts(const saturation_burst_config& config,
+                             std::span<cplx> x, dsp::rng& gen);
+
+/// Bursty co-channel WiFi interferer: on/off bursts of wideband (complex
+/// Gaussian) energy at a configurable power over the span's mean power.
+/// Models a hidden terminal whose packets overlap the backscatter window.
+struct interferer_config {
+  double bursts_per_ms = 0.0;        ///< Poisson packet arrivals
+  double mean_duration_us = 200.0;   ///< typical WiFi frame airtime
+  double power_db_over_signal = 0.0; ///< burst power relative to span mean
+};
+
+void apply_interferer(const interferer_config& config, std::span<cplx> x,
+                      dsp::rng& gen);
+
+}  // namespace backfi::impair

@@ -1,0 +1,72 @@
+#include "impair/rf_impairments.h"
+
+#include <cmath>
+
+namespace backfi::impair {
+
+void apply_cfo(const cfo_config& config, std::span<cplx> x,
+               std::size_t start_sample) {
+  if (config.offset_hz == 0.0 && config.drift_hz_per_s == 0.0) return;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double t =
+        static_cast<double>(start_sample + n) * sample_period_s;
+    // Instantaneous frequency f0 + d*t integrates to f0*t + d*t^2/2.
+    const double phase =
+        two_pi * (config.offset_hz * t + 0.5 * config.drift_hz_per_s * t * t);
+    x[n] *= cplx{std::cos(phase), std::sin(phase)};
+  }
+}
+
+void apply_phase_noise(const phase_noise_config& config, std::span<cplx> x,
+                       dsp::rng& gen) {
+  if (config.linewidth_hz <= 0.0) return;
+  const double sigma =
+      std::sqrt(two_pi * config.linewidth_hz * sample_period_s);
+  double phase = 0.0;
+  for (cplx& v : x) {
+    phase += sigma * gen.gaussian();
+    v *= cplx{std::cos(phase), std::sin(phase)};
+  }
+}
+
+void apply_iq_imbalance(const iq_imbalance_config& config, std::span<cplx> x) {
+  const double g = std::pow(10.0, config.gain_mismatch_db / 20.0);
+  const double phi = config.phase_skew_deg * pi / 180.0;
+  const bool skewed = config.gain_mismatch_db != 0.0 || phi != 0.0;
+  cplx dc = config.dc_offset;
+  if (config.dc_over_rms != 0.0 && !x.empty()) {
+    double power = 0.0;
+    for (const cplx& v : x) power += std::norm(v);
+    const double rms = std::sqrt(power / static_cast<double>(x.size()));
+    const double scale = config.dc_over_rms * rms / std::sqrt(2.0);
+    dc += cplx{scale, scale};
+  }
+  for (cplx& v : x) {
+    if (skewed) {
+      // Q rail gains g and leaks sin(phi) of the I rail (quadrature error).
+      const double i = v.real();
+      const double q = g * (v.imag() * std::cos(phi) + i * std::sin(phi));
+      v = {i, q};
+    }
+    v += dc;
+  }
+}
+
+void apply_sampling_offset(const sampling_offset_config& config,
+                           std::span<cplx> x) {
+  if (config.ppm == 0.0 || x.size() < 2) return;
+  const double ratio = 1.0 + config.ppm * 1e-6;
+  cvec src(x.begin(), x.end());
+  const double last = static_cast<double>(src.size() - 1);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    double pos = static_cast<double>(n) * ratio;
+    if (pos >= last) pos = last;
+    const std::size_t k = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(k);
+    const cplx lo = src[k];
+    const cplx hi = src[k + 1 < src.size() ? k + 1 : k];
+    x[n] = lo + (hi - lo) * frac;
+  }
+}
+
+}  // namespace backfi::impair

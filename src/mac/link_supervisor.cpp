@@ -1,0 +1,155 @@
+#include "mac/link_supervisor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace backfi::mac {
+
+const char* to_string(link_state state) {
+  switch (state) {
+    case link_state::healthy: return "healthy";
+    case link_state::retrying: return "retrying";
+    case link_state::backoff: return "backoff";
+    case link_state::probing: return "probing";
+    case link_state::suspended: return "suspended";
+  }
+  return "unknown";
+}
+
+link_supervisor::link_supervisor(tag_scheduler& scheduler,
+                                 const arq_config& config)
+    : scheduler_(scheduler), config_(config) {
+  // The supervisor owns rate control; the scheduler only keeps the books.
+  scheduler_.set_auto_rate_fallback(false);
+  for (const std::uint32_t id : scheduler_.tag_ids()) {
+    tag_record record;
+    record.id = id;
+    records_.push_back(record);
+  }
+}
+
+link_supervisor::tag_record& link_supervisor::record_of(std::uint32_t id) {
+  for (auto& r : records_)
+    if (r.id == id) return r;
+  throw std::out_of_range("link_supervisor: unsupervised tag id");
+}
+
+const link_supervisor::tag_record& link_supervisor::record_of(
+    std::uint32_t id) const {
+  for (const auto& r : records_)
+    if (r.id == id) return r;
+  throw std::out_of_range("link_supervisor: unsupervised tag id");
+}
+
+std::optional<std::uint32_t> link_supervisor::next() {
+  // Pending ARQ retries first, rotating fairly among them. A retry still
+  // consumes the opportunity, so the scheduler's clock must advance (the
+  // other tags' backoff windows keep draining).
+  for (std::size_t step = 0; step < records_.size(); ++step) {
+    auto& r = records_[(retry_cursor_ + step) % records_.size()];
+    if (r.retry_pending) {
+      retry_cursor_ = (retry_cursor_ + step + 1) % records_.size();
+      scheduler_.advance_opportunity();
+      return r.id;
+    }
+  }
+  const auto chosen = scheduler_.next();
+  // Every tag still inside its backoff window spent this opportunity
+  // deferred — including the case where nobody was pollable at all (a
+  // single supervised tag backing off idles the whole slot).
+  for (auto& r : records_)
+    if ((!chosen || r.id != *chosen) && scheduler_.is_deferred(r.id))
+      ++r.stats.deferred_polls;
+  return chosen;
+}
+
+void link_supervisor::handle_transaction_failure(tag_record& r) {
+  tag::tag_rate_config rate = scheduler_.descriptor(r.id).rate;
+  if (fallback_rate(rate)) {
+    scheduler_.set_rate(r.id, rate);
+    ++r.stats.fallbacks;
+    ++r.fallback_streak;
+    const std::size_t shift = std::min<std::size_t>(r.fallback_streak - 1, 16);
+    const std::size_t backoff =
+        std::min(config_.backoff_cap, config_.backoff_base << shift);
+    scheduler_.defer(r.id, backoff);
+    r.state = link_state::backoff;
+    return;
+  }
+  // Already at the robust floor: count dead cycles toward suspension.
+  ++r.floor_failures;
+  if (r.floor_failures >= config_.suspend_after) {
+    if (r.state != link_state::suspended) ++r.stats.suspensions;
+    r.state = link_state::suspended;
+    scheduler_.defer(r.id, config_.suspend_poll_interval);
+  } else {
+    const std::size_t shift = std::min<std::size_t>(
+        r.fallback_streak + r.floor_failures - 1, 16);
+    scheduler_.defer(r.id, std::min(config_.backoff_cap,
+                                    config_.backoff_base << shift));
+    r.state = link_state::backoff;
+  }
+}
+
+void link_supervisor::report_result(std::uint32_t id, bool success,
+                                    double delivered_bits) {
+  tag_record& r = record_of(id);
+  scheduler_.report_result(id, success, delivered_bits);
+
+  if (success) {
+    if (r.state != link_state::healthy) ++r.stats.recoveries;
+    r.state = link_state::healthy;
+    r.retries_used = 0;
+    r.retry_pending = false;
+    r.fallback_streak = 0;
+    r.floor_failures = 0;
+    ++r.success_streak;
+    if (r.success_streak >= config_.probe_up_after) {
+      tag::tag_rate_config rate = scheduler_.descriptor(id).rate;
+      r.pre_probe_rate = rate;
+      if (probe_up_rate(rate)) {
+        scheduler_.set_rate(id, rate);
+        ++r.stats.probe_ups;
+        r.state = link_state::probing;
+      }
+      r.success_streak = 0;
+    }
+    return;
+  }
+
+  r.success_streak = 0;
+  if (r.state == link_state::probing) {
+    // First failure after a probe-up: revert immediately, no retry burn.
+    scheduler_.set_rate(id, r.pre_probe_rate);
+    ++r.stats.fallbacks;
+    r.state = link_state::healthy;
+    return;
+  }
+
+  if (r.retries_used < config_.max_retries) {
+    ++r.retries_used;
+    ++r.stats.retries;
+    r.retry_pending = true;
+    r.state = link_state::retrying;
+    return;
+  }
+
+  // Transaction failed outright (retries exhausted). The scheduler's
+  // consecutive-failure counter is now >= fallback_after by construction;
+  // honour it anyway so a reconfigured threshold behaves as documented.
+  r.retries_used = 0;
+  r.retry_pending = false;
+  if (scheduler_.stats(id).consecutive_failures >=
+      static_cast<double>(config_.fallback_after))
+    handle_transaction_failure(r);
+}
+
+link_state link_supervisor::state(std::uint32_t id) const {
+  return record_of(id).state;
+}
+
+const supervision_stats& link_supervisor::stats(std::uint32_t id) const {
+  return record_of(id).stats;
+}
+
+}  // namespace backfi::mac

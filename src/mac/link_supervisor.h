@@ -1,0 +1,101 @@
+// ARQ and link supervision on top of mac::tag_scheduler.
+//
+// The paper's rate adaptation (Section 6.1) assumes the link is merely
+// noisy; in the wild (GuardRider, arXiv:1912.06493) the excitation itself
+// is bursty and unreliable, so the AP needs a per-tag state machine that
+// (a) retries a failed packet a bounded number of times immediately,
+// (b) falls back to a more robust operating point and backs its polling
+//     off exponentially when retries keep failing (driven off the
+//     scheduler's tag_stats::consecutive_failures counter),
+// (c) probes back up after a healthy streak, reverting on the first
+//     probe failure, and
+// (d) suspends a tag that stays dead at the most robust point, keeping a
+//     slow keepalive poll so it can revive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mac/tag_network.h"
+
+namespace backfi::mac {
+
+struct arq_config {
+  std::size_t max_retries = 3;     ///< immediate re-polls per transaction
+  /// Consecutive failed polls (retries included) before a rate fallback.
+  std::size_t fallback_after = 2;
+  std::size_t backoff_base = 2;    ///< polls skipped after first fallback
+  std::size_t backoff_cap = 16;    ///< ceiling of the exponential backoff
+  /// Consecutive successes before probing one step faster.
+  std::size_t probe_up_after = 16;
+  /// Fallback cycles at the most robust point before suspension.
+  std::size_t suspend_after = 3;
+  /// Keepalive poll period while suspended.
+  std::size_t suspend_poll_interval = 32;
+};
+
+enum class link_state : std::uint8_t {
+  healthy,    ///< delivering at the current operating point
+  retrying,   ///< transaction failed, immediate re-poll pending
+  backoff,    ///< rate dropped, polls deferred exponentially
+  probing,    ///< trying one step faster after a healthy streak
+  suspended,  ///< dead at the most robust point; keepalive polls only
+};
+
+const char* to_string(link_state state);
+
+struct supervision_stats {
+  std::size_t retries = 0;        ///< immediate re-polls issued
+  std::size_t fallbacks = 0;      ///< rate steps down (incl. probe reverts)
+  std::size_t probe_ups = 0;      ///< rate steps up attempted
+  std::size_t deferred_polls = 0; ///< opportunities spent backed off
+  std::size_t suspensions = 0;
+  std::size_t recoveries = 0;     ///< successes that left a degraded state
+};
+
+/// Supervises the tags of one scheduler. The caller runs the loop:
+///   auto id = supervisor.next();        // instead of scheduler.next()
+///   ... run the poll ...
+///   supervisor.report_result(*id, ok, bits);  // instead of scheduler's
+class link_supervisor {
+ public:
+  explicit link_supervisor(tag_scheduler& scheduler,
+                           const arq_config& config = {});
+
+  /// Next tag to poll: a pending ARQ retry takes precedence over the
+  /// scheduler's pick (the retry burns the opportunity either way).
+  std::optional<std::uint32_t> next();
+
+  /// Outcome of one poll; drives the per-tag state machine and forwards
+  /// backlog/statistics bookkeeping to the scheduler.
+  void report_result(std::uint32_t id, bool success, double delivered_bits);
+
+  link_state state(std::uint32_t id) const;
+  const supervision_stats& stats(std::uint32_t id) const;
+  const arq_config& config() const { return config_; }
+
+ private:
+  struct tag_record {
+    std::uint32_t id = 0;
+    link_state state = link_state::healthy;
+    std::size_t retries_used = 0;      ///< within the current transaction
+    bool retry_pending = false;
+    std::size_t fallback_streak = 0;   ///< consecutive fallbacks, no success
+    std::size_t floor_failures = 0;    ///< failed cycles at the robust floor
+    std::size_t success_streak = 0;
+    tag::tag_rate_config pre_probe_rate;  ///< revert target while probing
+    supervision_stats stats;
+  };
+
+  tag_record& record_of(std::uint32_t id);
+  const tag_record& record_of(std::uint32_t id) const;
+  void handle_transaction_failure(tag_record& r);
+
+  tag_scheduler& scheduler_;
+  arq_config config_;
+  std::vector<tag_record> records_;
+  std::size_t retry_cursor_ = 0;  ///< fair rotation among pending retries
+};
+
+}  // namespace backfi::mac

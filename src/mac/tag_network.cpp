@@ -9,11 +9,19 @@ namespace backfi::mac {
 namespace {
 
 /// Supported symbol rates, ascending (the Fig. 7 columns).
+constexpr double kRates[] = {1e4, 1e5, 5e5, 1e6, 2e6, 2.5e6};
+
 const double* symbol_rate_below(double current) {
-  static constexpr double kRates[] = {1e4, 1e5, 5e5, 1e6, 2e6, 2.5e6};
   const double* found = nullptr;
   for (const double& r : kRates)
     if (r < current - 1.0 && (found == nullptr || r > *found)) found = &r;
+  return found;
+}
+
+const double* symbol_rate_above(double current) {
+  const double* found = nullptr;
+  for (const double& r : kRates)
+    if (r > current + 1.0 && (found == nullptr || r < *found)) found = &r;
   return found;
 }
 
@@ -61,6 +69,31 @@ bool fallback_rate(tag::tag_rate_config& rate) {
   return false;
 }
 
+bool probe_up_rate(tag::tag_rate_config& rate) {
+  if (const double* higher = symbol_rate_above(rate.symbol_rate_hz)) {
+    rate.symbol_rate_hz = *higher;
+    return true;
+  }
+  if (rate.coding == phy::code_rate::half) {
+    rate.coding = phy::code_rate::two_thirds;
+    return true;
+  }
+  switch (rate.modulation) {
+    case tag::tag_modulation::bpsk:
+      rate.modulation = tag::tag_modulation::qpsk;
+      return true;
+    case tag::tag_modulation::qpsk:
+      rate.modulation = tag::tag_modulation::psk8;
+      return true;
+    case tag::tag_modulation::psk8:
+      rate.modulation = tag::tag_modulation::psk16;
+      return true;
+    case tag::tag_modulation::psk16:
+      return false;  // already fastest
+  }
+  return false;
+}
+
 tag_scheduler::tag_scheduler(policy p) : policy_(p) {}
 
 void tag_scheduler::add_tag(const tag_descriptor& tag) {
@@ -70,6 +103,7 @@ void tag_scheduler::add_tag(const tag_descriptor& tag) {
   tags_.push_back(tag);
   stats_.emplace_back();
   deficit_.push_back(0.0);
+  defer_until_.push_back(0);
 }
 
 std::size_t tag_scheduler::index_of(std::uint32_t id) const {
@@ -79,9 +113,13 @@ std::size_t tag_scheduler::index_of(std::uint32_t id) const {
 }
 
 std::optional<std::uint32_t> tag_scheduler::next() {
+  advance_opportunity();
   if (tags_.empty()) return std::nullopt;
+  // Eligible = backlogged and past any poll-backoff window. The clock
+  // advanced on entry, so a defer of n set at opportunity k gates the
+  // polls at k+1 .. k+n (strict comparison).
   const auto has_backlog = [&](std::size_t i) {
-    return tags_[i].backlog_bits > 0.0;
+    return tags_[i].backlog_bits > 0.0 && defer_until_[i] < opportunity_;
   };
 
   switch (policy_) {
@@ -135,12 +173,34 @@ void tag_scheduler::report_result(std::uint32_t id, bool success,
     stats_[i].consecutive_failures = 0.0;
   } else {
     stats_[i].consecutive_failures += 1.0;
-    // Two consecutive failures: fall back to a more robust point.
-    if (stats_[i].consecutive_failures >= 2.0) {
+    // Two consecutive failures: fall back to a more robust point. With
+    // auto fallback off the counter keeps growing and an external
+    // controller (mac::link_supervisor) reads it to drive recovery.
+    if (auto_rate_fallback_ && stats_[i].consecutive_failures >= 2.0) {
       fallback_rate(tags_[i].rate);
       stats_[i].consecutive_failures = 0.0;
     }
   }
+}
+
+void tag_scheduler::set_rate(std::uint32_t id,
+                             const tag::tag_rate_config& rate) {
+  tags_[index_of(id)].rate = rate;
+}
+
+void tag_scheduler::defer(std::uint32_t id, std::size_t opportunities) {
+  defer_until_[index_of(id)] = opportunity_ + opportunities;
+}
+
+bool tag_scheduler::is_deferred(std::uint32_t id) const {
+  return defer_until_[index_of(id)] >= opportunity_ + 1;
+}
+
+std::vector<std::uint32_t> tag_scheduler::tag_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(tags_.size());
+  for (const auto& t : tags_) ids.push_back(t.id);
+  return ids;
 }
 
 void tag_scheduler::enqueue(std::uint32_t id, double bits) {

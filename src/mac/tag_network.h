@@ -62,6 +62,29 @@ class tag_scheduler {
   /// Add new sensor data to a tag's queue.
   void enqueue(std::uint32_t id, double bits);
 
+  /// Overwrite a tag's operating point (used by an external rate
+  /// controller such as mac::link_supervisor).
+  void set_rate(std::uint32_t id, const tag::tag_rate_config& rate);
+
+  /// Skip a tag for the next `opportunities` calls to next() (poll
+  /// backoff). A new defer replaces any pending one.
+  void defer(std::uint32_t id, std::size_t opportunities);
+
+  /// True while a tag is still inside a defer window.
+  bool is_deferred(std::uint32_t id) const;
+
+  /// Advance the opportunity clock without polling (a retry or an idle
+  /// slot still consumes airtime, so defer windows must keep draining).
+  void advance_opportunity() { ++opportunity_; }
+
+  /// When disabled, report_result() only keeps statistics: the
+  /// consecutive-failure counter keeps growing and rate fallback is left
+  /// to an external controller. Enabled by default (legacy behaviour).
+  void set_auto_rate_fallback(bool enabled) { auto_rate_fallback_ = enabled; }
+
+  /// Ids of all registered tags, in registration order.
+  std::vector<std::uint32_t> tag_ids() const;
+
   const tag_descriptor& descriptor(std::uint32_t id) const;
   const tag_stats& stats(std::uint32_t id) const;
 
@@ -78,7 +101,10 @@ class tag_scheduler {
   std::vector<tag_descriptor> tags_;
   std::vector<tag_stats> stats_;
   std::vector<double> deficit_;  ///< weighted policy credit
+  std::vector<std::size_t> defer_until_;  ///< opportunity index gate
   std::size_t rr_cursor_ = 0;
+  std::size_t opportunity_ = 0;
+  bool auto_rate_fallback_ = true;
 };
 
 /// Step a tag's operating point to the next more robust one (used by the
@@ -86,5 +112,10 @@ class tag_scheduler {
 /// minimum, drop the modulation order / coding rate. Returns false when
 /// already at the most robust point.
 bool fallback_rate(tag::tag_rate_config& rate);
+
+/// Inverse ladder for probing a faster point after a healthy streak:
+/// raise the symbol rate; at the maximum clock, raise the coding rate,
+/// then the modulation order. Returns false at the fastest point.
+bool probe_up_rate(tag::tag_rate_config& rate);
 
 }  // namespace backfi::mac

@@ -1,7 +1,6 @@
 #include "reader/decoder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "dsp/fir.h"
@@ -16,7 +15,31 @@ namespace backfi::reader {
 
 namespace {
 constexpr std::size_t samples_per_us = 20;
+
+bool all_finite(std::span<const cplx> v) {
+  for (const cplx& s : v)
+    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) return false;
+  return true;
+}
 }  // namespace
+
+const char* to_string(decode_failure failure) {
+  switch (failure) {
+    case decode_failure::none: return "none";
+    case decode_failure::empty_input: return "empty_input";
+    case decode_failure::size_mismatch: return "size_mismatch";
+    case decode_failure::origin_out_of_range: return "origin_out_of_range";
+    case decode_failure::zero_payload: return "zero_payload";
+    case decode_failure::payload_too_long: return "payload_too_long";
+    case decode_failure::estimation_window_too_short:
+      return "estimation_window_too_short";
+    case decode_failure::non_finite_samples: return "non_finite_samples";
+    case decode_failure::sync_not_found: return "sync_not_found";
+    case decode_failure::insufficient_symbols: return "insufficient_symbols";
+    case decode_failure::crc_failed: return "crc_failed";
+  }
+  return "unknown";
+}
 
 backfi_decoder::backfi_decoder(const tag::tag_config& tag_config,
                                const decoder_config& config)
@@ -26,12 +49,15 @@ cvec backfi_decoder::estimate_combined_channel(std::span<const cplx> x,
                                                std::span<const cplx> y,
                                                std::size_t preamble_begin,
                                                std::size_t preamble_end) const {
-  assert(preamble_end > preamble_begin);
+  const std::size_t limit = std::min(x.size(), y.size());
+  const std::size_t end = std::min(preamble_end, limit);
+  if (end <= preamble_begin) return {};
   // Shift the window back by (taps - 1) so the estimator sees the full
   // excitation history for every row it uses.
   const std::size_t history = config_.fb_taps - 1;
   const std::size_t start = preamble_begin >= history ? preamble_begin - history : 0;
-  const std::size_t len = std::min(preamble_end, x.size()) - start;
+  const std::size_t len = end - start;
+  if (len < config_.fb_taps) return {};
   return dsp::estimate_fir_least_squares(x.subspan(start, len),
                                          y.subspan(start, len), config_.fb_taps,
                                          config_.ridge);
@@ -41,8 +67,28 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
                                      std::span<const cplx> y,
                                      std::size_t nominal_origin,
                                      std::size_t payload_bits) const {
-  assert(x.size() == y.size());
   decode_result result;
+  // --- Input validation: malformed captures return a typed failure ---
+  if (x.empty() || y.empty()) {
+    result.failure = decode_failure::empty_input;
+    return result;
+  }
+  if (x.size() != y.size()) {
+    result.failure = decode_failure::size_mismatch;
+    return result;
+  }
+  if (nominal_origin >= x.size()) {
+    result.failure = decode_failure::origin_out_of_range;
+    return result;
+  }
+  if (payload_bits == 0) {
+    result.failure = decode_failure::zero_payload;
+    return result;
+  }
+  if (!all_finite(x) || !all_finite(y)) {
+    result.failure = decode_failure::non_finite_samples;
+    return result;
+  }
 
   const tag::tag_device device(tag_config_);
   const std::size_t sps = device.samples_per_symbol();
@@ -57,63 +103,86 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
   // symbol with the previous symbol's phase (paper Fig. 6 "sample ignored").
   const std::size_t guard =
       std::min<std::size_t>(config_.fb_taps - 1, sps > 2 ? sps - 2 : 1);
-  const int search = config_.timing_search;
 
-  // The payload must fit even at the maximum timing offset.
-  if (data_begin + n_payload_symbols * sps + static_cast<std::size_t>(search) >
-      y.size())
-    return result;
-
-  // --- 1. Combined channel estimate from the constant-phase preamble ---
-  // Trim the window so it stays inside the constant-phase region for any
-  // timing offset within the search range.
-  const std::size_t margin = static_cast<std::size_t>(search) + config_.fb_taps;
-  const std::size_t est_begin = preamble_begin + margin;
-  const std::size_t est_end = sync_begin > margin ? sync_begin - margin : 0;
-  if (est_end <= est_begin + 4 * config_.fb_taps) return result;
-  result.h_fb = estimate_combined_channel(x, y, est_begin, est_end);
-
-  // Expected unmodulated backscatter over the whole timeline.
-  const cvec yhat = dsp::convolve_same(x, result.h_fb);
-
-  // --- 2. Symbol timing from the sync word ---
   const auto sync_labels = device.sync_labels();
   const auto& constellation =
       phy::psk_constellation(tag::psk_order(tag_config_.rate.modulation));
+  std::vector<std::size_t> by_label(constellation.points.size());
+  for (std::size_t i = 0; i < constellation.points.size(); ++i)
+    by_label[constellation.labels[i]] = i;
   cvec sync_points(sync_labels.size());
-  {
-    std::vector<std::size_t> by_label(constellation.points.size());
-    for (std::size_t i = 0; i < constellation.points.size(); ++i)
-      by_label[constellation.labels[i]] = i;
-    for (std::size_t i = 0; i < sync_labels.size(); ++i)
-      sync_points[i] = constellation.points[by_label[sync_labels[i]]];
-  }
+  for (std::size_t i = 0; i < sync_labels.size(); ++i)
+    sync_points[i] = constellation.points[by_label[sync_labels[i]]];
 
+  // --- 1+2. Channel estimation and sync timing, with re-acquisition:
+  // each attempt widens the timing search (the estimation window shrinks
+  // accordingly so it stays inside the constant-phase region at any
+  // candidate offset). Attempt 0 failing its geometry checks is a typed
+  // error; a widened attempt that no longer fits just stops the retries.
   int best_offset = 0;
   double best_score = -1.0;
   cplx best_reference{1.0, 0.0};
-  for (int offset = -search; offset <= search; ++offset) {
-    const std::size_t start = sync_begin + static_cast<std::size_t>(
-                                  static_cast<std::ptrdiff_t>(offset));
-    const cvec m = mrc_symbol_estimates(y, yhat, start, sps, sync_labels.size(),
-                                        guard);
-    cplx corr{0.0, 0.0};
-    double energy = 0.0;
-    for (std::size_t i = 0; i < m.size(); ++i) {
-      corr += m[i] * std::conj(sync_points[i]);
-      energy += std::norm(m[i]);
+  cvec yhat;
+  double search_width = static_cast<double>(std::max(config_.timing_search, 0));
+  for (std::size_t attempt = 0; attempt <= config_.sync_retries; ++attempt,
+                   search_width *= std::max(config_.retry_search_scale, 1.0)) {
+    const int search =
+        static_cast<int>(std::min(search_width, 1e6));
+    // The payload must fit even at the maximum timing offset, and the
+    // negative extreme must not run off the front of the sync region.
+    const bool fits =
+        data_begin + n_payload_symbols * sps + static_cast<std::size_t>(search) <=
+            y.size() &&
+        sync_begin >= static_cast<std::size_t>(search);
+    const std::size_t margin = static_cast<std::size_t>(search) + config_.fb_taps;
+    const std::size_t est_begin = preamble_begin + margin;
+    const std::size_t est_end = sync_begin > margin ? sync_begin - margin : 0;
+    const bool estimable = est_end > est_begin + 4 * config_.fb_taps;
+    if (!fits || !estimable) {
+      if (attempt == 0) {
+        result.failure = !fits ? decode_failure::payload_too_long
+                               : decode_failure::estimation_window_too_short;
+        return result;
+      }
+      break;  // cannot widen further; keep the best narrow-scan score
     }
-    const double denom = std::sqrt(energy * static_cast<double>(m.size()));
-    const double score = denom > 0.0 ? std::abs(corr) / denom : 0.0;
-    if (score > best_score) {
-      best_score = score;
-      best_offset = offset;
-      best_reference = corr / static_cast<double>(m.size());
+    ++result.sync_attempts;
+
+    result.h_fb = estimate_combined_channel(x, y, est_begin, est_end);
+    if (result.h_fb.empty()) {
+      result.failure = decode_failure::estimation_window_too_short;
+      return result;
     }
+    // Expected unmodulated backscatter over the whole timeline.
+    yhat = dsp::convolve_same(x, result.h_fb);
+
+    for (int offset = -search; offset <= search; ++offset) {
+      const std::size_t start = sync_begin + static_cast<std::size_t>(
+                                    static_cast<std::ptrdiff_t>(offset));
+      const cvec m = mrc_symbol_estimates(y, yhat, start, sps,
+                                          sync_labels.size(), guard);
+      cplx corr{0.0, 0.0};
+      double energy = 0.0;
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        corr += m[i] * std::conj(sync_points[i]);
+        energy += std::norm(m[i]);
+      }
+      const double denom = std::sqrt(energy * static_cast<double>(m.size()));
+      const double score = denom > 0.0 ? std::abs(corr) / denom : 0.0;
+      if (score > best_score) {
+        best_score = score;
+        best_offset = offset;
+        best_reference = corr / static_cast<double>(m.size());
+      }
+    }
+    if (best_score >= config_.sync_threshold) break;
   }
   result.timing_offset = best_offset;
-  result.sync_correlation = best_score;
-  if (best_score < config_.sync_threshold) return result;
+  result.sync_correlation = std::max(best_score, 0.0);
+  if (best_score < config_.sync_threshold) {
+    result.failure = decode_failure::sync_not_found;
+    return result;
+  }
   result.sync_found = true;
 
   // Common complex correction from the sync word (absorbs estimation bias
@@ -144,9 +213,27 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
                                       n_payload_symbols, guard);
   for (cplx& m : symbols) m /= correction;
 
+  // Decision-directed phase tracking across the payload: each sliced
+  // decision feeds a first-order loop that de-rotates subsequent symbols,
+  // so rotation accumulating since the sync word (CFO, phase noise, tag
+  // clock wander) stays bounded instead of walking across the decision
+  // boundary on long packets.
+  if (config_.phase_tracking) {
+    const double gain = config_.phase_tracking_gain;
+    cplx rot{1.0, 0.0};
+    for (cplx& m : symbols) {
+      m *= rot;
+      const std::uint32_t label = constellation.slice(m);
+      const cplx ref = constellation.points[by_label[label]];
+      const double err = std::arg(m * std::conj(ref));
+      rot *= std::polar(1.0, -gain * err);
+    }
+  }
+
   // --- 5. Soft decoding ---
   decode_result bits = decode_from_symbols(symbols, noise_var, payload_bits);
   bits.sync_found = result.sync_found;
+  bits.sync_attempts = result.sync_attempts;
   bits.timing_offset = result.timing_offset;
   bits.sync_correlation = result.sync_correlation;
   bits.post_mrc_snr_db = result.post_mrc_snr_db;
@@ -159,6 +246,14 @@ decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
                                                   double noise_var,
                                                   std::size_t payload_bits) const {
   decode_result result;
+  if (payload_bits == 0) {
+    result.failure = decode_failure::zero_payload;
+    return result;
+  }
+  if (symbols.empty()) {
+    result.failure = decode_failure::empty_input;
+    return result;
+  }
   const auto& constellation =
       phy::psk_constellation(tag::psk_order(tag_config_.rate.modulation));
 
@@ -181,7 +276,10 @@ decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
       phy::coded_length(info_bits, tag_config_.rate.coding);
   std::vector<double> soft = constellation.demap_llr_stream(
       symbols, std::max(noise_var, 1e-12));
-  if (soft.size() < coded_bits) return result;
+  if (soft.size() < coded_bits) {
+    result.failure = decode_failure::insufficient_symbols;
+    return result;
+  }
   soft.resize(coded_bits);  // drop symbol-padding bits
 
   const auto mother = phy::depuncture(soft, tag_config_.rate.coding,
@@ -189,6 +287,8 @@ decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
   const phy::bitvec decoded = phy::viterbi_decode(mother, info_bits);
   result.decoded = true;
   result.crc_ok = phy::check_crc32(decoded);
+  result.failure =
+      result.crc_ok ? decode_failure::none : decode_failure::crc_failed;
   result.payload.assign(decoded.begin(), decoded.begin() + payload_bits);
   return result;
 }

@@ -5,6 +5,10 @@
 //      wake detector fires with a few samples of jitter);
 //   3. per payload symbol, MRC-estimate the phase (Eq. 7);
 //   4. soft-demap the n-PSK symbols, depuncture, Viterbi-decode, check CRC.
+//
+// The decoder never asserts or reads out of range on malformed input:
+// every exit carries a typed `decode_failure` so the MAC's link supervisor
+// can distinguish "retry with a wider window" from "give up this packet".
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,24 @@
 #include "tag/tag_device.h"
 
 namespace backfi::reader {
+
+/// Why a decode attempt stopped short of a CRC-verified payload.
+enum class decode_failure : std::uint8_t {
+  none,                   ///< payload recovered and CRC-verified
+  empty_input,            ///< x or y empty
+  size_mismatch,          ///< x and y lengths differ
+  origin_out_of_range,    ///< nominal_origin at/past the buffer end
+  zero_payload,           ///< payload_bits == 0
+  payload_too_long,       ///< payload cannot fit in the capture
+  estimation_window_too_short,  ///< no room for the channel estimate
+  non_finite_samples,     ///< NaN/Inf in the decode window
+  sync_not_found,         ///< correlation below threshold after retries
+  insufficient_symbols,   ///< fewer soft bits than the code needs
+  crc_failed,             ///< Viterbi ran but the CRC rejected the payload
+};
+
+/// Display name, e.g. "sync_not_found".
+const char* to_string(decode_failure failure);
 
 struct decoder_config {
   /// Taps of the combined forward-backward channel estimate. The paper's
@@ -27,14 +49,29 @@ struct decoder_config {
   double sync_threshold = 0.55;
   /// LS ridge for the h_fb estimate (scaled by excitation energy).
   double ridge = 1e-9;
+  /// Timing re-acquisition: when the sync scan fails, retry up to this
+  /// many times with the search window widened by `retry_search_scale`
+  /// each attempt (recovers tags whose wake detector fired far off the
+  /// nominal schedule, e.g. under excitation starvation).
+  std::size_t sync_retries = 1;
+  double retry_search_scale = 3.0;
+  /// Decision-directed per-symbol phase tracking: a first-order loop that
+  /// absorbs slow residual rotation (reader CFO relative to the adapted
+  /// canceller, oscillator phase noise, tag clock phase wander) which the
+  /// single sync-word correction cannot. Costs a little noise enhancement
+  /// at low SNR; the CRC still gates wrong decisions.
+  bool phase_tracking = true;
+  double phase_tracking_gain = 0.15;
 };
 
 struct decode_result {
   bool sync_found = false;   ///< sync word located above threshold
   bool decoded = false;      ///< pipeline ran to completion
   bool crc_ok = false;       ///< payload CRC-32 verified
+  decode_failure failure = decode_failure::none;
   phy::bitvec payload;       ///< decoded payload (without CRC)
   int timing_offset = 0;     ///< samples relative to the nominal schedule
+  std::size_t sync_attempts = 0;  ///< timing scans run (1 = no retry)
   double sync_correlation = 0.0;
   double post_mrc_snr_db = 0.0;  ///< SNR of the MRC symbol estimates
   double evm_rms = 0.0;          ///< RMS error vs the sliced PSK points
@@ -63,7 +100,8 @@ class backfi_decoder {
                                     std::size_t payload_bits) const;
 
   /// Estimate h_fb from the constant-phase preamble window only (exposed
-  /// for the cancellation/estimation micro-benchmarks, Fig. 11a).
+  /// for the cancellation/estimation micro-benchmarks, Fig. 11a). Returns
+  /// an empty vector on a degenerate window.
   cvec estimate_combined_channel(std::span<const cplx> x, std::span<const cplx> y,
                                  std::size_t preamble_begin,
                                  std::size_t preamble_end) const;

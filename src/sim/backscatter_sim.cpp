@@ -64,14 +64,21 @@ trial_result run_backscatter_trial(const scenario_config& config) {
           : 0;
   const std::size_t tag_origin = wake.preamble_end_sample + jitter;
 
+  // Per-trial impairment stream: re-mix the plan seed with the trial seed
+  // so campaign sweeps draw independent burst/jitter realizations.
+  impair::impairment_plan faults = config.impairments;
+  faults.seed = faults.seed * 0x9e3779b97f4a7c15ULL + config.seed;
+
   // --- Tag backscatter ---
   const phy::bitvec payload = gen.random_bits(config.payload_bits);
   const tag::tag_device device(config.tag);
-  const auto tag_tx = device.backscatter(payload, ex.samples.size(), tag_origin);
+  auto tag_tx = device.backscatter(payload, ex.samples.size(), tag_origin);
   result.payload_symbols = tag_tx.n_payload_symbols;
   result.tag_energy_pj = tag_tx.energy_pj;
   if (tag_tx.n_payload_symbols < device.payload_symbols(config.payload_bits))
     return result;  // excitation too short for the payload
+  faults.apply_to_reflection(tag_tx.reflection, tag_tx.preamble_start,
+                             tag_tx.data_end);
 
   // --- Received signal at the reader ---
   cvec rx = channel::apply_channel(ex.samples, channels.h_env);
@@ -79,16 +86,27 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   const cvec backscatter = channel::apply_channel(reflected, channels.h_b);
   dsp::add_in_place(rx, backscatter);
   channel::add_awgn(rx, channels.noise_power, gen);
+  faults.apply_at_antenna(rx);
 
   // --- Self-interference cancellation over the silent window ---
   // The reader adapts over its nominal silent window: the tag stays silent
   // until (at least) wake_end + silent, so [wake_end, wake_end + silent) is
   // guaranteed backscatter-free. This is the first 16 us of the PPDU.
+  // Front-end (downconverter) faults are injected inside the chain, between
+  // the analog canceller and the ADC — their physical location.
   const std::size_t silent_begin = ex.wake_end;
   const std::size_t silent_end =
       silent_begin + config.tag.silent_us * samples_per_us;
-  const auto chain =
-      fd::run_receive_chain(ex.samples, rx, silent_begin, silent_end, config.chain);
+  fd::receive_chain_config chain_cfg = config.chain;
+  if (faults.any_front_end()) {
+    chain_cfg.front_end_hook = [&faults](std::span<cplx> samples) {
+      faults.apply_front_end(samples);
+    };
+  }
+  auto chain =
+      fd::run_receive_chain(ex.samples, rx, silent_begin, silent_end, chain_cfg);
+  faults.apply_post_cancellation(ex.samples, chain.cleaned, silent_end);
+  result.cancellation_bypassed = chain.cancellation_bypassed;
   result.analog_depth_db = chain.analog_depth_db;
   result.total_depth_db = chain.total_depth_db;
   result.residual_si_over_noise_db =
@@ -102,6 +120,7 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   result.sync_found = decoded.sync_found;
   result.decoded = decoded.decoded;
   result.crc_ok = decoded.crc_ok;
+  result.failure = decoded.failure;
   result.measured_snr_db = decoded.post_mrc_snr_db;
   if (decoded.decoded)
     result.bit_errors = phy::hamming_distance(decoded.payload, payload);

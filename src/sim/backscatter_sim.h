@@ -8,6 +8,7 @@
 
 #include "channel/backscatter_link.h"
 #include "fd/receive_chain.h"
+#include "impair/plan.h"
 #include "reader/decoder.h"
 #include "reader/excitation.h"
 #include "tag/tag_device.h"
@@ -20,6 +21,9 @@ struct scenario_config {
   reader::excitation_config excitation;
   reader::decoder_config decoder;
   fd::receive_chain_config chain;
+  /// Fault injection at the pipeline boundaries (default: clean link).
+  /// The plan's seed is re-mixed with `seed` so sweeps stay trial-independent.
+  impair::impairment_plan impairments;
   double tag_distance_m = 2.0;
   std::size_t payload_bits = 1000;
   /// Maximum tag wake-detection lateness [samples] (uniform draw).
@@ -33,6 +37,8 @@ struct trial_result {
   bool sync_found = false;
   bool decoded = false;
   bool crc_ok = false;
+  reader::decode_failure failure = reader::decode_failure::none;
+  bool cancellation_bypassed = false;  ///< receive chain refused to adapt
   std::size_t bit_errors = 0;       ///< payload bit errors after decoding
   std::size_t raw_symbol_errors = 0;  ///< pre-Viterbi hard PSK symbol errors
 

@@ -1,0 +1,116 @@
+#include "sim/fault_campaign.h"
+
+#include <algorithm>
+
+#include "reader/excitation.h"
+#include "sim/rate_adaptation.h"
+
+namespace backfi::sim {
+
+campaign_run run_campaign_arm(const campaign_config& config,
+                              impair::fault_class fault, double severity,
+                              bool recovery) {
+  constexpr std::uint32_t kTagId = 1;
+  campaign_run run;
+  run.first_success_poll = config.opportunities;
+
+  mac::tag_scheduler scheduler(mac::tag_scheduler::policy::round_robin);
+  scheduler.add_tag({.id = kTagId, .rate = config.start_rate,
+                     .backlog_bits = 0.0, .weight = 1.0});
+  std::optional<mac::link_supervisor> supervisor;
+  if (recovery) {
+    supervisor.emplace(scheduler, config.arq);
+  } else {
+    // True no-recovery baseline: the operating point never moves.
+    scheduler.set_auto_rate_fallback(false);
+  }
+
+  // Goodput denominator: every opportunity costs one nominal poll's
+  // airtime at the starting operating point, whether it was issued,
+  // retried or spent backed off. That makes the two arms comparable.
+  scenario_config base = config.link;
+  base.payload_bits = config.payload_bits;
+  const scenario_config nominal =
+      scenario_for_point(base, config.start_rate, config.distance_m);
+  const double poll_airtime_s =
+      static_cast<double>(reader::excitation_length(nominal.excitation)) *
+      sample_period_s;
+
+  const impair::impairment_plan plan =
+      impair::plan_for(fault, severity, config.seed);
+
+  double delivered_bits = 0.0;
+  std::size_t successes = 0;
+  for (std::size_t poll = 0; poll < config.opportunities; ++poll) {
+    scheduler.enqueue(kTagId, static_cast<double>(config.payload_bits));
+    const auto chosen = recovery ? supervisor->next() : scheduler.next();
+    if (!chosen) continue;  // backed off / suspended: the slot idles
+
+    ++run.polls_issued;
+    scenario_config trial = scenario_for_point(
+        base, scheduler.descriptor(kTagId).rate, config.distance_m);
+    trial.tag.id = kTagId;
+    trial.impairments = plan;
+    if (recovery) {
+      // The hardened receive chain rides with the recovery arm: the
+      // widely-linear + DC-removing digital stage is the front-end answer
+      // to IQ-imbalance/DC faults, which no amount of ARQ can fix (the
+      // conjugate image of the self-interference swamps the backscatter).
+      trial.chain.digital.widely_linear = true;
+      trial.chain.digital.remove_dc = true;
+      trial.chain.track_residual_gain = true;
+    }
+    // Same per-poll seeds in both arms: paired comparison, the only
+    // difference between the curves is the recovery machinery.
+    trial.seed = config.seed * 1000003ULL + poll;
+    const trial_result r = run_backscatter_trial(trial);
+    const bool ok = r.crc_ok && r.bit_errors == 0;
+    if (ok) {
+      delivered_bits += static_cast<double>(trial.payload_bits);
+      ++successes;
+      run.first_success_poll = std::min(run.first_success_poll, poll);
+    }
+    const double bits = ok ? static_cast<double>(trial.payload_bits) : 0.0;
+    if (recovery)
+      supervisor->report_result(kTagId, ok, bits);
+    else
+      scheduler.report_result(kTagId, ok, bits);
+  }
+
+  run.success_rate =
+      run.polls_issued > 0
+          ? static_cast<double>(successes) / static_cast<double>(run.polls_issued)
+          : 0.0;
+  run.goodput_bps = delivered_bits / (static_cast<double>(config.opportunities) *
+                                      poll_airtime_s);
+  if (recovery) {
+    const auto& stats = supervisor->stats(kTagId);
+    run.retries = stats.retries;
+    run.fallbacks = stats.fallbacks;
+    run.probe_ups = stats.probe_ups;
+  }
+  run.final_rate = scheduler.descriptor(kTagId).rate;
+  return run;
+}
+
+campaign_result run_fault_campaign(const campaign_config& config) {
+  campaign_result result;
+  std::vector<impair::fault_class> faults = config.faults;
+  if (faults.empty()) {
+    const auto all = impair::all_fault_classes();
+    faults.assign(all.begin(), all.end());
+  }
+  for (const impair::fault_class fault : faults) {
+    for (const double severity : config.severities) {
+      campaign_cell cell;
+      cell.fault = fault;
+      cell.severity = severity;
+      cell.baseline = run_campaign_arm(config, fault, severity, false);
+      cell.recovery = run_campaign_arm(config, fault, severity, true);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace backfi::sim

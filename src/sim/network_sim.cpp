@@ -14,6 +14,8 @@ network_result run_tag_network(const network_config& config) {
   for (const auto& t : config.tags)
     scheduler.add_tag({.id = t.id, .rate = t.rate, .backlog_bits = 0.0,
                        .weight = t.weight});
+  std::optional<mac::link_supervisor> supervisor;
+  if (config.supervision) supervisor.emplace(scheduler, *config.supervision);
 
   network_result result;
   std::uint64_t seed = config.link.seed + 1;
@@ -22,7 +24,7 @@ network_result run_tag_network(const network_config& config) {
     for (const auto& t : config.tags)
       scheduler.enqueue(t.id, t.arrival_bits_per_opportunity);
 
-    const auto chosen = scheduler.next();
+    const auto chosen = supervisor ? supervisor->next() : scheduler.next();
     if (!chosen) {
       ++result.idle_opportunities;
       continue;
@@ -42,8 +44,11 @@ network_result run_tag_network(const network_config& config) {
     trial.seed = seed++;
     const trial_result r = run_backscatter_trial(trial);
     const bool ok = r.crc_ok && r.bit_errors == 0;
-    scheduler.report_result(*chosen, ok,
-                            ok ? static_cast<double>(trial.payload_bits) : 0.0);
+    const double bits = ok ? static_cast<double>(trial.payload_bits) : 0.0;
+    if (supervisor)
+      supervisor->report_result(*chosen, ok, bits);
+    else
+      scheduler.report_result(*chosen, ok, bits);
   }
 
   for (const auto& t : config.tags) {
@@ -53,6 +58,10 @@ network_result run_tag_network(const network_config& config) {
     per.successes = scheduler.stats(t.id).successes;
     per.delivered_bits = scheduler.stats(t.id).delivered_bits;
     per.final_rate = scheduler.descriptor(t.id).rate;
+    if (supervisor) {
+      per.supervision = supervisor->stats(t.id);
+      per.link_state = supervisor->state(t.id);
+    }
     result.per_tag.push_back(per);
   }
   result.total_delivered_bits = scheduler.total_delivered_bits();

@@ -3,8 +3,10 @@
 // scheduling opportunities with mac::tag_scheduler.
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "mac/link_supervisor.h"
 #include "mac/tag_network.h"
 #include "sim/backscatter_sim.h"
 
@@ -26,6 +28,10 @@ struct network_config {
   std::size_t opportunities = 50;   ///< backscatter opportunities to simulate
   std::size_t payload_bits = 400;   ///< per-opportunity tag packet size
   scenario_config link;             ///< shared link/excitation parameters
+  /// When set, polls run through a mac::link_supervisor (ARQ retries,
+  /// exponential backoff, fallback/probe-up) instead of the scheduler's
+  /// built-in two-strikes fallback.
+  std::optional<mac::arq_config> supervision;
 };
 
 struct network_tag_result {
@@ -34,6 +40,9 @@ struct network_tag_result {
   std::size_t successes = 0;
   double delivered_bits = 0.0;
   tag::tag_rate_config final_rate;  ///< after any scheduler fallbacks
+  /// Filled only under supervision.
+  mac::supervision_stats supervision;
+  mac::link_state link_state = mac::link_state::healthy;
 };
 
 struct network_result {

@@ -77,5 +77,61 @@ TEST(ReceiveChainTest, CleanedBufferKeepsLength) {
   EXPECT_EQ(result.cleaned.size(), s.rx.size());
 }
 
+TEST(ReceiveChainTest, DegenerateSilentWindowBypassesCancellation) {
+  const chain_scenario s = make_scenario(6);
+  // Empty, reversed and past-the-end windows must all flag a bypass and
+  // pass the input through untouched instead of adapting on garbage.
+  for (const auto [begin, end] :
+       {std::pair<std::size_t, std::size_t>{100, 100},
+        {320, 100},
+        {0, s.rx.size() + 1}}) {
+    const auto result = run_receive_chain(s.tx, s.rx, begin, end, {});
+    EXPECT_TRUE(result.cancellation_bypassed);
+    EXPECT_EQ(result.analog_depth_db, 0.0);
+    EXPECT_EQ(result.total_depth_db, 0.0);
+    ASSERT_EQ(result.cleaned.size(), s.rx.size());
+    for (std::size_t i = 0; i < s.rx.size(); ++i)
+      ASSERT_EQ(result.cleaned[i], s.rx[i]);
+  }
+}
+
+TEST(ReceiveChainTest, MisalignedBuffersBypassCancellation) {
+  const chain_scenario s = make_scenario(7);
+  const auto result = run_receive_chain(
+      std::span(s.tx).first(s.tx.size() - 5), s.rx, 0, 320, {});
+  EXPECT_TRUE(result.cancellation_bypassed);
+}
+
+TEST(ReceiveChainTest, HardeningOptionsDoNotHurtACleanLink) {
+  const chain_scenario s = make_scenario(8);
+  receive_chain_config hardened;
+  hardened.digital.widely_linear = true;
+  hardened.digital.remove_dc = true;
+  hardened.track_residual_gain = true;
+  const auto plain = run_receive_chain(s.tx, s.rx, 0, 320, {});
+  const auto hard = run_receive_chain(s.tx, s.rx, 0, 320, hardened);
+  // Widely-linear taps, DC removal and residual tracking must be no-ops
+  // (within a dB) when there is no image, offset or rotation to fix.
+  EXPECT_LT(hard.residual_power, 1.3 * plain.residual_power);
+}
+
+TEST(ReceiveChainTest, FrontEndHookObservesAndMutatesTheResidual) {
+  const chain_scenario s = make_scenario(9);
+  // A hook that nulls everything leaves only what the digital stage and
+  // the depth accounting see: the chain must run it exactly once, between
+  // the analog stage and the ADC.
+  std::size_t calls = 0;
+  receive_chain_config cfg;
+  cfg.front_end_hook = [&calls](std::span<cplx> samples) {
+    ++calls;
+    for (cplx& v : samples) v = {0.0, 0.0};
+  };
+  const auto result = run_receive_chain(s.tx, s.rx, 0, 320, cfg);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(dsp::mean_power(result.cleaned), 0.0);
+  // The analog stage ran before the hook: its depth is still measured.
+  EXPECT_GT(result.analog_depth_db, 25.0);
+}
+
 }  // namespace
 }  // namespace backfi::fd

@@ -1,0 +1,127 @@
+#include "mac/link_supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace backfi::mac {
+namespace {
+
+constexpr std::uint32_t kTag = 7;
+const tag::tag_rate_config kStartRate = {tag::tag_modulation::qpsk,
+                                         phy::code_rate::half, 1e6};
+
+struct harness {
+  tag_scheduler scheduler{tag_scheduler::policy::round_robin};
+  arq_config config;
+  std::unique_ptr<link_supervisor> supervisor;
+
+  explicit harness(const arq_config& cfg = {}) : config(cfg) {
+    scheduler.add_tag(
+        {.id = kTag, .rate = kStartRate, .backlog_bits = 1e9, .weight = 1.0});
+    supervisor = std::make_unique<link_supervisor>(scheduler, config);
+  }
+
+  /// One opportunity: poll if the supervisor grants one, report `ok`.
+  /// Returns whether a poll was issued (false = backed-off idle slot).
+  bool step(bool ok) {
+    const auto id = supervisor->next();
+    if (!id) return false;
+    supervisor->report_result(*id, ok, ok ? 256.0 : 0.0);
+    return true;
+  }
+};
+
+TEST(LinkSupervisorTest, HealthyLinkPollsEveryOpportunity) {
+  harness h;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(h.step(true));
+  EXPECT_EQ(h.supervisor->state(kTag), link_state::healthy);
+  EXPECT_EQ(h.supervisor->stats(kTag).retries, 0u);
+}
+
+TEST(LinkSupervisorTest, FailureTriggersBoundedImmediateRetries) {
+  harness h;
+  EXPECT_TRUE(h.step(false));
+  EXPECT_EQ(h.supervisor->state(kTag), link_state::retrying);
+  // The retry succeeds: transaction recovered without touching the rate.
+  EXPECT_TRUE(h.step(true));
+  EXPECT_EQ(h.supervisor->state(kTag), link_state::healthy);
+  EXPECT_EQ(h.supervisor->stats(kTag).retries, 1u);
+  EXPECT_EQ(h.scheduler.descriptor(kTag).rate.symbol_rate_hz,
+            kStartRate.symbol_rate_hz);
+}
+
+TEST(LinkSupervisorTest, PersistentFailureFallsBackAndBacksOff) {
+  harness h;
+  for (int i = 0; i < 20; ++i) h.step(false);
+  EXPECT_GT(h.supervisor->stats(kTag).fallbacks, 0u);
+  EXPECT_LT(h.scheduler.descriptor(kTag).rate.symbol_rate_hz,
+            kStartRate.symbol_rate_hz);
+  // Exponential backoff: some opportunities must have been idle slots.
+  EXPECT_GT(h.supervisor->stats(kTag).deferred_polls, 0u);
+}
+
+TEST(LinkSupervisorTest, RetriesPerTransactionAreBounded) {
+  arq_config cfg;
+  cfg.max_retries = 2;
+  harness h(cfg);
+  // Fail forever: each transaction may retry at most max_retries times, so
+  // retries never exceed polls * max_retries / (max_retries + 1).
+  std::size_t polls = 0;
+  for (int i = 0; i < 30; ++i) polls += h.step(false) ? 1 : 0;
+  const auto& stats = h.supervisor->stats(kTag);
+  EXPECT_LE(stats.retries, polls * cfg.max_retries / (cfg.max_retries + 1) + 1);
+}
+
+TEST(LinkSupervisorTest, HealthyStreakProbesUpAndRevertsOnFailure) {
+  arq_config cfg;
+  cfg.probe_up_after = 4;
+  harness h(cfg);
+  // Drive a fallback first so there is headroom to probe into.
+  for (int i = 0; i < 12; ++i) h.step(false);
+  const double fallen = h.scheduler.descriptor(kTag).rate.symbol_rate_hz;
+  ASSERT_LT(fallen, kStartRate.symbol_rate_hz);
+  // A healthy streak triggers a probe one step faster.
+  int steps = 0;
+  while (h.supervisor->stats(kTag).probe_ups == 0 && steps < 64) {
+    h.step(true);
+    ++steps;
+  }
+  EXPECT_GT(h.supervisor->stats(kTag).probe_ups, 0u);
+  EXPECT_GT(h.scheduler.descriptor(kTag).rate.symbol_rate_hz, fallen);
+  // First failure while probing reverts to the pre-probe point.
+  if (h.supervisor->state(kTag) == link_state::probing) {
+    h.step(false);
+    EXPECT_EQ(h.scheduler.descriptor(kTag).rate.symbol_rate_hz, fallen);
+  }
+}
+
+TEST(LinkSupervisorTest, DeadLinkSuspendsWithKeepalive) {
+  arq_config cfg;
+  cfg.suspend_after = 2;
+  cfg.suspend_poll_interval = 8;
+  harness h(cfg);
+  int issued = 0;
+  for (int i = 0; i < 400; ++i) issued += h.step(false) ? 1 : 0;
+  EXPECT_EQ(h.supervisor->state(kTag), link_state::suspended);
+  EXPECT_GT(h.supervisor->stats(kTag).suspensions, 0u);
+  // Keepalive only: far fewer polls than opportunities.
+  EXPECT_LT(issued, 200);
+
+  // A keepalive success revives the tag.
+  int guard = 0;
+  while (!h.step(true) && guard < 64) ++guard;
+  EXPECT_NE(h.supervisor->state(kTag), link_state::suspended);
+  EXPECT_GT(h.supervisor->stats(kTag).recoveries, 0u);
+}
+
+TEST(LinkSupervisorTest, FallbackStopsAtTheRobustFloor) {
+  harness h;
+  for (int i = 0; i < 600; ++i) h.step(false);
+  const auto& rate = h.scheduler.descriptor(kTag).rate;
+  tag::tag_rate_config floor_probe = rate;
+  EXPECT_FALSE(fallback_rate(floor_probe));  // nothing more robust exists
+}
+
+}  // namespace
+}  // namespace backfi::mac

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "channel/awgn.h"
 #include "dsp/fir.h"
 #include "dsp/math_util.h"
@@ -170,6 +172,80 @@ TEST(DecoderTest, ReturnsEarlyWhenPayloadCannotFit) {
   const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 1000000);
   EXPECT_FALSE(result.decoded);
   EXPECT_FALSE(result.crc_ok);
+  EXPECT_EQ(result.failure, decode_failure::payload_too_long);
+}
+
+TEST(DecoderTest, EmptyInputYieldsTypedFailure) {
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode({}, {}, 0, 100);
+  EXPECT_FALSE(result.decoded);
+  EXPECT_EQ(result.failure, decode_failure::empty_input);
+}
+
+TEST(DecoderTest, MismatchedBufferLengthsYieldTypedFailure) {
+  const auto ex = make_exchange(default_tag(), 300, -120.0, 0, 16);
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode(
+      ex.x, std::span(ex.y).first(ex.y.size() - 7), ex.nominal, 300);
+  EXPECT_FALSE(result.decoded);
+  EXPECT_EQ(result.failure, decode_failure::size_mismatch);
+}
+
+TEST(DecoderTest, OriginPastBufferEndYieldsTypedFailure) {
+  const auto ex = make_exchange(default_tag(), 300, -120.0, 0, 17);
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode(ex.x, ex.y, ex.y.size(), 300);
+  EXPECT_FALSE(result.decoded);
+  EXPECT_EQ(result.failure, decode_failure::origin_out_of_range);
+}
+
+TEST(DecoderTest, ZeroPayloadYieldsTypedFailure) {
+  const auto ex = make_exchange(default_tag(), 300, -120.0, 0, 18);
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 0);
+  EXPECT_FALSE(result.decoded);
+  EXPECT_EQ(result.failure, decode_failure::zero_payload);
+}
+
+TEST(DecoderTest, NonFiniteSamplesYieldTypedFailure) {
+  auto ex = make_exchange(default_tag(), 300, -120.0, 0, 19);
+  ex.y[ex.nominal + 100] = cplx{std::numeric_limits<double>::quiet_NaN(), 0.0};
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 300);
+  EXPECT_FALSE(result.decoded);
+  EXPECT_EQ(result.failure, decode_failure::non_finite_samples);
+}
+
+TEST(DecoderTest, SuccessfulDecodeReportsNoFailure) {
+  const auto ex = make_exchange(default_tag(), 300, -120.0, 0, 20);
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 300);
+  ASSERT_TRUE(result.crc_ok);
+  EXPECT_EQ(result.failure, decode_failure::none);
+  EXPECT_STREQ(to_string(result.failure), "none");
+}
+
+TEST(DecoderTest, PhaseTrackingAbsorbsSlowResidualRotation) {
+  // A slow phase ramp across the capture (stale canceller / residual CFO
+  // at the front end): the single sync-word correction cannot follow it,
+  // the decision-directed loop can.
+  const tag::tag_config tag_cfg = default_tag();
+  auto ex = make_exchange(tag_cfg, 300, -120.0, 0, 21);
+  // ~2 rad of drift across the ~6000-sample payload: far beyond the QPSK
+  // slicing margin (pi/4) of the single sync-anchored correction, yet only
+  // ~6 mrad per symbol for the tracking loop.
+  const double ramp = 3e-4;
+  for (std::size_t n = 0; n < ex.y.size(); ++n)
+    ex.y[n] *= std::polar(1.0, ramp * static_cast<double>(n));
+
+  decoder_config no_tracking;
+  no_tracking.phase_tracking = false;
+  const backfi_decoder plain(tag_cfg, no_tracking);
+  const backfi_decoder tracking(tag_cfg);
+  const auto without = plain.decode(ex.x, ex.y, ex.nominal, 300);
+  const auto with = tracking.decode(ex.x, ex.y, ex.nominal, 300);
+  EXPECT_FALSE(without.crc_ok);
+  EXPECT_TRUE(with.crc_ok);
 }
 
 }  // namespace

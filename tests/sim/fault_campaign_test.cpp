@@ -1,0 +1,81 @@
+#include "sim/fault_campaign.h"
+
+#include <gtest/gtest.h>
+
+namespace backfi::sim {
+namespace {
+
+campaign_config small_config() {
+  campaign_config config;
+  config.link.excitation.ppdu_bytes = 1500;
+  config.payload_bits = 128;
+  config.opportunities = 8;
+  config.seed = 21;
+  return config;
+}
+
+TEST(FaultCampaignTest, CleanLinkDeliversEqualGoodputInBothArms) {
+  const campaign_config config = small_config();
+  const auto baseline =
+      run_campaign_arm(config, impair::fault_class::none, 0.0, false);
+  const auto recovery =
+      run_campaign_arm(config, impair::fault_class::none, 0.0, true);
+  EXPECT_EQ(baseline.success_rate, 1.0);
+  EXPECT_EQ(recovery.success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(baseline.goodput_bps, recovery.goodput_bps);
+  EXPECT_EQ(recovery.retries, 0u);
+  EXPECT_EQ(recovery.fallbacks, 0u);
+}
+
+TEST(FaultCampaignTest, RecoveryArmSurvivesCfoThatCollapsesBaseline) {
+  const campaign_config config = small_config();
+  const auto baseline =
+      run_campaign_arm(config, impair::fault_class::cfo_drift, 0.5, false);
+  const auto recovery =
+      run_campaign_arm(config, impair::fault_class::cfo_drift, 0.5, true);
+  // The acceptance criterion in miniature: the fixed-rate plain chain
+  // collapses, the hardened + supervised arm keeps delivering and reaches
+  // its first success within a bounded number of polls.
+  EXPECT_EQ(baseline.goodput_bps, 0.0);
+  EXPECT_GT(recovery.goodput_bps, 0.0);
+  EXPECT_LT(recovery.first_success_poll, config.opportunities);
+}
+
+TEST(FaultCampaignTest, BaselineNeverMovesItsOperatingPoint) {
+  const campaign_config config = small_config();
+  const auto run = run_campaign_arm(
+      config, impair::fault_class::canceller_stage_failure, 1.0, false);
+  EXPECT_EQ(run.final_rate.symbol_rate_hz, config.start_rate.symbol_rate_hz);
+  EXPECT_EQ(run.final_rate.modulation, config.start_rate.modulation);
+  EXPECT_EQ(run.retries, 0u);
+  EXPECT_EQ(run.fallbacks, 0u);
+}
+
+TEST(FaultCampaignTest, SweepCoversEveryClassAndSeverity) {
+  campaign_config config = small_config();
+  config.opportunities = 2;
+  config.faults = {impair::fault_class::tag_brownout,
+                   impair::fault_class::wifi_interferer};
+  config.severities = {0.0, 1.0};
+  const auto result = run_fault_campaign(config);
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.cells[0].fault, impair::fault_class::tag_brownout);
+  EXPECT_EQ(result.cells[0].severity, 0.0);
+  EXPECT_EQ(result.cells[3].fault, impair::fault_class::wifi_interferer);
+  EXPECT_EQ(result.cells[3].severity, 1.0);
+}
+
+TEST(FaultCampaignTest, RunsAreDeterministic) {
+  const campaign_config config = small_config();
+  const auto a =
+      run_campaign_arm(config, impair::fault_class::phase_noise, 1.0, true);
+  const auto b =
+      run_campaign_arm(config, impair::fault_class::phase_noise, 1.0, true);
+  EXPECT_DOUBLE_EQ(a.goodput_bps, b.goodput_bps);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  EXPECT_EQ(a.first_success_poll, b.first_success_poll);
+}
+
+}  // namespace
+}  // namespace backfi::sim
