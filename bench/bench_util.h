@@ -34,6 +34,13 @@ inline std::string format_throughput(double bps) {
   return buf;
 }
 
+/// Print a `# wall-time:` footer line for one measured sweep.
+inline void print_wall_time(const std::string& what, double seconds,
+                            std::size_t threads) {
+  std::printf("# wall-time: %s: %.2f s (%zu thread%s)\n", what.c_str(), seconds,
+              threads, threads == 1 ? "" : "s");
+}
+
 /// Median of a (copied) sample vector; 0 for empty input.
 double median(std::vector<double> values);
 

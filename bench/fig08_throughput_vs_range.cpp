@@ -4,16 +4,20 @@
 // 100 Kbps) because the combined-channel estimate is noise-limited.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "sim/rate_adaptation.h"
 
 namespace {
 
 using namespace backfi;
 
-constexpr int kTrials = 6;
+// Paper-scale trial count; affordable now that the per-point Monte-Carlo
+// loops run on the sim::parallel_for pool.
+constexpr int kTrials = 40;
 
 sim::scenario_config base_scenario(std::size_t preamble_us) {
   sim::scenario_config base;
@@ -25,6 +29,7 @@ sim::scenario_config base_scenario(std::size_t preamble_us) {
 
 void run_sweep() {
   bench::print_header("Fig. 8", "Max throughput vs range, preamble 32 us vs 96 us");
+  const auto sweep_start = std::chrono::steady_clock::now();
   const double distances[] = {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
   std::printf("%-8s | %-34s | %-34s\n", "range", "32 us preamble", "96 us preamble");
   std::printf("---------+------------------------------------+-----------------------------------\n");
@@ -53,6 +58,11 @@ void run_sweep() {
   }
   bench::print_paper_reference("6.67 Mbps @ 0.5 m, 5 Mbps @ 1 m, 1 Mbps @ 5 m (32 us)");
   bench::print_paper_reference("7 m: 96 us preamble gives ~10x over 32 us (10 -> 100 Kbps)");
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - sweep_start;
+  bench::print_wall_time(
+      "8 ranges x 2 preambles, " + std::to_string(kTrials) + " trials/point",
+      elapsed.count(), sim::max_threads());
 }
 
 void bm_single_link_trial(benchmark::State& state) {

@@ -5,19 +5,24 @@
 // target eventually becomes infeasible.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "sim/rate_adaptation.h"
 
 namespace {
 
 using namespace backfi;
 
-constexpr int kTrials = 4;
+// Paper-scale trial count; affordable now that evaluate_link fans the
+// operating-point grid out over the sim::parallel_for pool.
+constexpr int kTrials = 24;
 
 void run_sweep() {
   bench::print_header("Fig. 10", "Min REPB vs range at fixed 1.25 / 5 Mbps");
+  const auto sweep_start = std::chrono::steady_clock::now();
   sim::scenario_config base;
   base.excitation.ppdu_bytes = 4000;
   base.payload_bits = 600;
@@ -49,6 +54,12 @@ void run_sweep() {
   bench::print_paper_reference(
       "1.25 Mbps at range costs up to ~2.5x the reference energy; REPB "
       "steps between two levels as coding shifts 2/3 -> 1/2");
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - sweep_start;
+  bench::print_wall_time(
+      "8 ranges x full operating-point grid, " + std::to_string(kTrials) +
+          " trials/point",
+      elapsed.count(), sim::max_threads());
 }
 
 void bm_min_repb_selection(benchmark::State& state) {

@@ -1,13 +1,16 @@
 #include "dsp/correlation.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "dsp/fir.h"
 #include "dsp/vec_ops.h"
 
 namespace backfi::dsp {
 
-cvec cross_correlate(std::span<const cplx> signal, std::span<const cplx> reference) {
+cvec cross_correlate_direct(std::span<const cplx> signal,
+                            std::span<const cplx> reference) {
   if (reference.empty() || signal.size() < reference.size()) return {};
   const std::size_t n_out = signal.size() - reference.size() + 1;
   cvec out(n_out);
@@ -20,24 +23,45 @@ cvec cross_correlate(std::span<const cplx> signal, std::span<const cplx> referen
   return out;
 }
 
+cvec cross_correlate(std::span<const cplx> signal, std::span<const cplx> reference) {
+  if (reference.empty() || signal.size() < reference.size()) return {};
+  if (reference.size() < fft_convolve_min_taps) {
+    return cross_correlate_direct(signal, reference);
+  }
+  // Correlation as convolution with the conjugate-reversed reference; the
+  // valid window starts m - 1 samples into the full convolution.
+  const std::size_t m = reference.size();
+  cvec flipped(m);
+  for (std::size_t k = 0; k < m; ++k) flipped[k] = std::conj(reference[m - 1 - k]);
+  const cvec full = convolve_overlap_save(signal, flipped);
+  const std::size_t n_out = signal.size() - m + 1;
+  const auto first = full.begin() + static_cast<std::ptrdiff_t>(m - 1);
+  return cvec(first, first + static_cast<std::ptrdiff_t>(n_out));
+}
+
 rvec normalized_correlation(std::span<const cplx> signal,
                             std::span<const cplx> reference) {
   if (reference.empty() || signal.size() < reference.size()) return {};
-  const std::size_t n_out = signal.size() - reference.size() + 1;
+  const std::size_t m = reference.size();
+  const std::size_t n_out = signal.size() - m + 1;
   const double ref_norm = std::sqrt(energy(reference));
   rvec out(n_out, 0.0);
   if (ref_norm <= 0.0) return out;
-  // Sliding window energy of the signal, updated incrementally.
-  double window_energy = energy(signal.subspan(0, reference.size()));
+  const cvec corr = cross_correlate(signal, reference);
+  // Sliding window energy of the signal, updated incrementally with a
+  // periodic exact rebuild so rounding error cannot accumulate over long
+  // captures (see normalized_correlation_refresh_interval).
+  double window_energy = energy(signal.subspan(0, m));
   for (std::size_t n = 0; n < n_out; ++n) {
-    cplx acc{0.0, 0.0};
-    for (std::size_t k = 0; k < reference.size(); ++k)
-      acc += signal[n + k] * std::conj(reference[k]);
     const double sig_norm = std::sqrt(std::max(window_energy, 0.0));
-    out[n] = sig_norm > 0.0 ? std::abs(acc) / (sig_norm * ref_norm) : 0.0;
+    out[n] = sig_norm > 0.0 ? std::abs(corr[n]) / (sig_norm * ref_norm) : 0.0;
     if (n + 1 < n_out) {
-      window_energy -= std::norm(signal[n]);
-      window_energy += std::norm(signal[n + reference.size()]);
+      if ((n + 1) % normalized_correlation_refresh_interval == 0) {
+        window_energy = energy(signal.subspan(n + 1, m));
+      } else {
+        window_energy -= std::norm(signal[n]);
+        window_energy += std::norm(signal[n + m]);
+      }
     }
   }
   return out;

@@ -1,6 +1,13 @@
 // Cross-correlation primitives used for packet detection and symbol timing.
+//
+// cross_correlate and normalized_correlation share the convolution layer's
+// size dispatch: references shorter than fft_convolve_min_taps (every
+// in-simulation sync pattern) run the exact direct loop, longer references
+// run as an FFT overlap-save convolution against the conjugate-reversed
+// reference.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "dsp/types.h"
@@ -11,6 +18,22 @@ namespace backfi::dsp {
 /// out[n] = sum_k signal[n+k] * conj(reference[k]),
 /// for n in [0, len(signal) - len(reference)].
 cvec cross_correlate(std::span<const cplx> signal, std::span<const cplx> reference);
+
+/// Direct O(N*M) sliding correlation (the short-reference path; exposed for
+/// equivalence tests and perf baselines).
+cvec cross_correlate_direct(std::span<const cplx> signal,
+                            std::span<const cplx> reference);
+
+/// How often normalized_correlation recomputes its sliding window energy
+/// exactly instead of updating it incrementally. The incremental update
+/// accumulates one rounding error per output sample; over a long capture a
+/// large transient early in the buffer can leave the running energy with a
+/// relative error big enough to distort the normalization (or go negative)
+/// by the time the window reaches quiet samples. A periodic exact rebuild
+/// bounds the drift to at most this many incremental steps. Every
+/// in-simulation search window is shorter than this, so the refresh never
+/// fires there and sync decisions are unchanged.
+inline constexpr std::size_t normalized_correlation_refresh_interval = 4096;
 
 /// Normalized correlation magnitude in [0, 1]:
 /// |<s, r>| / (||s_window|| * ||r||), same indexing as cross_correlate.

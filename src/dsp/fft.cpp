@@ -1,9 +1,16 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "dsp/fft_plan.h"
 #include "dsp/math_util.h"
+
+// NOTE: this translation unit must keep the default build flags (no FMA /
+// per-file fast-math overrides). Both the reference transform and the
+// compat-path twiddle tables and kernel live here precisely so their
+// floating-point rounding matches the seed implementation bit for bit.
 
 namespace backfi::dsp {
 
@@ -47,10 +54,75 @@ void transform(std::span<cplx> data, bool inverse) {
 
 }  // namespace
 
-void fft_in_place(std::span<cplx> data) { transform(data, /*inverse=*/false); }
+namespace detail {
+
+void build_compat_twiddles(std::size_t n, bool inverse, cvec& twiddles,
+                           std::vector<std::size_t>& offsets) {
+  twiddles.clear();
+  offsets.clear();
+  // Same per-stage recurrence as transform() above: the tabled values are
+  // the exact doubles the seed computed on the fly.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    offsets.push_back(twiddles.size());
+    const double angle = (inverse ? two_pi : -two_pi) / static_cast<double>(len);
+    const cplx w_len = phasor(angle);
+    cplx w{1.0, 0.0};
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      twiddles.push_back(w);
+      w *= w_len;
+    }
+  }
+}
+
+void run_compat_radix2(std::span<cplx> data,
+                       std::span<const std::uint32_t> swap_pairs,
+                       const cvec& twiddles,
+                       const std::vector<std::size_t>& offsets) {
+  const std::size_t n = data.size();
+  for (std::size_t p = 0; p + 1 < swap_pairs.size(); p += 2) {
+    std::swap(data[swap_pairs[p]], data[swap_pairs[p + 1]]);
+  }
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
+    const std::size_t half = len / 2;
+    const cplx* w = twiddles.data() + offsets[stage];
+    for (std::size_t start = 0; start < n; start += len) {
+      cplx* a = data.data() + start;
+      cplx* b = a + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        // Explicit real arithmetic: identical value sequence to the seed's
+        // std::complex butterfly for finite inputs, but lets the compiler
+        // keep everything in registers.
+        const double are = a[k].real(), aim = a[k].imag();
+        const double bre = b[k].real(), bim = b[k].imag();
+        const double wre = w[k].real(), wim = w[k].imag();
+        const double ore = bre * wre - bim * wim;
+        const double oim = bre * wim + bim * wre;
+        a[k] = {are + ore, aim + oim};
+        b[k] = {are - ore, aim - oim};
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+void fft_in_place_reference(std::span<cplx> data) {
+  transform(data, /*inverse=*/false);
+}
+
+void ifft_in_place_reference(std::span<cplx> data) {
+  transform(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (cplx& v : data) v *= inv_n;
+}
+
+void fft_in_place(std::span<cplx> data) {
+  get_fft_plan(data.size(), fft_direction::forward).execute(data);
+}
 
 void ifft_in_place(std::span<cplx> data) {
-  transform(data, /*inverse=*/true);
+  get_fft_plan(data.size(), fft_direction::inverse).execute(data);
   const double inv_n = 1.0 / static_cast<double>(data.size());
   for (cplx& v : data) v *= inv_n;
 }
@@ -68,10 +140,16 @@ cvec ifft(std::span<const cplx> input) {
 }
 
 cvec fft_shift(std::span<const cplx> input) {
+  // out[i] = input[(i + n/2) % n]: copy the two halves instead of paying a
+  // modulo per element. For odd-length inputs (not produced by the FFT
+  // paths, but accepted here) this matches the old modulo indexing.
   const std::size_t n = input.size();
   cvec out(n);
   const std::size_t half = n / 2;
-  for (std::size_t i = 0; i < n; ++i) out[i] = input[(i + half) % n];
+  const auto split = input.begin() + static_cast<std::ptrdiff_t>(half);
+  std::copy(split, input.end(), out.begin());
+  std::copy(input.begin(), split,
+            out.begin() + static_cast<std::ptrdiff_t>(n - half));
   return out;
 }
 

@@ -1,8 +1,13 @@
-// Iterative radix-2 FFT/IFFT for power-of-two sizes.
+// Iterative FFT/IFFT for power-of-two sizes.
 //
 // The WiFi PHY only needs 64-point transforms, but the implementation is
 // generic over any power of two so spectral tests and channel analysis can
-// use longer transforms.
+// use longer transforms. All entry points below route through the cached
+// execution plans in dsp/fft_plan.h, so repeated transforms of the same
+// size never re-derive twiddle factors. Sizes up to
+// fft_compat_size_limit are bit-identical to the original (pre-plan)
+// implementation, which is kept as *_reference for equivalence tests and
+// perf baselines.
 #pragma once
 
 #include <span>
@@ -28,5 +33,11 @@ bool is_power_of_two(std::size_t n);
 
 /// Circularly shift the spectrum so that DC moves to the centre bin.
 cvec fft_shift(std::span<const cplx> input);
+
+/// The original per-call twiddle-recurrence transform, kept verbatim as the
+/// baseline for perf_kernels and for the plan equivalence tests. Not used
+/// by the signal chain.
+void fft_in_place_reference(std::span<cplx> data);
+void ifft_in_place_reference(std::span<cplx> data);
 
 }  // namespace backfi::dsp

@@ -1,10 +1,13 @@
 #include "dsp/fir.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "dsp/fft_plan.h"
 
 namespace backfi::dsp {
 
-cvec convolve(std::span<const cplx> x, std::span<const cplx> h) {
+cvec convolve_direct(std::span<const cplx> x, std::span<const cplx> h) {
   if (x.empty() || h.empty()) return {};
   cvec out(x.size() + h.size() - 1, cplx{0.0, 0.0});
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -13,6 +16,62 @@ cvec convolve(std::span<const cplx> x, std::span<const cplx> h) {
     for (std::size_t k = 0; k < h.size(); ++k) out[i + k] += xi * h[k];
   }
   return out;
+}
+
+cvec convolve_overlap_save(std::span<const cplx> x, std::span<const cplx> h) {
+  if (x.empty() || h.empty()) return {};
+  // Convolution is symmetric; treat the shorter operand as the kernel.
+  std::span<const cplx> sig = x;
+  std::span<const cplx> ker = h;
+  if (sig.size() < ker.size()) std::swap(sig, ker);
+  const std::size_t m = ker.size();
+  const std::size_t n_out = sig.size() + m - 1;
+  // Block size ~4x the kernel keeps the discarded (m - 1)-sample prefix
+  // under a third of each transform; 256 floor amortizes plan overhead.
+  std::size_t nfft = 256;
+  while (nfft < 4 * m) nfft <<= 1;
+  const std::size_t block = nfft - m + 1;  // new output samples per FFT
+  const fft_plan& fwd = get_fft_plan(nfft, fft_direction::forward);
+  const fft_plan& inv = get_fft_plan(nfft, fft_direction::inverse);
+
+  cvec ker_freq(nfft, cplx{0.0, 0.0});
+  std::copy(ker.begin(), ker.end(), ker_freq.begin());
+  fwd.execute(ker_freq);
+
+  cvec out(n_out);
+  cvec seg(nfft);
+  const double inv_nfft = 1.0 / static_cast<double>(nfft);
+  const auto sig_len = static_cast<std::ptrdiff_t>(sig.size());
+  for (std::size_t pos = 0; pos < n_out; pos += block) {
+    // Segment producing outputs [pos, pos + block): signal samples
+    // [pos - (m - 1), pos - (m - 1) + nfft), zero-padded outside the signal.
+    const std::ptrdiff_t start =
+        static_cast<std::ptrdiff_t>(pos) - static_cast<std::ptrdiff_t>(m - 1);
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(start, 0);
+    const std::ptrdiff_t hi =
+        std::min(start + static_cast<std::ptrdiff_t>(nfft), sig_len);
+    std::fill(seg.begin(), seg.end(), cplx{0.0, 0.0});
+    if (lo < hi) {
+      std::copy(sig.begin() + lo, sig.begin() + hi, seg.begin() + (lo - start));
+    }
+    fwd.execute(seg);
+    for (std::size_t j = 0; j < nfft; ++j) seg[j] *= ker_freq[j];
+    inv.execute(seg);
+    // The first m - 1 circular outputs are aliased; the rest are the valid
+    // linear-convolution samples for this block.
+    const std::size_t count = std::min(block, n_out - pos);
+    for (std::size_t j = 0; j < count; ++j) {
+      out[pos + j] = seg[m - 1 + j] * inv_nfft;
+    }
+  }
+  return out;
+}
+
+cvec convolve(std::span<const cplx> x, std::span<const cplx> h) {
+  if (std::min(x.size(), h.size()) >= fft_convolve_min_taps) {
+    return convolve_overlap_save(x, h);
+  }
+  return convolve_direct(x, h);
 }
 
 cvec convolve_same(std::span<const cplx> x, std::span<const cplx> h) {
@@ -28,45 +87,28 @@ fir_filter::fir_filter(cvec taps) : taps_(std::move(taps)) {
 
 cvec fir_filter::process(std::span<const cplx> input) {
   const std::size_t n_taps = taps_.size();
+  const std::size_t keep = n_taps - 1;
+  // Materialize the virtual stream history_ ++ input once so the inner
+  // loop walks a single contiguous buffer with no history/input boundary
+  // branch. stream[keep + n] is input[n]; negative offsets land in the
+  // delay line, which always holds exactly keep samples.
+  cvec stream;
+  stream.reserve(keep + input.size());
+  stream.insert(stream.end(), history_.begin(), history_.end());
+  stream.insert(stream.end(), input.begin(), input.end());
   cvec out(input.size());
-  // Virtual sequence = history_ ++ input; compute causal FIR over it.
+  const cplx* base = stream.data() + keep;
   for (std::size_t n = 0; n < input.size(); ++n) {
+    const cplx* s = base + n;
     cplx acc{0.0, 0.0};
     for (std::size_t k = 0; k < n_taps; ++k) {
-      // sample at global index (n - k) relative to input start
-      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(n) - static_cast<std::ptrdiff_t>(k);
-      cplx sample;
-      if (idx >= 0) {
-        sample = input[static_cast<std::size_t>(idx)];
-      } else {
-        const std::ptrdiff_t hist_idx =
-            static_cast<std::ptrdiff_t>(history_.size()) + idx;
-        if (hist_idx < 0) continue;
-        sample = history_[static_cast<std::size_t>(hist_idx)];
-      }
-      acc += taps_[k] * sample;
+      acc += taps_[k] * s[-static_cast<std::ptrdiff_t>(k)];
     }
     out[n] = acc;
   }
-  // Update history with the last (n_taps - 1) samples of the virtual stream.
-  if (n_taps > 1) {
-    const std::size_t keep = n_taps - 1;
-    cvec next(keep, cplx{0.0, 0.0});
-    for (std::size_t i = 0; i < keep; ++i) {
-      // Global index from the end: want last `keep` samples.
-      const std::ptrdiff_t idx =
-          static_cast<std::ptrdiff_t>(input.size()) - static_cast<std::ptrdiff_t>(keep) +
-          static_cast<std::ptrdiff_t>(i);
-      if (idx >= 0) {
-        next[i] = input[static_cast<std::size_t>(idx)];
-      } else {
-        const std::ptrdiff_t hist_idx =
-            static_cast<std::ptrdiff_t>(history_.size()) + idx;
-        next[i] = hist_idx >= 0 ? history_[static_cast<std::size_t>(hist_idx)]
-                                : cplx{0.0, 0.0};
-      }
-    }
-    history_ = std::move(next);
+  if (keep > 0) {
+    history_.assign(stream.end() - static_cast<std::ptrdiff_t>(keep),
+                    stream.end());
   }
   return out;
 }

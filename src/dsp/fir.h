@@ -1,17 +1,36 @@
 // Linear convolution and streaming FIR filtering.
 //
-// Channels in BackFi are short (a handful of 50 ns taps), so direct-form
-// convolution is both simple and fast; no FFT-based fast convolution needed.
+// Channels in BackFi are short (a handful of 50 ns taps), so those stay on
+// the direct-form loop. Long kernels — wideband channel soundings, matched
+// filters over whole captures — dispatch to an FFT overlap-save path that
+// turns O(N*M) into O(N log M).
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "dsp/types.h"
 
 namespace backfi::dsp {
 
+/// Kernel length at which convolve/cross_correlate switch from the direct
+/// loop to the FFT overlap-save path. Everything the in-simulation signal
+/// chain convolves (multipath taps, canceller taps, the 64-sample LTF
+/// reference) sits well below this, so simulation outputs are bit-identical
+/// to the pre-dispatch direct implementation.
+inline constexpr std::size_t fft_convolve_min_taps = 96;
+
 /// Full linear convolution: output length = len(x) + len(h) - 1.
+/// Dispatches on min(len(x), len(h)) between the two paths below.
 cvec convolve(std::span<const cplx> x, std::span<const cplx> h);
+
+/// Direct-form O(len(x) * len(h)) convolution (the short-kernel path;
+/// exposed for equivalence tests and perf baselines).
+cvec convolve_direct(std::span<const cplx> x, std::span<const cplx> h);
+
+/// FFT overlap-save convolution. Same output as convolve_direct to within
+/// FFT rounding (~1e-12 relative for unit-scale inputs).
+cvec convolve_overlap_save(std::span<const cplx> x, std::span<const cplx> h);
 
 /// "Same"-length convolution: output length = len(x), aligned so that
 /// h[0] multiplies x[n] (i.e. the filter is causal, output truncated).

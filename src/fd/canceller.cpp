@@ -16,6 +16,9 @@ cvec subtract_filtered(std::span<const cplx> tx, std::span<const cplx> rx,
                        const cvec& taps) {
   cvec out(rx.begin(), rx.end());
   if (taps.empty()) return out;
+  // dsp::convolve_same dispatches on tap count: the default 6-8 tap
+  // canceller stays on the exact direct loop, while long emulated channels
+  // (>= dsp::fft_convolve_min_taps) run FFT overlap-save automatically.
   const cvec emulated = dsp::convolve_same(tx, taps);
   const std::size_t n = std::min(out.size(), emulated.size());
   for (std::size_t i = 0; i < n; ++i) out[i] -= emulated[i];

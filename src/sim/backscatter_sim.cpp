@@ -8,6 +8,7 @@
 #include "dsp/math_util.h"
 #include "dsp/vec_ops.h"
 #include "phy/constellation.h"
+#include "sim/parallel.h"
 #include "tag/wake_detector.h"
 
 namespace backfi::sim {
@@ -167,14 +168,21 @@ trial_result run_backscatter_trial(const scenario_config& config) {
 }
 
 double packet_error_rate(const scenario_config& config, int trials) {
-  int failures = 0;
-  for (int t = 0; t < trials; ++t) {
+  if (trials <= 0) return 0.0;
+  // Each trial's seed depends only on (base seed, trial index) and each
+  // trial writes its own outcome slot, so the result is bit-identical to
+  // the serial loop at any thread count.
+  const std::size_t n = static_cast<std::size_t>(trials);
+  std::vector<std::uint8_t> failed(n, 0);
+  parallel_for(n, [&](std::size_t t) {
     scenario_config c = config;
     c.seed = config.seed * 1000003ULL + static_cast<std::uint64_t>(t);
     const trial_result r = run_backscatter_trial(c);
-    if (!r.crc_ok || r.bit_errors != 0) ++failures;
-  }
-  return static_cast<double>(failures) / static_cast<double>(std::max(trials, 1));
+    failed[t] = (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
+  });
+  int failures = 0;
+  for (const std::uint8_t f : failed) failures += f;
+  return static_cast<double>(failures) / static_cast<double>(trials);
 }
 
 }  // namespace backfi::sim

@@ -8,6 +8,7 @@
 #include "dsp/math_util.h"
 #include "dsp/vec_ops.h"
 #include "reader/excitation.h"
+#include "sim/parallel.h"
 #include "tag/wake_detector.h"
 
 namespace backfi::sim {
@@ -79,14 +80,20 @@ coexistence_result run_coexistence_trial(const coexistence_config& config) {
 }
 
 double client_throughput_bps(const coexistence_config& config, int trials) {
-  int ok = 0;
-  for (int t = 0; t < trials; ++t) {
+  const auto& p = wifi::params_for(config.rate);
+  if (trials <= 0) return 0.0;
+  // Seeds depend only on (base seed, trial index); disjoint result slots
+  // keep the parallel outcome bit-identical to the serial loop.
+  const std::size_t n = static_cast<std::size_t>(trials);
+  std::vector<std::uint8_t> decoded(n, 0);
+  parallel_for(n, [&](std::size_t t) {
     coexistence_config c = config;
     c.seed = config.seed * 7919ULL + static_cast<std::uint64_t>(t);
-    if (run_coexistence_trial(c).client_decoded) ++ok;
-  }
-  const auto& p = wifi::params_for(config.rate);
-  return p.mbps * 1e6 * static_cast<double>(ok) / static_cast<double>(std::max(trials, 1));
+    decoded[t] = run_coexistence_trial(c).client_decoded ? 1 : 0;
+  });
+  int ok = 0;
+  for (const std::uint8_t d : decoded) ok += d;
+  return p.mbps * 1e6 * static_cast<double>(ok) / static_cast<double>(trials);
 }
 
 double distance_for_client_snr(const channel::link_budget& budget, double snr_db) {

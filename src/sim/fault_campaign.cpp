@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "reader/excitation.h"
+#include "sim/parallel.h"
 #include "sim/rate_adaptation.h"
 
 namespace backfi::sim {
@@ -100,16 +101,25 @@ campaign_result run_fault_campaign(const campaign_config& config) {
     const auto all = impair::all_fault_classes();
     faults.assign(all.begin(), all.end());
   }
-  for (const impair::fault_class fault : faults) {
-    for (const double severity : config.severities) {
-      campaign_cell cell;
-      cell.fault = fault;
-      cell.severity = severity;
-      cell.baseline = run_campaign_arm(config, fault, severity, false);
-      cell.recovery = run_campaign_arm(config, fault, severity, true);
-      result.cells.push_back(std::move(cell));
+  result.cells.resize(faults.size() * config.severities.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    for (std::size_t s = 0; s < config.severities.size(); ++s) {
+      campaign_cell& cell = result.cells[f * config.severities.size() + s];
+      cell.fault = faults[f];
+      cell.severity = config.severities[s];
     }
   }
+  // Each (cell, arm) pair is an independent pure computation — seeds come
+  // from (config.seed, poll index) — and writes a distinct member of its
+  // cell, so the grid parallelizes with results identical to the old
+  // nested serial loops.
+  parallel_for(2 * result.cells.size(), [&](std::size_t i) {
+    campaign_cell& cell = result.cells[i / 2];
+    const bool recovery = (i % 2) != 0;
+    campaign_run run =
+        run_campaign_arm(config, cell.fault, cell.severity, recovery);
+    (recovery ? cell.recovery : cell.baseline) = std::move(run);
+  });
   return result;
 }
 

@@ -1,0 +1,63 @@
+// Deterministic parallel execution for Monte-Carlo trial loops.
+//
+// Design rules that keep parallel results bit-identical to the serial loop
+// at any thread count (including 1):
+//  - The caller derives every trial's RNG seed from (base seed, trial
+//    index) alone — never from execution order or thread identity.
+//  - Each index writes only its own result slot; reductions happen on the
+//    calling thread in index order after the loop.
+//  - parallel_for never reorders observable side effects because the trial
+//    functions are pure given their config.
+//
+// The pool is lazily created, fixed-size (max_threads() - 1 workers plus
+// the calling thread), and shared process-wide. Nested parallel_for calls
+// from inside a worker run serially on that worker, so trial bodies may
+// themselves call parallelized evaluators without deadlock or
+// oversubscription.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace backfi::sim {
+
+/// Number of threads parallel_for may use. Resolution order: the value set
+/// by set_thread_count / scoped_thread_count if nonzero, else the
+/// BACKFI_THREADS environment variable, else std::thread::hardware_concurrency.
+std::size_t max_threads();
+
+/// Override max_threads() process-wide; 0 restores the default resolution.
+void set_thread_count(std::size_t n);
+
+/// RAII thread-count override (restores the previous override on exit).
+/// Used by perf_kernels to measure 1/2/4-thread scaling in one process.
+class scoped_thread_count {
+ public:
+  explicit scoped_thread_count(std::size_t n);
+  ~scoped_thread_count();
+  scoped_thread_count(const scoped_thread_count&) = delete;
+  scoped_thread_count& operator=(const scoped_thread_count&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+/// Run body(0) ... body(n - 1), distributing indices across the pool. The
+/// call returns after every index has completed. If any body throws, the
+/// remaining indices are abandoned and the first exception is rethrown on
+/// the calling thread. With max_threads() <= 1, or when called from inside
+/// a pool worker, the loop runs serially in index order.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Map fn over [0, n) into a vector, one disjoint slot per index. The
+/// result ordering (and, for deterministic fn, the contents) is identical
+/// at any thread count.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace backfi::sim

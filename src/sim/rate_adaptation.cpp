@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/parallel.h"
+
 namespace backfi::sim {
 
 namespace {
@@ -74,18 +76,21 @@ scenario_config scenario_for_point(const scenario_config& base,
 std::vector<link_evaluation> evaluate_link(const scenario_config& base,
                                            double distance_m, int trials,
                                            double per_threshold) {
-  std::vector<link_evaluation> out;
-  for (const auto& point : all_operating_points()) {
+  // Operating points are independent Monte-Carlo evaluations; parallelize
+  // across points (the nested packet_error_rate loops run serially inside
+  // each worker). Slot-per-point results keep the output order and values
+  // identical to the old serial loop.
+  const std::vector<operating_point> points = all_operating_points();
+  return parallel_map<link_evaluation>(points.size(), [&](std::size_t i) {
     link_evaluation eval;
-    eval.point = point;
+    eval.point = points[i];
     const scenario_config config =
-        scenario_for_point(base, point.rate, distance_m);
+        scenario_for_point(base, points[i].rate, distance_m);
     eval.packet_error_rate = packet_error_rate(config, trials);
     eval.goodput_bps = eval.point.throughput_bps * (1.0 - eval.packet_error_rate);
     eval.usable = eval.packet_error_rate <= per_threshold;
-    out.push_back(eval);
-  }
-  return out;
+    return eval;
+  });
 }
 
 std::optional<link_evaluation> max_goodput_point(
@@ -105,18 +110,42 @@ std::optional<link_evaluation> find_max_goodput(const scenario_config& base,
             [](const operating_point& a, const operating_point& b) {
               return a.throughput_bps > b.throughput_bps;
             });
+  // Serial semantics: walk points in descending throughput, stop once no
+  // remaining point can beat the best goodput seen so far. Parallel
+  // version: evaluate one wave of points speculatively, then replay the
+  // serial accept/stop rule in index order. Evaluations are pure functions
+  // of (config, trials), so the returned point is identical to the serial
+  // scan at any thread count — a wave only costs wasted speculative work
+  // when the serial loop would have stopped mid-wave.
   std::optional<link_evaluation> best;
-  for (const auto& point : points) {
-    if (best && point.throughput_bps <= best->goodput_bps) break;
-    const scenario_config config =
-        scenario_for_point(base, point.rate, distance_m);
-    link_evaluation eval;
-    eval.point = point;
-    eval.packet_error_rate = packet_error_rate(config, trials);
-    eval.goodput_bps = point.throughput_bps * (1.0 - eval.packet_error_rate);
-    eval.usable = eval.packet_error_rate < 1.0;
-    if (eval.usable && (!best || eval.goodput_bps > best->goodput_bps))
-      best = eval;
+  const std::size_t wave = std::max<std::size_t>(max_threads(), 1);
+  for (std::size_t begin = 0; begin < points.size();) {
+    if (best && points[begin].throughput_bps <= best->goodput_bps) break;
+    const std::size_t end = std::min(points.size(), begin + wave);
+    const std::vector<link_evaluation> evals =
+        parallel_map<link_evaluation>(end - begin, [&](std::size_t j) {
+          const operating_point& point = points[begin + j];
+          const scenario_config config =
+              scenario_for_point(base, point.rate, distance_m);
+          link_evaluation eval;
+          eval.point = point;
+          eval.packet_error_rate = packet_error_rate(config, trials);
+          eval.goodput_bps = point.throughput_bps * (1.0 - eval.packet_error_rate);
+          eval.usable = eval.packet_error_rate < 1.0;
+          return eval;
+        });
+    bool stopped = false;
+    for (std::size_t j = 0; j < evals.size(); ++j) {
+      if (best && points[begin + j].throughput_bps <= best->goodput_bps) {
+        stopped = true;
+        break;
+      }
+      const link_evaluation& eval = evals[j];
+      if (eval.usable && (!best || eval.goodput_bps > best->goodput_bps))
+        best = eval;
+    }
+    if (stopped) break;
+    begin = end;
   }
   return best;
 }

@@ -4,7 +4,7 @@
 #include <cassert>
 #include <cmath>
 
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "wifi/ofdm.h"
 
 namespace backfi::wifi {
@@ -38,23 +38,32 @@ constexpr std::array<double, 53> kLtfSequence = {
     1, -1, 1, -1, 1,  1, 1,  1, 0,  1,  -1, -1, 1,  1, -1, 1, -1, 1,
     -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1,  -1, 1, 1,  1,  1};
 
+cvec inverse_transform_scaled(cvec freq) {
+  // Shared cached plan with the per-symbol OFDM modulator.
+  const dsp::fft_plan& inv_plan =
+      dsp::get_fft_plan(fft_size, dsp::fft_direction::inverse);
+  inv_plan.execute(freq);
+  constexpr double inv_n = 1.0 / static_cast<double>(fft_size);
+  for (cplx& v : freq) {
+    v *= inv_n;
+    v *= tx_scale();
+  }
+  return freq;
+}
+
 cvec stf_period_64() {
   cvec freq(fft_size, cplx{0.0, 0.0});
   const double amp = std::sqrt(13.0 / 6.0);
   for (const auto& e : kStfEntries)
     freq[subcarrier_to_bin(e.subcarrier)] = cplx{e.sign, e.sign} * amp;
-  cvec time = dsp::ifft(freq);
-  for (cplx& v : time) v *= tx_scale();
-  return time;
+  return inverse_transform_scaled(std::move(freq));
 }
 
 cvec ltf_period_64() {
   cvec freq(fft_size, cplx{0.0, 0.0});
   for (int k = -26; k <= 26; ++k)
     freq[subcarrier_to_bin(k)] = kLtfSequence[static_cast<std::size_t>(k + 26)];
-  cvec time = dsp::ifft(freq);
-  for (cplx& v : time) v *= tx_scale();
-  return time;
+  return inverse_transform_scaled(std::move(freq));
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "dsp/correlation.h"
-#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/math_util.h"
 #include "dsp/vec_ops.h"
 #include "phy/constellation.h"
@@ -92,8 +92,10 @@ channel_estimate estimate_channel(std::span<const cplx> samples,
           samples.begin() + ltf_symbol_start + fft_size);
   cvec y2(samples.begin() + ltf_symbol_start + fft_size,
           samples.begin() + ltf_symbol_start + 2 * fft_size);
-  dsp::fft_in_place(y1);
-  dsp::fft_in_place(y2);
+  static const dsp::fft_plan& fwd_plan =
+      dsp::get_fft_plan(fft_size, dsp::fft_direction::forward);
+  fwd_plan.execute(y1);
+  fwd_plan.execute(y2);
 
   double noise_acc = 0.0;
   std::size_t active = 0;

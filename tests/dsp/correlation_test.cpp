@@ -4,6 +4,7 @@
 
 #include "dsp/math_util.h"
 #include "dsp/rng.h"
+#include "dsp/vec_ops.h"
 
 namespace backfi::dsp {
 namespace {
@@ -67,6 +68,57 @@ TEST(CorrelationTest, TooShortSignalGivesEmpty) {
   const cvec signal = random_sequence(8, 8);
   EXPECT_TRUE(cross_correlate(signal, ref).empty());
   EXPECT_TRUE(normalized_correlation(signal, ref).empty());
+}
+
+TEST(CorrelationTest, FftPathMatchesDirectForLongReferences) {
+  // A 128-sample reference is above fft_convolve_min_taps, so
+  // cross_correlate takes the overlap-save path; it must agree with the
+  // direct loop to FFT rounding.
+  const cvec signal = random_sequence(4096, 11);
+  const cvec ref = random_sequence(128, 12);
+  const cvec direct = cross_correlate_direct(signal, ref);
+  const cvec fast = cross_correlate(signal, ref);
+  ASSERT_EQ(fast.size(), direct.size());
+  double scale = 0.0;
+  for (const cplx& v : direct) scale = std::max(scale, std::abs(v));
+  for (std::size_t n = 0; n < direct.size(); ++n)
+    EXPECT_NEAR(std::abs(fast[n] - direct[n]) / scale, 0.0, 1e-9) << "n=" << n;
+}
+
+TEST(CorrelationTest, WindowEnergyDoesNotDriftOverLongCaptures) {
+  // A capture that opens with a big transient and then goes quiet: the
+  // incremental energy update leaves a residue of the large values'
+  // rounding error, which swamps the tiny true energy deep into the buffer
+  // unless the window energy is periodically rebuilt. With the periodic
+  // exact refresh, the metric must match a per-position exact computation.
+  const std::size_t ref_len = 16;
+  const cvec ref = random_sequence(ref_len, 13);
+  rng gen(14);
+  cvec signal(3 * normalized_correlation_refresh_interval);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double amp = i < 512 ? 1e8 : 1e-4;
+    signal[i] = gen.complex_gaussian() * amp;
+  }
+  // Plant one scaled reference copy late in the quiet region.
+  const std::size_t offset = signal.size() - 2 * ref_len;
+  for (std::size_t i = 0; i < ref_len; ++i)
+    signal[offset + i] = ref[i] * cplx{2e-4, 1e-4};
+
+  const rvec metric = normalized_correlation(signal, ref);
+  const double ref_norm = std::sqrt(energy(ref));
+  ASSERT_EQ(metric.size(), signal.size() - ref_len + 1);
+  for (std::size_t n = signal.size() / 2; n < metric.size(); n += 257) {
+    cplx acc{0.0, 0.0};
+    double window = 0.0;
+    for (std::size_t k = 0; k < ref_len; ++k) {
+      acc += signal[n + k] * std::conj(ref[k]);
+      window += std::norm(signal[n + k]);
+    }
+    const double exact = std::abs(acc) / (std::sqrt(window) * ref_norm);
+    EXPECT_NEAR(metric[n], exact, 1e-6 * std::max(exact, 1.0)) << "n=" << n;
+  }
+  // The planted copy still produces a clean normalized peak.
+  EXPECT_NEAR(metric[offset], 1.0, 1e-6);
 }
 
 TEST(CorrelationTest, DelayedAutocorrelationDetectsPeriodicity) {

@@ -1,0 +1,118 @@
+#include "dsp/fft_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+
+namespace backfi::dsp {
+namespace {
+
+cvec random_sequence(std::size_t n, std::uint64_t seed) {
+  rng gen(seed);
+  cvec x(n);
+  for (auto& v : x) v = gen.complex_gaussian();
+  return x;
+}
+
+double max_relative_error(const cvec& a, const cvec& b) {
+  double scale = 0.0;
+  for (const cplx& v : a) scale = std::max(scale, std::abs(v));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]) / std::max(scale, 1e-300));
+  return worst;
+}
+
+TEST(FftPlanTest, BitIdenticalToReferenceUpToCompatLimit) {
+  // The simulation's regression anchors depend on this: every size the WiFi
+  // PHY uses (<= 64) must reproduce the seed transform's doubles exactly.
+  for (std::size_t n = 1; n <= fft_compat_size_limit; n <<= 1) {
+    const cvec base = random_sequence(n, 100 + n);
+
+    cvec expected = base;
+    fft_in_place_reference(expected);
+    cvec actual = base;
+    get_fft_plan(n, fft_direction::forward).execute(actual);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(expected[i].real(), actual[i].real()) << "n=" << n << " i=" << i;
+      EXPECT_EQ(expected[i].imag(), actual[i].imag()) << "n=" << n << " i=" << i;
+    }
+
+    cvec expected_inv = base;
+    ifft_in_place_reference(expected_inv);
+    cvec actual_inv = base;
+    get_fft_plan(n, fft_direction::inverse).execute(actual_inv);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (cplx& v : actual_inv) v *= inv_n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(expected_inv[i].real(), actual_inv[i].real())
+          << "n=" << n << " i=" << i;
+      EXPECT_EQ(expected_inv[i].imag(), actual_inv[i].imag())
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftPlanTest, PublicFftRoutesThroughBitIdenticalPlanAt64) {
+  const cvec base = random_sequence(64, 12);
+  cvec via_plan = base;
+  fft_in_place(via_plan);
+  cvec via_reference = base;
+  fft_in_place_reference(via_reference);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(via_reference[i].real(), via_plan[i].real());
+    EXPECT_EQ(via_reference[i].imag(), via_plan[i].imag());
+  }
+}
+
+TEST(FftPlanTest, RandomizedEquivalenceOnStockhamSizes) {
+  // Above the compat limit the plan runs the Stockham radix-4 kernel;
+  // agreement with the reference is to rounding, not bitwise.
+  for (const std::size_t n : {128u, 256u, 1024u, 4096u, 8192u}) {
+    const cvec base = random_sequence(n, 200 + n);
+    cvec expected = base;
+    fft_in_place_reference(expected);
+    cvec actual = base;
+    get_fft_plan(n, fft_direction::forward).execute(actual);
+    EXPECT_LT(max_relative_error(expected, actual), 1e-9) << "n=" << n;
+
+    cvec expected_inv = base;
+    ifft_in_place_reference(expected_inv);
+    cvec actual_inv = base;
+    ifft_in_place(actual_inv);
+    EXPECT_LT(max_relative_error(expected_inv, actual_inv), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(FftPlanTest, RoundTripThroughPublicApiAt4096) {
+  const cvec x = random_sequence(4096, 17);
+  const cvec y = ifft(fft(x));
+  EXPECT_LT(max_relative_error(x, y), 1e-10);
+}
+
+TEST(FftPlanTest, CacheReturnsStableSharedInstances) {
+  const fft_plan& a = get_fft_plan(64, fft_direction::forward);
+  const fft_plan& b = get_fft_plan(64, fft_direction::forward);
+  EXPECT_EQ(&a, &b);
+  const fft_plan& inv = get_fft_plan(64, fft_direction::inverse);
+  EXPECT_NE(&a, &inv);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(inv.direction(), fft_direction::inverse);
+}
+
+TEST(FftPlanTest, FftShiftMatchesModuloIndexingEvenAndOdd) {
+  for (const std::size_t n : {8u, 7u}) {
+    const cvec x = random_sequence(n, 300 + n);
+    const cvec shifted = fft_shift(x);
+    ASSERT_EQ(shifted.size(), n);
+    const std::size_t half = n / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(shifted[i].real(), x[(i + half) % n].real()) << "n=" << n;
+      EXPECT_EQ(shifted[i].imag(), x[(i + half) % n].imag()) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace backfi::dsp

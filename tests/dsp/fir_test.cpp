@@ -81,6 +81,57 @@ TEST(FirTest, StreamingMatchesBatchAcrossBlockBoundaries) {
     EXPECT_NEAR(std::abs(streamed[i] - batch[i]), 0.0, 1e-12) << "at index " << i;
 }
 
+TEST(FirTest, OverlapSaveMatchesDirectRandomized) {
+  rng seeds(77);
+  // Mixed sizes around the dispatch threshold, including non-power-of-two
+  // kernels and a signal shorter than one FFT block.
+  const struct { std::size_t nx, nh; } cases[] = {
+      {1000, 97}, {1 << 12, 256}, {513, 129}, {200, 200}, {96, 4096}};
+  for (const auto& c : cases) {
+    rng gen(seeds.next_u64());
+    cvec x(c.nx), h(c.nh);
+    for (auto& v : x) v = gen.complex_gaussian();
+    for (auto& v : h) v = gen.complex_gaussian();
+    const cvec direct = convolve_direct(x, h);
+    const cvec fast = convolve_overlap_save(x, h);
+    ASSERT_EQ(fast.size(), direct.size());
+    double scale = 0.0;
+    for (const cplx& v : direct) scale = std::max(scale, std::abs(v));
+    for (std::size_t i = 0; i < direct.size(); ++i)
+      EXPECT_NEAR(std::abs(fast[i] - direct[i]) / scale, 0.0, 1e-9)
+          << "nx=" << c.nx << " nh=" << c.nh << " i=" << i;
+  }
+}
+
+TEST(FirTest, ConvolveDispatchesLongKernelsToOverlapSave) {
+  rng gen(78);
+  cvec x(2048), h(fft_convolve_min_taps);
+  for (auto& v : x) v = gen.complex_gaussian();
+  for (auto& v : h) v = gen.complex_gaussian();
+  // At the threshold, convolve must return exactly the overlap-save result.
+  const cvec dispatched = convolve(x, h);
+  const cvec fast = convolve_overlap_save(x, h);
+  ASSERT_EQ(dispatched.size(), fast.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(dispatched[i].real(), fast[i].real());
+    EXPECT_EQ(dispatched[i].imag(), fast[i].imag());
+  }
+}
+
+TEST(FirTest, ConvolveShortKernelsStayBitIdenticalToDirect) {
+  rng gen(79);
+  cvec x(512), h(fft_convolve_min_taps - 1);
+  for (auto& v : x) v = gen.complex_gaussian();
+  for (auto& v : h) v = gen.complex_gaussian();
+  const cvec dispatched = convolve(x, h);
+  const cvec direct = convolve_direct(x, h);
+  ASSERT_EQ(dispatched.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(dispatched[i].real(), direct[i].real());
+    EXPECT_EQ(dispatched[i].imag(), direct[i].imag());
+  }
+}
+
 TEST(FirTest, ResetClearsHistory) {
   const cvec taps = {{1.0, 0.0}, {1.0, 0.0}};
   fir_filter filt(taps);
