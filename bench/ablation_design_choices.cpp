@@ -42,7 +42,7 @@ std::string mean_snr_text(const sim::scenario_config& base, int trials) {
     cfg.seed = 500 + static_cast<std::uint64_t>(t);
     const auto r = sim::run_backscatter_trial(cfg);
     if (!r.sync_found) continue;
-    acc += r.measured_snr_db;
+    acc += r.link.post_mrc_snr_db;
     ++n;
   }
   char buf[64];

@@ -4,8 +4,13 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "obs/collector.h"
+#include "obs/probe.h"
 
 namespace backfi::bench {
 
@@ -43,5 +48,37 @@ inline void print_wall_time(const std::string& what, double seconds,
 
 /// Median of a (copied) sample vector; 0 for empty input.
 double median(std::vector<double> values);
+
+/// Telemetry capture for one bench binary. The session owns the root
+/// obs::collector the bench threads through its scenario configs, and on
+/// finish() exports the merged registry as TELEMETRY_<name>.json and
+/// TELEMETRY_<name>.csv next to the working directory (like BENCH_dsp.json)
+/// so CI can upload them.
+///
+/// The BACKFI_TELEMETRY environment variable controls the session:
+///   unset / empty  collection on, default file prefix TELEMETRY_<name>
+///   "off" / "0"    collection off: collector() is null, finish() is a
+///                  no-op returning 0 (the zero-overhead path)
+///   anything else  collection on, value used as the output file prefix
+class telemetry_session {
+ public:
+  explicit telemetry_session(std::string name);
+
+  /// Root collector, or null when disabled — pass directly into
+  /// scenario_config::collector / decoder_config::collector etc.
+  obs::collector* collector() { return collector_.get(); }
+
+  /// Export the artifacts and verify every probe in `required` reported at
+  /// least one sample. Returns 0 on success (and always when disabled);
+  /// 1 when a file failed to write or a required probe stayed at zero
+  /// samples. Bench main() returns this, so CI enforces telemetry
+  /// coverage through the exit code alone.
+  int finish(std::span<const obs::probe> required);
+
+ private:
+  std::string name_;
+  std::string prefix_;
+  std::unique_ptr<obs::collector> collector_;
+};
 
 }  // namespace backfi::bench

@@ -27,8 +27,9 @@ sim::scenario_config base_scenario(std::size_t preamble_us) {
   return base;
 }
 
-void run_sweep() {
+int run_sweep() {
   bench::print_header("Fig. 8", "Max throughput vs range, preamble 32 us vs 96 us");
+  bench::telemetry_session telemetry("fig08");
   const auto sweep_start = std::chrono::steady_clock::now();
   const double distances[] = {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
   std::printf("%-8s | %-34s | %-34s\n", "range", "32 us preamble", "96 us preamble");
@@ -39,6 +40,7 @@ void run_sweep() {
     for (const std::size_t pre : {32u, 96u}) {
       sim::scenario_config base = base_scenario(pre);
       base.seed = static_cast<std::uint64_t>(d * 1000) + pre;
+      base.collector = telemetry.collector();
       const auto best = sim::find_max_goodput(base, d, kTrials);
       if (best) {
         char buf[96];
@@ -62,7 +64,23 @@ void run_sweep() {
       std::chrono::steady_clock::now() - sweep_start;
   bench::print_wall_time(
       "8 ranges x 2 preambles, " + std::to_string(kTrials) + " trials/point",
-      elapsed.count(), sim::max_threads());
+      elapsed.count(), sim::thread_count());
+
+  // Every probe the fig. 8 pipeline is supposed to exercise must have
+  // fired; a zero-sample probe is disconnected instrumentation and fails
+  // the bench (and the CI telemetry job) via the exit code.
+  const obs::probe required[] = {
+      obs::probe::trials,          obs::probe::trials_woke,
+      obs::probe::trials_sync_found, obs::probe::trials_decoded,
+      obs::probe::trials_crc_ok,   obs::probe::analog_depth_db,
+      obs::probe::total_depth_db,  obs::probe::residual_si_over_noise_db,
+      obs::probe::sync_attempts,   obs::probe::sync_correlation,
+      obs::probe::timing_offset,   obs::probe::post_mrc_snr_db,
+      obs::probe::expected_snr_db, obs::probe::evm_rms,
+      obs::probe::viterbi_path_metric, obs::probe::tag_energy_pj,
+      obs::probe::effective_throughput_bps,
+  };
+  return telemetry.finish(required);
 }
 
 void bm_single_link_trial(benchmark::State& state) {
@@ -80,8 +98,8 @@ BENCHMARK(bm_single_link_trial)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_sweep();
+  const int status = run_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return status;
 }

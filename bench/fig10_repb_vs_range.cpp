@@ -20,12 +20,14 @@ using namespace backfi;
 // operating-point grid out over the sim::parallel_for pool.
 constexpr int kTrials = 24;
 
-void run_sweep() {
+int run_sweep() {
   bench::print_header("Fig. 10", "Min REPB vs range at fixed 1.25 / 5 Mbps");
+  bench::telemetry_session telemetry("fig10");
   const auto sweep_start = std::chrono::steady_clock::now();
   sim::scenario_config base;
   base.excitation.ppdu_bytes = 4000;
   base.payload_bits = 600;
+  base.collector = telemetry.collector();
 
   std::printf("%-8s | %-30s | %-30s\n", "range", "1.25 Mbps target",
               "5 Mbps target");
@@ -59,7 +61,14 @@ void run_sweep() {
   bench::print_wall_time(
       "8 ranges x full operating-point grid, " + std::to_string(kTrials) +
           " trials/point",
-      elapsed.count(), sim::max_threads());
+      elapsed.count(), sim::thread_count());
+
+  const obs::probe required[] = {
+      obs::probe::trials,         obs::probe::trials_woke,
+      obs::probe::trials_crc_ok,  obs::probe::total_depth_db,
+      obs::probe::post_mrc_snr_db, obs::probe::tag_energy_pj,
+  };
+  return telemetry.finish(required);
 }
 
 void bm_min_repb_selection(benchmark::State& state) {
@@ -79,8 +88,8 @@ BENCHMARK(bm_min_repb_selection);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_sweep();
+  const int status = run_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return status;
 }

@@ -41,10 +41,10 @@ void run_experiment() {
       cfg.seed = static_cast<std::uint64_t>(loc) * 1000 + run;
       const auto r = sim::run_backscatter_trial(cfg);
       if (!r.sync_found) continue;
-      degradations.push_back(r.expected_snr_db - r.measured_snr_db);
-      residues.push_back(r.residual_si_over_noise_db);
-      loc_expected += r.expected_snr_db;
-      loc_measured += r.measured_snr_db;
+      degradations.push_back(r.link.expected_snr_db - r.link.post_mrc_snr_db);
+      residues.push_back(r.link.residual_si_over_noise_db);
+      loc_expected += r.link.expected_snr_db;
+      loc_measured += r.link.post_mrc_snr_db;
       ++n;
     }
     if (n > 0)

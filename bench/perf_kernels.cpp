@@ -57,11 +57,12 @@ sim::scenario_config per_scaling_config() {
   return cfg;
 }
 
-void print_speedup_summary() {
+int print_speedup_summary() {
   bench::print_header("perf_kernels",
                       "fast paths vs reference implementations");
-  std::printf("host: hardware_concurrency=%u, max_threads=%zu\n",
-              std::thread::hardware_concurrency(), sim::max_threads());
+  bench::telemetry_session telemetry("perf");
+  std::printf("host: hardware_concurrency=%u, threads=%zu\n",
+              std::thread::hardware_concurrency(), sim::thread_count());
 
   {  // FFT: cached plan vs the seed's per-call twiddle recurrence.
     for (const std::size_t n : {std::size_t{64}, std::size_t{4096}}) {
@@ -115,7 +116,8 @@ void print_speedup_summary() {
   }
 
   {  // packet_error_rate thread scaling + bit-identity.
-    const sim::scenario_config cfg = per_scaling_config();
+    sim::scenario_config cfg = per_scaling_config();
+    cfg.collector = telemetry.collector();
     constexpr int kTrials = 24;
     double per_serial = 0.0;
     bool identical = true;
@@ -139,6 +141,13 @@ void print_speedup_summary() {
     std::printf("  parallel PER bit-identical to serial: %s\n",
                 identical ? "yes" : "NO — DETERMINISM BUG");
   }
+
+  const obs::probe required[] = {
+      obs::probe::trials,
+      obs::probe::total_depth_db,
+      obs::probe::post_mrc_snr_db,
+  };
+  return telemetry.finish(required);
 }
 
 // --- google-benchmark timings (recorded in BENCH_dsp.json) ---
@@ -222,7 +231,7 @@ BENCHMARK(bm_packet_error_rate)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillis
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_speedup_summary();
+  const int status = print_speedup_summary();
   // Default to recording BENCH_dsp.json next to the working directory so
   // CI can upload it; any explicit --benchmark_out wins.
   std::vector<char*> args(argv, argv + argc);
@@ -239,5 +248,5 @@ int main(int argc, char** argv) {
   int n_args = static_cast<int>(args.size());
   benchmark::Initialize(&n_args, args.data());
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return status;
 }

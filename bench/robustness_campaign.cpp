@@ -31,10 +31,12 @@ sim::campaign_config make_config() {
   return cfg;
 }
 
-void run_experiment() {
+int run_experiment() {
   bench::print_header("Robustness campaign",
                       "goodput under impairment: baseline vs ARQ+supervision");
-  const sim::campaign_config cfg = make_config();
+  bench::telemetry_session telemetry("robustness");
+  sim::campaign_config cfg = make_config();
+  cfg.link.collector = telemetry.collector();
   const auto sweep_start = std::chrono::steady_clock::now();
   const sim::campaign_result result = sim::run_fault_campaign(cfg);
   const std::chrono::duration<double> campaign_elapsed =
@@ -66,7 +68,16 @@ void run_experiment() {
   bench::print_wall_time(
       std::to_string(result.cells.size()) + " fault cells x 2 arms, " +
           std::to_string(cfg.opportunities) + " polls/arm",
-      campaign_elapsed.count(), sim::max_threads());
+      campaign_elapsed.count(), sim::thread_count());
+
+  const obs::probe required[] = {
+      obs::probe::trials,
+      obs::probe::trials_woke,
+      obs::probe::decode_failures,
+      obs::probe::arq_state_transitions,
+      obs::probe::arq_retries,
+  };
+  return telemetry.finish(required);
 }
 
 void bm_campaign_cell(benchmark::State& state) {
@@ -98,8 +109,8 @@ BENCHMARK(bm_impairment_plan_apply)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_experiment();
+  const int status = run_experiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return status;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/vec_ops.h"
+#include "obs/collector.h"
 
 namespace backfi::fd {
 
@@ -13,12 +14,14 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
                                        std::size_t silent_end,
                                        const receive_chain_config& config) {
   receive_chain_result result;
+  obs::timing_span chain_span(config.collector, "fd.receive_chain");
   // A degenerate adaptation window (or misaligned tx/rx) would train both
   // cancellers on garbage and silently "cancel" the backscatter itself.
   // Flag it and pass the input through untouched instead.
   if (tx.size() != rx.size() || silent_begin >= silent_end ||
       silent_end > rx.size()) {
     result.cancellation_bypassed = true;
+    obs::count(config.collector, obs::probe::cancellation_bypassed);
     result.cleaned.assign(rx.begin(), rx.end());
     result.residual_power = dsp::mean_power(result.cleaned);
     return result;
@@ -29,12 +32,15 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
 
   // --- Analog stage (before the ADC) ---
   cvec after_analog;
-  if (config.enable_analog) {
-    analog_canceller analog(config.analog);
-    analog.adapt(tx_silent, rx_silent);
-    after_analog = analog.cancel(tx, rx);
-  } else {
-    after_analog.assign(rx.begin(), rx.end());
+  {
+    obs::timing_span span(config.collector, "fd.analog");
+    if (config.enable_analog) {
+      analog_canceller analog(config.analog);
+      analog.adapt(tx_silent, rx_silent);
+      after_analog = analog.cancel(tx, rx);
+    } else {
+      after_analog.assign(rx.begin(), rx.end());
+    }
   }
   result.analog_depth_db = cancellation_depth_db(
       rx_silent, std::span(after_analog).subspan(silent_begin,
@@ -54,6 +60,7 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
       if (std::abs(v.real()) > adc.full_scale ||
           std::abs(v.imag()) > adc.full_scale) {
         result.adc_saturated = true;
+        obs::count(config.collector, obs::probe::adc_saturated);
         break;
       }
     }
@@ -63,14 +70,17 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
   }
 
   // --- Digital stage (adapted on the silent period only) ---
-  if (config.enable_digital) {
-    digital_canceller digital(config.digital);
-    digital.adapt(tx_silent,
-                  std::span(digitized).subspan(silent_begin,
-                                               silent_end - silent_begin));
-    result.cleaned = digital.cancel(tx, digitized);
-  } else {
-    result.cleaned = std::move(digitized);
+  {
+    obs::timing_span span(config.collector, "fd.digital");
+    if (config.enable_digital) {
+      digital_canceller digital(config.digital);
+      digital.adapt(tx_silent,
+                    std::span(digitized).subspan(silent_begin,
+                                                 silent_end - silent_begin));
+      result.cleaned = digital.cancel(tx, digitized);
+    } else {
+      result.cleaned = std::move(digitized);
+    }
   }
 
   // --- Residual gain tracking (see receive_chain_config) ---
@@ -160,6 +170,10 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
                                   .subspan(silent_begin, silent_end - silent_begin);
   result.total_depth_db = cancellation_depth_db(rx_silent, cleaned_silent);
   result.residual_power = dsp::mean_power(cleaned_silent);
+  obs::observe(config.collector, obs::probe::analog_depth_db,
+               result.analog_depth_db);
+  obs::observe(config.collector, obs::probe::total_depth_db,
+               result.total_depth_db);
   return result;
 }
 

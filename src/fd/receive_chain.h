@@ -9,6 +9,10 @@
 #include "fd/adc.h"
 #include "fd/canceller.h"
 
+namespace backfi::obs {
+class collector;
+}  // namespace backfi::obs
+
 namespace backfi::fd {
 
 struct receive_chain_config {
@@ -35,6 +39,10 @@ struct receive_chain_config {
   /// DC offset) act on the analog-cancelled waveform, not on the raw
   /// antenna signal the RF canceller sees.
   std::function<void(std::span<cplx>)> front_end_hook;
+  /// Observability sink (nullable): the chain reports cancellation depths,
+  /// ADC saturation / bypass events and per-stage timing spans through it.
+  /// Null (the default) compiles to no-ops on the hot path.
+  obs::collector* collector = nullptr;
 };
 
 /// Result of running the chain over a full packet.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/collector.h"
+
 namespace backfi::mac {
 
 const char* to_string(link_state state) {
@@ -17,8 +19,9 @@ const char* to_string(link_state state) {
 }
 
 link_supervisor::link_supervisor(tag_scheduler& scheduler,
-                                 const arq_config& config)
-    : scheduler_(scheduler), config_(config) {
+                                 const arq_config& config,
+                                 obs::collector* collector)
+    : scheduler_(scheduler), config_(config), collector_(collector) {
   // The supervisor owns rate control; the scheduler only keeps the books.
   scheduler_.set_auto_rate_fallback(false);
   for (const std::uint32_t id : scheduler_.tag_ids()) {
@@ -32,6 +35,12 @@ link_supervisor::tag_record& link_supervisor::record_of(std::uint32_t id) {
   for (auto& r : records_)
     if (r.id == id) return r;
   throw std::out_of_range("link_supervisor: unsupervised tag id");
+}
+
+void link_supervisor::transition(tag_record& r, link_state next) {
+  if (r.state == next) return;
+  r.state = next;
+  obs::count(collector_, obs::probe::arq_state_transitions);
 }
 
 const link_supervisor::tag_record& link_supervisor::record_of(
@@ -60,6 +69,7 @@ std::optional<std::uint32_t> link_supervisor::next() {
   for (auto& r : records_)
     if ((!chosen || r.id != *chosen) && scheduler_.is_deferred(r.id))
       ++r.stats.deferred_polls;
+      obs::count(collector_, obs::probe::arq_deferred_polls);
   return chosen;
 }
 
@@ -68,26 +78,30 @@ void link_supervisor::handle_transaction_failure(tag_record& r) {
   if (fallback_rate(rate)) {
     scheduler_.set_rate(r.id, rate);
     ++r.stats.fallbacks;
+    obs::count(collector_, obs::probe::arq_fallbacks);
     ++r.fallback_streak;
     const std::size_t shift = std::min<std::size_t>(r.fallback_streak - 1, 16);
     const std::size_t backoff =
         std::min(config_.backoff_cap, config_.backoff_base << shift);
     scheduler_.defer(r.id, backoff);
-    r.state = link_state::backoff;
+    transition(r, link_state::backoff);
     return;
   }
   // Already at the robust floor: count dead cycles toward suspension.
   ++r.floor_failures;
   if (r.floor_failures >= config_.suspend_after) {
-    if (r.state != link_state::suspended) ++r.stats.suspensions;
-    r.state = link_state::suspended;
+    if (r.state != link_state::suspended) {
+      ++r.stats.suspensions;
+      obs::count(collector_, obs::probe::arq_suspensions);
+    }
+    transition(r, link_state::suspended);
     scheduler_.defer(r.id, config_.suspend_poll_interval);
   } else {
     const std::size_t shift = std::min<std::size_t>(
         r.fallback_streak + r.floor_failures - 1, 16);
     scheduler_.defer(r.id, std::min(config_.backoff_cap,
                                     config_.backoff_base << shift));
-    r.state = link_state::backoff;
+    transition(r, link_state::backoff);
   }
 }
 
@@ -97,8 +111,11 @@ void link_supervisor::report_result(std::uint32_t id, bool success,
   scheduler_.report_result(id, success, delivered_bits);
 
   if (success) {
-    if (r.state != link_state::healthy) ++r.stats.recoveries;
-    r.state = link_state::healthy;
+    if (r.state != link_state::healthy) {
+      ++r.stats.recoveries;
+      obs::count(collector_, obs::probe::arq_recoveries);
+    }
+    transition(r, link_state::healthy);
     r.retries_used = 0;
     r.retry_pending = false;
     r.fallback_streak = 0;
@@ -110,7 +127,8 @@ void link_supervisor::report_result(std::uint32_t id, bool success,
       if (probe_up_rate(rate)) {
         scheduler_.set_rate(id, rate);
         ++r.stats.probe_ups;
-        r.state = link_state::probing;
+        obs::count(collector_, obs::probe::arq_probe_ups);
+        transition(r, link_state::probing);
       }
       r.success_streak = 0;
     }
@@ -122,15 +140,17 @@ void link_supervisor::report_result(std::uint32_t id, bool success,
     // First failure after a probe-up: revert immediately, no retry burn.
     scheduler_.set_rate(id, r.pre_probe_rate);
     ++r.stats.fallbacks;
-    r.state = link_state::healthy;
+    obs::count(collector_, obs::probe::arq_fallbacks);
+    transition(r, link_state::healthy);
     return;
   }
 
   if (r.retries_used < config_.max_retries) {
     ++r.retries_used;
     ++r.stats.retries;
+    obs::count(collector_, obs::probe::arq_retries);
     r.retry_pending = true;
-    r.state = link_state::retrying;
+    transition(r, link_state::retrying);
     return;
   }
 

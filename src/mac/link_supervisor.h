@@ -19,6 +19,10 @@
 
 #include "mac/tag_network.h"
 
+namespace backfi::obs {
+class collector;
+}  // namespace backfi::obs
+
 namespace backfi::mac {
 
 struct arq_config {
@@ -60,8 +64,13 @@ struct supervision_stats {
 ///   supervisor.report_result(*id, ok, bits);  // instead of scheduler's
 class link_supervisor {
  public:
+  /// `collector` (nullable) receives mac.arq_* counters: one
+  /// arq_state_transitions per state change plus one counter per
+  /// retry/fallback/probe-up/recovery/suspension/deferred-poll event,
+  /// mirroring supervision_stats in the exported telemetry.
   explicit link_supervisor(tag_scheduler& scheduler,
-                           const arq_config& config = {});
+                           const arq_config& config = {},
+                           obs::collector* collector = nullptr);
 
   /// Next tag to poll: a pending ARQ retry takes precedence over the
   /// scheduler's pick (the retry burns the opportunity either way).
@@ -91,9 +100,12 @@ class link_supervisor {
   tag_record& record_of(std::uint32_t id);
   const tag_record& record_of(std::uint32_t id) const;
   void handle_transaction_failure(tag_record& r);
+  /// State assignment that counts distinct transitions as a probe.
+  void transition(tag_record& r, link_state next);
 
   tag_scheduler& scheduler_;
   arq_config config_;
+  obs::collector* collector_ = nullptr;
   std::vector<tag_record> records_;
   std::size_t retry_cursor_ = 0;  ///< fair rotation among pending retries
 };

@@ -1,0 +1,133 @@
+// The collection point of the observability layer.
+//
+// A collector owns one metrics_registry with the full probe catalogue
+// pre-registered (so a probe that never reports is visible as zero
+// samples), plus ad-hoc named metrics and wall-time timing spans. The
+// pipeline passes a *nullable* `collector*` down the chain; every probe
+// site goes through the free helpers below, which compile to a single
+// null check when collection is disabled — the hot path pays nothing.
+//
+// Determinism contract: everything except "timing.*" metrics is a pure
+// function of the trial inputs. Parallel trial loops give each index its
+// own collector via collector_fork and merge in index order, so exported
+// aggregates (with timings excluded) are bit-identical at any
+// BACKFI_THREADS. Timing spans measure wall clock and are exempt.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/probe.h"
+
+namespace backfi::obs {
+
+/// Per-packet link-quality report: the quantities the paper's evaluation
+/// figures are built from, assembled once per trial by the collection
+/// layer (sim::run_backscatter_trial) from the stage results. Each field
+/// is also a probe, emitted exactly once at the layer that computes it
+/// (depths in fd, SNR/EVM/sync in reader, residual/oracle in sim). Units
+/// follow the probe catalogue convention: dB for ratios/depths, bps for
+/// rates, pJ for energy.
+struct link_report {
+  double post_mrc_snr_db = 0.0;   ///< decoder's measured post-MRC SNR
+  double expected_snr_db = 0.0;   ///< oracle (true channels) post-MRC SNR
+  double residual_si_over_noise_db = 0.0;  ///< cancellation residue
+  double analog_depth_db = 0.0;   ///< analog-stage SI suppression
+  double total_depth_db = 0.0;    ///< both stages' SI suppression
+  double sync_correlation = 0.0;  ///< normalized sync-word peak
+  double evm_rms = 0.0;           ///< RMS error vs sliced PSK points
+};
+
+class collector {
+ public:
+  /// Registers the full probe catalogue (all counts/histograms at zero).
+  collector();
+
+  /// Typed probe fast path: cached map-node pointers, no string lookup.
+  void count(probe p, std::uint64_t delta = 1);
+  void observe(probe p, double value);
+
+  /// Ad-hoc named metrics (e.g. per-failure-reason counters).
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  void observe_named(std::string_view name, double value, double lo, double hi);
+
+  /// Record one wall-time measurement under "timing.<name>" [seconds].
+  void record_timing(std::string_view name, double seconds);
+
+  /// Fold another collector's registry into this one (by metric name).
+  void merge(const collector& other);
+
+  metrics_registry& registry() { return registry_; }
+  const metrics_registry& registry() const { return registry_; }
+
+ private:
+  metrics_registry registry_;
+  std::array<counter*, probe_count> counters_{};
+  std::array<histogram*, probe_count> histograms_{};
+};
+
+// --- Null-safe probe helpers: the API the pipeline calls. -----------------
+
+inline void count(collector* c, probe p, std::uint64_t delta = 1) {
+  if (c) c->count(p, delta);
+}
+
+inline void observe(collector* c, probe p, double value) {
+  if (c) c->observe(p, value);
+}
+
+/// RAII wall-time span: records "timing.<name>" [s] on destruction. With a
+/// null collector neither clock is read — disabled spans are free.
+class timing_span {
+ public:
+  timing_span(collector* c, std::string_view name) : collector_(c), name_(name) {
+    if (collector_) start_ = std::chrono::steady_clock::now();
+  }
+  /// Record the span now instead of at destruction (idempotent).
+  void stop() {
+    if (!collector_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    collector_->record_timing(
+        name_, std::chrono::duration<double>(elapsed).count());
+    collector_ = nullptr;
+  }
+  ~timing_span() { stop(); }
+  timing_span(const timing_span&) = delete;
+  timing_span& operator=(const timing_span&) = delete;
+
+ private:
+  collector* collector_;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Deterministic fan-out: one child collector per parallel index, merged
+/// back into the parent in index order by join(). With a null parent the
+/// fork is inert (child() returns nullptr, join() is a no-op), so the
+/// parallel loops pay nothing when collection is off.
+///
+/// join(first_n) merges only children [0, first_n) — used by speculative
+/// evaluators (sim::find_max_goodput) to fold in exactly the indices the
+/// serial semantics consumed, keeping the merged telemetry independent of
+/// the speculation width (and therefore of the thread count).
+class collector_fork {
+ public:
+  collector_fork(collector* parent, std::size_t n);
+
+  collector* child(std::size_t i) {
+    return parent_ ? children_[i].get() : nullptr;
+  }
+
+  void join(std::size_t first_n = static_cast<std::size_t>(-1));
+
+ private:
+  collector* parent_;
+  std::vector<std::unique_ptr<collector>> children_;
+};
+
+}  // namespace backfi::obs

@@ -1,0 +1,52 @@
+// Export of a metrics_registry to machine-readable artifacts.
+//
+// JSON is the canonical format: doubles are printed with %.17g so a
+// parse -> re-export round trip is byte-identical, which is also how the
+// determinism tests compare registries (canonical JSON equality). CSV is a
+// flat convenience view (one row per metric) for spreadsheet import.
+//
+// "timing.*" metrics are wall-clock measurements and therefore exempt from
+// the bit-identical-across-thread-counts contract; json_options lets
+// deterministic comparisons exclude them.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/probe.h"
+
+namespace backfi::obs {
+
+struct json_options {
+  bool include_timings = true;  ///< false: drop "timing.*" metrics
+  bool pretty = true;           ///< newline/indent per metric
+};
+
+/// Canonical JSON of the registry (metrics in lexicographic name order).
+std::string to_json(const metrics_registry& registry,
+                    const json_options& options = {});
+
+/// Flat CSV: header row then one row per metric,
+/// `kind,name,count,value_or_sum,mean,min,max`.
+std::string to_csv(const metrics_registry& registry);
+
+/// Parse JSON previously produced by to_json back into a registry.
+/// Returns std::nullopt on malformed input. Only the subset of JSON that
+/// to_json emits is supported — this is a round-trip codec, not a general
+/// JSON library.
+std::optional<metrics_registry> from_json(std::string_view json);
+
+/// Write `contents` to `path`; returns false on I/O failure.
+bool write_file(const std::string& path, std::string_view contents);
+
+/// Names of `required` probes that report zero samples (counter value 0 or
+/// histogram count 0) — the "silently disconnected instrumentation" check
+/// the CI telemetry job fails on.
+std::vector<std::string> zero_sample_probes(const metrics_registry& registry,
+                                            std::span<const probe> required);
+
+}  // namespace backfi::obs

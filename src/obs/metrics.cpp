@@ -1,0 +1,102 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace backfi::obs {
+
+void histogram::observe(double value) {
+  if (count == 0) {
+    min_value = value;
+    max_value = value;
+  } else {
+    min_value = std::min(min_value, value);
+    max_value = std::max(max_value, value);
+  }
+  ++count;
+  sum += value;
+  sum_sq += value * value;
+
+  const double width = hi - lo;
+  std::size_t bin = 0;
+  if (width > 0.0 && std::isfinite(value)) {
+    const double frac = (value - lo) / width;
+    if (frac >= 1.0) {
+      bin = n_bins - 1;
+    } else if (frac > 0.0) {
+      bin = static_cast<std::size_t>(frac * static_cast<double>(n_bins));
+      bin = std::min(bin, n_bins - 1);
+    }
+  }
+  ++bins[bin];
+}
+
+void histogram::merge(const histogram& other) {
+  if (other.count == 0) return;
+  if (lo != other.lo || hi != other.hi)
+    throw std::logic_error("histogram::merge: range mismatch");
+  if (count == 0) {
+    min_value = other.min_value;
+    max_value = other.max_value;
+  } else {
+    min_value = std::min(min_value, other.min_value);
+    max_value = std::max(max_value, other.max_value);
+  }
+  count += other.count;
+  sum += other.sum;
+  sum_sq += other.sum_sq;
+  for (std::size_t i = 0; i < n_bins; ++i) bins[i] += other.bins[i];
+}
+
+counter& metrics_registry::get_counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), counter{}).first->second;
+}
+
+gauge& metrics_registry::get_gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), gauge{}).first->second;
+}
+
+histogram& metrics_registry::get_histogram(std::string_view name, double lo,
+                                           double hi) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  return histograms_.emplace(std::string(name), h).first->second;
+}
+
+void metrics_registry::add(std::string_view name, std::uint64_t delta) {
+  get_counter(name).value += delta;
+}
+
+void metrics_registry::set(std::string_view name, double value) {
+  gauge& g = get_gauge(name);
+  g.value = value;
+  g.set = true;
+}
+
+void metrics_registry::observe(std::string_view name, double value, double lo,
+                               double hi) {
+  get_histogram(name, lo, hi).observe(value);
+}
+
+void metrics_registry::merge(const metrics_registry& other) {
+  for (const auto& [name, c] : other.counters_)
+    get_counter(name).value += c.value;
+  for (const auto& [name, g] : other.gauges_) {
+    if (!g.set) continue;
+    gauge& mine = get_gauge(name);
+    mine.value = g.value;
+    mine.set = true;
+  }
+  for (const auto& [name, h] : other.histograms_)
+    get_histogram(name, h.lo, h.hi).merge(h);
+}
+
+}  // namespace backfi::obs

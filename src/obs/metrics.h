@@ -1,0 +1,95 @@
+// Deterministic metrics primitives for the observability layer.
+//
+// A metrics_registry holds named counters, gauges and fixed-bin histograms.
+// Everything is ordinary single-threaded state: a registry is owned by one
+// collector and one thread at a time, and concurrency is handled above this
+// layer by giving each parallel trial its own registry and merging them in
+// trial-index order (obs::collector_fork). That ordering rule is what makes
+// exported aggregates bit-identical at any BACKFI_THREADS: floating-point
+// sums are accumulated in the same sequence regardless of which worker ran
+// which trial.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace backfi::obs {
+
+struct counter {
+  std::uint64_t value = 0;
+};
+
+struct gauge {
+  double value = 0.0;
+  bool set = false;  ///< distinguishes "never written" from 0.0
+};
+
+/// Fixed-range, fixed-bin-count histogram with exact moment aggregates.
+/// Samples outside [lo, hi) land in the edge bins; the moments (sum,
+/// sum_sq, min, max) always use the exact sample value.
+struct histogram {
+  static constexpr std::size_t n_bins = 32;
+
+  double lo = 0.0;
+  double hi = 1.0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min_value = 0.0;  ///< valid only when count > 0
+  double max_value = 0.0;  ///< valid only when count > 0
+  std::array<std::uint64_t, n_bins> bins{};
+
+  void observe(double value);
+  /// Fold `other` into this histogram (ranges must match).
+  void merge(const histogram& other);
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Named metric store. Names are stable export keys; iteration is always in
+/// lexicographic name order (std::map), so exports are deterministic
+/// regardless of registration order.
+class metrics_registry {
+ public:
+  /// Find-or-create. The returned references stay valid for the life of
+  /// the registry (map nodes are stable) — collectors cache them so the
+  /// hot path is a pointer dereference, not a string lookup.
+  counter& get_counter(std::string_view name);
+  gauge& get_gauge(std::string_view name);
+  histogram& get_histogram(std::string_view name, double lo, double hi);
+
+  /// Convenience by-name mutators.
+  void add(std::string_view name, std::uint64_t delta = 1);
+  void set(std::string_view name, double value);
+  void observe(std::string_view name, double value, double lo, double hi);
+
+  /// Fold `other` into this registry by metric name: counters and
+  /// histograms add, gauges take the other's value when it was set (the
+  /// caller controls determinism by merging in a fixed order).
+  void merge(const metrics_registry& other);
+
+  const std::map<std::string, counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  std::map<std::string, counter, std::less<>> counters_;
+  std::map<std::string, gauge, std::less<>> gauges_;
+  std::map<std::string, histogram, std::less<>> histograms_;
+};
+
+}  // namespace backfi::obs

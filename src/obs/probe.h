@@ -1,0 +1,90 @@
+// The typed probe catalogue of the BackFi pipeline.
+//
+// A probe is a named quantity one layer of the chain reports through an
+// obs::collector: either an event counter (monotone count of occurrences)
+// or a value series (aggregated into a fixed-bin histogram). The catalogue
+// is closed and enumerable so exporters and CI checks can detect
+// silently-disconnected instrumentation: a probe that is registered but
+// never reports a sample is a wiring bug, not an idle metric.
+//
+// Units convention (the single source of truth, see DESIGN.md
+// "Observability"): power ratios and depths in dB, rates in bps, energy in
+// pJ, time in seconds, dimensionless quantities (correlation, EVM) raw.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace backfi::obs {
+
+enum class probe : std::uint8_t {
+  // --- sim: trial protocol outcomes (counters) ---
+  trials,                   ///< run_backscatter_trial invocations
+  trials_woke,              ///< tag wake detector fired
+  trials_sync_found,        ///< decoder located the sync word
+  trials_decoded,           ///< decode pipeline ran to completion
+  trials_crc_ok,            ///< payload CRC verified
+  bit_errors,               ///< payload bit errors after decoding (summed)
+  raw_symbol_errors,        ///< pre-Viterbi hard PSK symbol errors (summed)
+
+  // --- fd: self-interference cancellation (Fig. 9 / 11a quantities) ---
+  analog_depth_db,          ///< analog-stage SI suppression [dB]
+  total_depth_db,           ///< both stages' SI suppression [dB]
+  residual_si_over_noise_db,///< post-cancellation residue over noise [dB]
+  adc_saturated,            ///< ADC clipping events (counter)
+  cancellation_bypassed,    ///< chain refused to adapt (counter)
+
+  // --- reader: synchronization and decoding (Figs. 8/10/11) ---
+  sync_correlation,         ///< normalized sync-word correlation peak
+  sync_attempts,            ///< timing scans run, retries included (counter)
+  timing_offset,            ///< accepted offset vs nominal schedule [samples]
+  post_mrc_snr_db,          ///< SNR of the MRC symbol estimates [dB]
+  expected_snr_db,          ///< oracle (VNA) post-MRC SNR [dB]
+  evm_rms,                  ///< RMS error vs sliced PSK points
+  viterbi_path_metric,      ///< winning path metric per trellis step
+  decode_failures,          ///< decode attempts ending in a typed failure
+
+  // --- tag / link accounting ---
+  tag_energy_pj,            ///< tag energy per delivered packet [pJ]
+  effective_throughput_bps, ///< info bits / data airtime of CRC-ok packets
+
+  // --- mac: ARQ / link-supervision state machine ---
+  arq_state_transitions,    ///< any link_state change (counter)
+  arq_retries,              ///< immediate re-polls issued (counter)
+  arq_fallbacks,            ///< rate steps down, probe reverts incl. (counter)
+  arq_probe_ups,            ///< rate steps up attempted (counter)
+  arq_recoveries,           ///< successes leaving a degraded state (counter)
+  arq_suspensions,          ///< tags parked at the robust floor (counter)
+  arq_deferred_polls,       ///< opportunities spent backed off (counter)
+};
+
+inline constexpr std::size_t probe_count =
+    static_cast<std::size_t>(probe::arq_deferred_polls) + 1;
+
+enum class probe_kind : std::uint8_t {
+  counter,  ///< monotone event count
+  value,    ///< sampled quantity, aggregated into a histogram
+};
+
+/// Static description of one probe: exported name, kind, unit, and the
+/// histogram range for value probes (samples outside clamp to edge bins).
+struct probe_info {
+  probe id;
+  probe_kind kind;
+  const char* name;  ///< dotted export name, e.g. "fd.analog_depth_db"
+  const char* unit;  ///< "dB", "bps", "pJ", "samples", "count", ""
+  double lo = 0.0;   ///< histogram range (value probes only)
+  double hi = 1.0;
+};
+
+/// The full catalogue, in enum order.
+std::span<const probe_info> probe_catalogue();
+
+/// Catalogue entry of one probe.
+const probe_info& info(probe p);
+
+/// Exported name of one probe (shorthand for info(p).name).
+const char* to_string(probe p);
+
+}  // namespace backfi::obs

@@ -127,7 +127,8 @@ std::vector<double> depuncture(std::span<const double> soft, code_rate rate,
   return out;
 }
 
-bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info) {
+bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info,
+                      double* final_metric) {
   const std::size_t n_steps = n_info + conv_tail_bits;
   if (soft.size() < 2 * n_steps)
     throw std::invalid_argument("viterbi_decode: soft stream too short");
@@ -163,6 +164,8 @@ bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info) {
     }
     metric.swap(next_metric);
   }
+
+  if (final_metric) *final_metric = metric[0];
 
   // Trace back from the zero state (trellis was terminated).
   bitvec decoded(n_steps);

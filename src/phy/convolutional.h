@@ -47,8 +47,12 @@ std::vector<double> depuncture(std::span<const double> soft, code_rate rate,
 /// Soft-decision Viterbi decode of a rate-1/2 stream (after depuncturing).
 /// `soft` must contain 2 * (n_info + 6) metrics; returns the n_info decoded
 /// information bits (tail stripped). The trellis is forced to end in the
-/// zero state.
-bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info);
+/// zero state. When `final_metric` is non-null it receives the winning
+/// path's accumulated metric at the terminal zero state (higher = better
+/// match; scale is the sum of |soft| branch metrics) — the decoder
+/// confidence probe of the observability layer.
+bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info,
+                      double* final_metric = nullptr);
 
 /// Convenience: hard-decision decode (bits -> +-1 metrics).
 bitvec viterbi_decode_hard(std::span<const std::uint8_t> coded_bits,

@@ -6,6 +6,7 @@
 #include "dsp/fir.h"
 #include "dsp/linalg.h"
 #include "dsp/math_util.h"
+#include "obs/collector.h"
 #include "phy/constellation.h"
 #include "phy/convolutional.h"
 #include "phy/crc32.h"
@@ -20,6 +21,17 @@ bool all_finite(std::span<const cplx> v) {
   for (const cplx& s : v)
     if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) return false;
   return true;
+}
+
+// Per-reason failure accounting: the aggregate counter plus an ad-hoc
+// "reader.failure.<reason>" counter, so campaigns can tell a sync loss
+// from a CRC storm without re-running.
+void note_failure(obs::collector* c, decode_failure failure) {
+  if (!c || failure == decode_failure::none) return;
+  c->count(obs::probe::decode_failures);
+  std::string name = "reader.failure.";
+  name += to_string(failure);
+  c->add_counter(name);
 }
 }  // namespace
 
@@ -68,25 +80,31 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
                                      std::size_t nominal_origin,
                                      std::size_t payload_bits) const {
   decode_result result;
+  obs::timing_span decode_span(config_.collector, "reader.decode");
   // --- Input validation: malformed captures return a typed failure ---
   if (x.empty() || y.empty()) {
     result.failure = decode_failure::empty_input;
+    note_failure(config_.collector, result.failure);
     return result;
   }
   if (x.size() != y.size()) {
     result.failure = decode_failure::size_mismatch;
+    note_failure(config_.collector, result.failure);
     return result;
   }
   if (nominal_origin >= x.size()) {
     result.failure = decode_failure::origin_out_of_range;
+    note_failure(config_.collector, result.failure);
     return result;
   }
   if (payload_bits == 0) {
     result.failure = decode_failure::zero_payload;
+    note_failure(config_.collector, result.failure);
     return result;
   }
   if (!all_finite(x) || !all_finite(y)) {
     result.failure = decode_failure::non_finite_samples;
+    note_failure(config_.collector, result.failure);
     return result;
   }
 
@@ -124,6 +142,7 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
   cplx best_reference{1.0, 0.0};
   cvec yhat;
   double search_width = static_cast<double>(std::max(config_.timing_search, 0));
+  obs::timing_span sync_span(config_.collector, "reader.sync_scan");
   for (std::size_t attempt = 0; attempt <= config_.sync_retries; ++attempt,
                    search_width *= std::max(config_.retry_search_scale, 1.0)) {
     const int search =
@@ -142,15 +161,18 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
       if (attempt == 0) {
         result.failure = !fits ? decode_failure::payload_too_long
                                : decode_failure::estimation_window_too_short;
+        note_failure(config_.collector, result.failure);
         return result;
       }
       break;  // cannot widen further; keep the best narrow-scan score
     }
     ++result.sync_attempts;
+    obs::count(config_.collector, obs::probe::sync_attempts);
 
     result.h_fb = estimate_combined_channel(x, y, est_begin, est_end);
     if (result.h_fb.empty()) {
       result.failure = decode_failure::estimation_window_too_short;
+      note_failure(config_.collector, result.failure);
       return result;
     }
     // Expected unmodulated backscatter over the whole timeline.
@@ -177,10 +199,16 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
     }
     if (best_score >= config_.sync_threshold) break;
   }
+  sync_span.stop();
   result.timing_offset = best_offset;
   result.sync_correlation = std::max(best_score, 0.0);
+  obs::observe(config_.collector, obs::probe::sync_correlation,
+               result.sync_correlation);
+  obs::observe(config_.collector, obs::probe::timing_offset,
+               static_cast<double>(result.timing_offset));
   if (best_score < config_.sync_threshold) {
     result.failure = decode_failure::sync_not_found;
+    note_failure(config_.collector, result.failure);
     return result;
   }
   result.sync_found = true;
@@ -204,14 +232,18 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
     noise_var = std::max(noise_var, 1e-12);
   }
   result.post_mrc_snr_db = -dsp::to_db(noise_var);
+  obs::observe(config_.collector, obs::probe::post_mrc_snr_db,
+               result.post_mrc_snr_db);
 
   // --- 4. MRC + demodulation of the payload ---
   const std::size_t data_start_best =
       data_begin + static_cast<std::size_t>(
                        static_cast<std::ptrdiff_t>(best_offset));
+  obs::timing_span mrc_span(config_.collector, "reader.mrc");
   cvec symbols = mrc_symbol_estimates(y, yhat, data_start_best, sps,
                                       n_payload_symbols, guard);
   for (cplx& m : symbols) m /= correction;
+  mrc_span.stop();
 
   // Decision-directed phase tracking across the payload: each sliced
   // decision feeds a first-order loop that de-rotates subsequent symbols,
@@ -248,10 +280,12 @@ decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
   decode_result result;
   if (payload_bits == 0) {
     result.failure = decode_failure::zero_payload;
+    note_failure(config_.collector, result.failure);
     return result;
   }
   if (symbols.empty()) {
     result.failure = decode_failure::empty_input;
+    note_failure(config_.collector, result.failure);
     return result;
   }
   const auto& constellation =
@@ -269,6 +303,7 @@ decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
         }
     }
     result.evm_rms = std::sqrt(acc / std::max<std::size_t>(symbols.size(), 1));
+    obs::observe(config_.collector, obs::probe::evm_rms, result.evm_rms);
   }
 
   const std::size_t info_bits = payload_bits + 32;  // + CRC
@@ -278,17 +313,28 @@ decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
       symbols, std::max(noise_var, 1e-12));
   if (soft.size() < coded_bits) {
     result.failure = decode_failure::insufficient_symbols;
+    note_failure(config_.collector, result.failure);
     return result;
   }
   soft.resize(coded_bits);  // drop symbol-padding bits
 
   const auto mother = phy::depuncture(soft, tag_config_.rate.coding,
                                       2 * (info_bits + phy::conv_tail_bits));
-  const phy::bitvec decoded = phy::viterbi_decode(mother, info_bits);
+  obs::timing_span viterbi_span(config_.collector, "reader.viterbi");
+  double path_metric = 0.0;
+  const phy::bitvec decoded =
+      phy::viterbi_decode(mother, info_bits, &path_metric);
+  viterbi_span.stop();
+  // Normalize by trellis steps so the confidence probe is comparable
+  // across payload lengths.
+  obs::observe(config_.collector, obs::probe::viterbi_path_metric,
+               path_metric /
+                   static_cast<double>(info_bits + phy::conv_tail_bits));
   result.decoded = true;
   result.crc_ok = phy::check_crc32(decoded);
   result.failure =
       result.crc_ok ? decode_failure::none : decode_failure::crc_failed;
+  note_failure(config_.collector, result.failure);
   result.payload.assign(decoded.begin(), decoded.begin() + payload_bits);
   return result;
 }

@@ -18,6 +18,10 @@
 #include "phy/bits.h"
 #include "tag/tag_device.h"
 
+namespace backfi::obs {
+class collector;
+}  // namespace backfi::obs
+
 namespace backfi::reader {
 
 /// Why a decode attempt stopped short of a CRC-verified payload.
@@ -62,6 +66,11 @@ struct decoder_config {
   /// at low SNR; the CRC still gates wrong decisions.
   bool phase_tracking = true;
   double phase_tracking_gain = 0.15;
+  /// Observability sink (nullable): the decoder reports sync correlation,
+  /// timing offset, post-MRC SNR, EVM, Viterbi path metric, per-reason
+  /// failure counters and stage timing spans through it. Null (the
+  /// default) compiles to no-ops on the hot path.
+  obs::collector* collector = nullptr;
 };
 
 struct decode_result {

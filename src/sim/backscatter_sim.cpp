@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "channel/awgn.h"
 #include "dsp/fir.h"
@@ -16,6 +18,46 @@ namespace backfi::sim {
 namespace {
 constexpr std::size_t samples_per_us = 20;
 }  // namespace
+
+const char* to_string(config_error error) {
+  switch (error) {
+    case config_error::none: return "none";
+    case config_error::zero_payload: return "zero_payload";
+    case config_error::bad_distance: return "bad_distance";
+    case config_error::bad_symbol_rate: return "bad_symbol_rate";
+    case config_error::zero_channel_taps: return "zero_channel_taps";
+    case config_error::bad_sync_threshold: return "bad_sync_threshold";
+    case config_error::empty_excitation: return "empty_excitation";
+    case config_error::bad_bandwidth: return "bad_bandwidth";
+  }
+  return "unknown";
+}
+
+config_error scenario_config::validate() const {
+  if (payload_bits == 0) return config_error::zero_payload;
+  if (!std::isfinite(tag_distance_m) || tag_distance_m <= 0.0)
+    return config_error::bad_distance;
+  if (!std::isfinite(tag.rate.symbol_rate_hz) ||
+      tag.rate.symbol_rate_hz <= 0.0 ||
+      tag.rate.symbol_rate_hz > sample_rate_hz / 2.0)
+    return config_error::bad_symbol_rate;
+  if (decoder.fb_taps == 0) return config_error::zero_channel_taps;
+  if (!(decoder.sync_threshold > 0.0) || decoder.sync_threshold > 1.0)
+    return config_error::bad_sync_threshold;
+  if (excitation.n_ppdus == 0) return config_error::empty_excitation;
+  if (!(budget.bandwidth_hz > 0.0)) return config_error::bad_bandwidth;
+  return config_error::none;
+}
+
+void validate_or_throw(const scenario_config& config, const char* where) {
+  const config_error error = config.validate();
+  if (error == config_error::none) return;
+  std::string message = where;
+  message += ": invalid scenario_config (";
+  message += to_string(error);
+  message += ")";
+  throw std::invalid_argument(message);
+}
 
 double oracle_post_mrc_snr_db(std::span<const cplx> x,
                               const channel::backscatter_channels& channels,
@@ -36,7 +78,11 @@ double oracle_post_mrc_snr_db(std::span<const cplx> x,
 }
 
 trial_result run_backscatter_trial(const scenario_config& config) {
+  validate_or_throw(config, "run_backscatter_trial");
   trial_result result;
+  obs::collector* const c = config.collector;
+  obs::timing_span trial_span(c, "sim.trial");
+  obs::count(c, obs::probe::trials);
   dsp::rng gen(config.seed);
 
   // --- Excitation and channels ---
@@ -58,6 +104,7 @@ trial_result run_backscatter_trial(const scenario_config& config) {
                                      ex.wake_preamble, incident_dbm);
   result.woke = wake.woke;
   if (!wake.woke) return result;
+  obs::count(c, obs::probe::trials_woke);
 
   const std::size_t jitter =
       config.tag_jitter_samples > 0
@@ -76,6 +123,7 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   auto tag_tx = device.backscatter(payload, ex.samples.size(), tag_origin);
   result.payload_symbols = tag_tx.n_payload_symbols;
   result.tag_energy_pj = tag_tx.energy_pj;
+  obs::observe(c, obs::probe::tag_energy_pj, result.tag_energy_pj);
   if (tag_tx.n_payload_symbols < device.payload_symbols(config.payload_bits))
     return result;  // excitation too short for the payload
   faults.apply_to_reflection(tag_tx.reflection, tag_tx.preamble_start,
@@ -99,6 +147,7 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   const std::size_t silent_end =
       silent_begin + config.tag.silent_us * samples_per_us;
   fd::receive_chain_config chain_cfg = config.chain;
+  chain_cfg.collector = c;
   if (faults.any_front_end()) {
     chain_cfg.front_end_hook = [&faults](std::span<cplx> samples) {
       faults.apply_front_end(samples);
@@ -108,23 +157,34 @@ trial_result run_backscatter_trial(const scenario_config& config) {
       fd::run_receive_chain(ex.samples, rx, silent_begin, silent_end, chain_cfg);
   faults.apply_post_cancellation(ex.samples, chain.cleaned, silent_end);
   result.cancellation_bypassed = chain.cancellation_bypassed;
-  result.analog_depth_db = chain.analog_depth_db;
-  result.total_depth_db = chain.total_depth_db;
-  result.residual_si_over_noise_db =
+  result.link.analog_depth_db = chain.analog_depth_db;
+  result.link.total_depth_db = chain.total_depth_db;
+  result.link.residual_si_over_noise_db =
       dsp::to_db(std::max(chain.residual_power, 1e-30) /
                  std::max(channels.noise_power, 1e-30));
+  obs::observe(c, obs::probe::residual_si_over_noise_db,
+               result.link.residual_si_over_noise_db);
 
   // --- BackFi decoding ---
-  const reader::backfi_decoder decoder(config.tag, config.decoder);
+  reader::decoder_config dec_cfg = config.decoder;
+  dec_cfg.collector = c;
+  const reader::backfi_decoder decoder(config.tag, dec_cfg);
   const auto decoded = decoder.decode(ex.samples, chain.cleaned, ex.wake_end,
                                       config.payload_bits);
   result.sync_found = decoded.sync_found;
   result.decoded = decoded.decoded;
   result.crc_ok = decoded.crc_ok;
   result.failure = decoded.failure;
-  result.measured_snr_db = decoded.post_mrc_snr_db;
-  if (decoded.decoded)
+  result.link.post_mrc_snr_db = decoded.post_mrc_snr_db;
+  result.link.sync_correlation = decoded.sync_correlation;
+  result.link.evm_rms = decoded.evm_rms;
+  if (result.sync_found) obs::count(c, obs::probe::trials_sync_found);
+  if (result.decoded) obs::count(c, obs::probe::trials_decoded);
+  if (result.crc_ok) obs::count(c, obs::probe::trials_crc_ok);
+  if (decoded.decoded) {
     result.bit_errors = phy::hamming_distance(decoded.payload, payload);
+    obs::count(c, obs::probe::bit_errors, result.bit_errors);
+  }
 
   // Raw (pre-Viterbi) symbol errors for the Fig. 11b BER analysis.
   if (decoded.sync_found && !decoded.symbol_estimates.empty()) {
@@ -145,16 +205,18 @@ trial_result run_backscatter_trial(const scenario_config& config) {
       if (constellation.slice(decoded.symbol_estimates[s]) != tx_label) ++errors;
     }
     result.raw_symbol_errors = errors;
+    obs::count(c, obs::probe::raw_symbol_errors, errors);
   }
 
   // --- Oracle SNR (the paper's VNA-measured expectation) ---
   const std::size_t guard = std::min<std::size_t>(
       config.decoder.fb_taps - 1,
       device.samples_per_symbol() > 2 ? device.samples_per_symbol() - 2 : 1);
-  result.expected_snr_db = oracle_post_mrc_snr_db(
+  result.link.expected_snr_db = oracle_post_mrc_snr_db(
       ex.samples, channels,
       dsp::db_to_amplitude(-config.tag.insertion_loss_db),
       device.samples_per_symbol(), guard, tag_tx.data_start, tag_tx.data_end);
+  obs::observe(c, obs::probe::expected_snr_db, result.link.expected_snr_db);
 
   // --- Throughput accounting ---
   if (result.crc_ok) {
@@ -163,26 +225,45 @@ trial_result run_backscatter_trial(const scenario_config& config) {
         sample_period_s;
     result.effective_throughput_bps =
         static_cast<double>(config.payload_bits) / airtime_s;
+    obs::observe(c, obs::probe::effective_throughput_bps,
+                 result.effective_throughput_bps);
   }
+
+  // Single production point of the deprecated aliases: mirror `link` here
+  // (the early returns above leave both at their identical zero defaults).
+  result.measured_snr_db = result.link.post_mrc_snr_db;
+  result.expected_snr_db = result.link.expected_snr_db;
+  result.residual_si_over_noise_db = result.link.residual_si_over_noise_db;
+  result.analog_depth_db = result.link.analog_depth_db;
+  result.total_depth_db = result.link.total_depth_db;
   return result;
 }
 
 double packet_error_rate(const scenario_config& config, int trials) {
+  validate_or_throw(config, "packet_error_rate");
   if (trials <= 0) return 0.0;
   // Each trial's seed depends only on (base seed, trial index) and each
-  // trial writes its own outcome slot, so the result is bit-identical to
-  // the serial loop at any thread count.
+  // trial fills its own slot; the index-ordered reduction (and the
+  // index-ordered collector join) keeps the result — telemetry included —
+  // bit-identical to the serial loop at any thread count.
   const std::size_t n = static_cast<std::size_t>(trials);
-  std::vector<std::uint8_t> failed(n, 0);
-  parallel_for(n, [&](std::size_t t) {
-    scenario_config c = config;
-    c.seed = config.seed * 1000003ULL + static_cast<std::uint64_t>(t);
-    const trial_result r = run_backscatter_trial(c);
-    failed[t] = (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
-  });
-  int failures = 0;
-  for (const std::uint8_t f : failed) failures += f;
-  return static_cast<double>(failures) / static_cast<double>(trials);
+  obs::collector_fork fork(config.collector, n);
+  const double per = parallel_map(
+      n,
+      [&](std::size_t t) {
+        scenario_config c = config;
+        c.seed = config.seed * 1000003ULL + static_cast<std::uint64_t>(t);
+        c.collector = fork.child(t);
+        const trial_result r = run_backscatter_trial(c);
+        return (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
+      },
+      [&](const std::vector<int>& failed) {
+        int failures = 0;
+        for (const int f : failed) failures += f;
+        return static_cast<double>(failures) / static_cast<double>(trials);
+      });
+  fork.join();
+  return per;
 }
 
 }  // namespace backfi::sim

@@ -9,11 +9,30 @@
 #include "channel/backscatter_link.h"
 #include "fd/receive_chain.h"
 #include "impair/plan.h"
+#include "obs/collector.h"
 #include "reader/decoder.h"
 #include "reader/excitation.h"
 #include "tag/tag_device.h"
 
 namespace backfi::sim {
+
+/// Why a scenario_config is unusable (mirrors reader::decode_failure: a
+/// typed reason instead of an assert, so campaign drivers can report which
+/// knob a sweep pushed out of range). Checked by validate(); every sim
+/// entry point rejects invalid configs up front.
+enum class config_error : std::uint8_t {
+  none,
+  zero_payload,           ///< payload_bits == 0
+  bad_distance,           ///< tag_distance_m not finite or <= 0
+  bad_symbol_rate,        ///< symbol rate outside (0, sample_rate / 2]
+  zero_channel_taps,      ///< decoder.fb_taps == 0
+  bad_sync_threshold,     ///< decoder.sync_threshold outside (0, 1]
+  empty_excitation,       ///< excitation.n_ppdus == 0
+  bad_bandwidth,          ///< budget.bandwidth_hz <= 0
+};
+
+/// Display name, e.g. "bad_symbol_rate".
+const char* to_string(config_error error);
 
 struct scenario_config {
   channel::link_budget budget;
@@ -29,7 +48,20 @@ struct scenario_config {
   /// Maximum tag wake-detection lateness [samples] (uniform draw).
   std::size_t tag_jitter_samples = 8;
   std::uint64_t seed = 1;
+  /// Observability sink (nullable). The trial forwards it into the receive
+  /// chain and decoder and emits the sim-level probes (trial counters,
+  /// residual SI, oracle SNR, energy, throughput) itself. Null — the
+  /// default — costs one pointer test per probe site and produces
+  /// bit-identical trial_results to a build without the probes.
+  obs::collector* collector = nullptr;
+
+  /// First violated constraint, or config_error::none when usable.
+  config_error validate() const;
 };
+
+/// Throw std::invalid_argument naming `where` and the violated constraint
+/// when the config is invalid. Every sim entry point calls this.
+void validate_or_throw(const scenario_config& config, const char* where);
 
 struct trial_result {
   // Protocol stages.
@@ -42,13 +74,18 @@ struct trial_result {
   std::size_t bit_errors = 0;       ///< payload bit errors after decoding
   std::size_t raw_symbol_errors = 0;  ///< pre-Viterbi hard PSK symbol errors
 
-  // Quality probes.
-  double measured_snr_db = 0.0;   ///< decoder's post-MRC SNR
-  double expected_snr_db = 0.0;   ///< oracle (true channels, perfect SI
-                                  ///< cancellation) post-MRC SNR
-  double residual_si_over_noise_db = 0.0;  ///< cancellation residue
-  double analog_depth_db = 0.0;
-  double total_depth_db = 0.0;
+  /// Link-quality report (the quantities the paper's figures plot). Units
+  /// follow the probe catalogue: dB for ratios and depths, bps for rates,
+  /// pJ for energy.
+  obs::link_report link;
+
+  // Deprecated aliases of `link` fields, mirrored at the end of
+  // run_backscatter_trial while callers migrate to `r.link.*`.
+  double measured_snr_db = 0.0;            ///< = link.post_mrc_snr_db
+  double expected_snr_db = 0.0;            ///< = link.expected_snr_db
+  double residual_si_over_noise_db = 0.0;  ///< = link.residual_si_over_noise_db
+  double analog_depth_db = 0.0;            ///< = link.analog_depth_db
+  double total_depth_db = 0.0;             ///< = link.total_depth_db
 
   // Link accounting.
   std::size_t payload_symbols = 0;

@@ -83,17 +83,22 @@ double client_throughput_bps(const coexistence_config& config, int trials) {
   const auto& p = wifi::params_for(config.rate);
   if (trials <= 0) return 0.0;
   // Seeds depend only on (base seed, trial index); disjoint result slots
-  // keep the parallel outcome bit-identical to the serial loop.
+  // and the index-ordered reduction keep the parallel outcome bit-identical
+  // to the serial loop.
   const std::size_t n = static_cast<std::size_t>(trials);
-  std::vector<std::uint8_t> decoded(n, 0);
-  parallel_for(n, [&](std::size_t t) {
-    coexistence_config c = config;
-    c.seed = config.seed * 7919ULL + static_cast<std::uint64_t>(t);
-    decoded[t] = run_coexistence_trial(c).client_decoded ? 1 : 0;
-  });
-  int ok = 0;
-  for (const std::uint8_t d : decoded) ok += d;
-  return p.mbps * 1e6 * static_cast<double>(ok) / static_cast<double>(trials);
+  return parallel_map(
+      n,
+      [&](std::size_t t) {
+        coexistence_config c = config;
+        c.seed = config.seed * 7919ULL + static_cast<std::uint64_t>(t);
+        return run_coexistence_trial(c).client_decoded ? 1 : 0;
+      },
+      [&](const std::vector<int>& decoded) {
+        int ok = 0;
+        for (const int d : decoded) ok += d;
+        return p.mbps * 1e6 * static_cast<double>(ok) /
+               static_cast<double>(trials);
+      });
 }
 
 double distance_for_client_snr(const channel::link_budget& budget, double snr_db) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "reader/excitation.h"
+#include "obs/collector.h"
 #include "sim/parallel.h"
 #include "sim/rate_adaptation.h"
 
@@ -20,7 +21,7 @@ campaign_run run_campaign_arm(const campaign_config& config,
                      .backlog_bits = 0.0, .weight = 1.0});
   std::optional<mac::link_supervisor> supervisor;
   if (recovery) {
-    supervisor.emplace(scheduler, config.arq);
+    supervisor.emplace(scheduler, config.arq, config.link.collector);
   } else {
     // True no-recovery baseline: the operating point never moves.
     scheduler.set_auto_rate_fallback(false);
@@ -95,6 +96,7 @@ campaign_run run_campaign_arm(const campaign_config& config,
 }
 
 campaign_result run_fault_campaign(const campaign_config& config) {
+  validate_or_throw(config.link, "run_fault_campaign");
   campaign_result result;
   std::vector<impair::fault_class> faults = config.faults;
   if (faults.empty()) {
@@ -110,16 +112,29 @@ campaign_result run_fault_campaign(const campaign_config& config) {
     }
   }
   // Each (cell, arm) pair is an independent pure computation — seeds come
-  // from (config.seed, poll index) — and writes a distinct member of its
-  // cell, so the grid parallelizes with results identical to the old
-  // nested serial loops.
-  parallel_for(2 * result.cells.size(), [&](std::size_t i) {
-    campaign_cell& cell = result.cells[i / 2];
-    const bool recovery = (i % 2) != 0;
-    campaign_run run =
-        run_campaign_arm(config, cell.fault, cell.severity, recovery);
-    (recovery ? cell.recovery : cell.baseline) = std::move(run);
-  });
+  // from (config.seed, poll index) — so the grid maps in parallel with one
+  // collector child per pair; the index-ordered fold and join keep results
+  // and telemetry identical to the old nested serial loops.
+  const std::size_t n_runs = 2 * result.cells.size();
+  obs::collector_fork fork(config.link.collector, n_runs);
+  parallel_map(
+      n_runs,
+      [&](std::size_t i) {
+        const campaign_cell& cell = result.cells[i / 2];
+        const bool recovery = (i % 2) != 0;
+        campaign_config arm_config = config;
+        arm_config.link.collector = fork.child(i);
+        return run_campaign_arm(arm_config, cell.fault, cell.severity,
+                                recovery);
+      },
+      [&](std::vector<campaign_run> runs) {
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+          campaign_cell& cell = result.cells[i / 2];
+          ((i % 2) != 0 ? cell.recovery : cell.baseline) = std::move(runs[i]);
+        }
+        return 0;
+      });
+  fork.join();
   return result;
 }
 

@@ -9,13 +9,18 @@ namespace backfi::sim {
 network_result run_tag_network(const network_config& config) {
   if (config.tags.empty())
     throw std::invalid_argument("run_tag_network: no tags configured");
+  validate_or_throw(config.link, "run_tag_network");
 
   mac::tag_scheduler scheduler(config.policy);
   for (const auto& t : config.tags)
     scheduler.add_tag({.id = t.id, .rate = t.rate, .backlog_bits = 0.0,
                        .weight = t.weight});
   std::optional<mac::link_supervisor> supervisor;
-  if (config.supervision) supervisor.emplace(scheduler, *config.supervision);
+  // The opportunity loop is serial, so the network's trials and the ARQ
+  // supervisor can share the scenario's collector directly (no fork).
+  if (config.supervision)
+    supervisor.emplace(scheduler, *config.supervision,
+                       config.link.collector);
 
   network_result result;
   std::uint64_t seed = config.link.seed + 1;

@@ -151,7 +151,7 @@ class thread_pool {
 
 }  // namespace
 
-std::size_t max_threads() {
+std::size_t thread_count() {
   const std::size_t override_value =
       g_thread_override.load(std::memory_order_relaxed);
   if (override_value > 0) {
@@ -174,7 +174,7 @@ scoped_thread_count::~scoped_thread_count() {
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  const std::size_t threads = std::min(max_threads(), n);
+  const std::size_t threads = std::min(thread_count(), n);
   if (threads <= 1 || tl_in_parallel_region) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;

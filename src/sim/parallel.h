@@ -18,16 +18,27 @@
 
 #include <cstddef>
 #include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace backfi::sim {
 
-/// Number of threads parallel_for may use. Resolution order: the value set
-/// by set_thread_count / scoped_thread_count if nonzero, else the
-/// BACKFI_THREADS environment variable, else std::thread::hardware_concurrency.
-std::size_t max_threads();
+// --- Thread-count control ------------------------------------------------
+//
+// thread_count() is what parallel_for/parallel_map actually use;
+// scoped_thread_count is how callers change it for a region. The
+// resolution order is: the value set by set_thread_count /
+// scoped_thread_count if nonzero, else the BACKFI_THREADS environment
+// variable, else std::thread::hardware_concurrency.
 
-/// Override max_threads() process-wide; 0 restores the default resolution.
+/// Number of threads parallel_for may use right now.
+std::size_t thread_count();
+
+/// Deprecated spelling of thread_count(); prefer the new name.
+inline std::size_t max_threads() { return thread_count(); }
+
+/// Override thread_count() process-wide; 0 restores the default resolution.
 void set_thread_count(std::size_t n);
 
 /// RAII thread-count override (restores the previous override on exit).
@@ -46,18 +57,32 @@ class scoped_thread_count {
 /// Run body(0) ... body(n - 1), distributing indices across the pool. The
 /// call returns after every index has completed. If any body throws, the
 /// remaining indices are abandoned and the first exception is rethrown on
-/// the calling thread. With max_threads() <= 1, or when called from inside
+/// the calling thread. With thread_count() <= 1, or when called from inside
 /// a pool worker, the loop runs serially in index order.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
 /// Map fn over [0, n) into a vector, one disjoint slot per index. The
 /// result ordering (and, for deterministic fn, the contents) is identical
-/// at any thread count.
-template <typename T, typename Fn>
-std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
-  std::vector<T> out(n);
+/// at any thread count. The element type is deduced from fn; passing it
+/// explicitly (parallel_map<T>) still works.
+template <typename T = void, typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn) {
+  using elem =
+      std::conditional_t<std::is_void_v<T>,
+                         std::invoke_result_t<Fn&, std::size_t>, T>;
+  std::vector<elem> out(n);
   parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
   return out;
+}
+
+/// Map-then-reduce: run fn over [0, n) in parallel, then fold the slot
+/// vector on the calling thread in index order. This is the one idiom the
+/// Monte-Carlo evaluators share (packet_error_rate, client_throughput_bps,
+/// run_fault_campaign); the index-ordered reduction is what keeps their
+/// results bit-identical at any thread count.
+template <typename Fn, typename Reduce>
+auto parallel_map(std::size_t n, Fn&& fn, Reduce&& reduce) {
+  return std::forward<Reduce>(reduce)(parallel_map(n, std::forward<Fn>(fn)));
 }
 
 }  // namespace backfi::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/collector.h"
 #include "sim/parallel.h"
 
 namespace backfi::sim {
@@ -76,21 +77,26 @@ scenario_config scenario_for_point(const scenario_config& base,
 std::vector<link_evaluation> evaluate_link(const scenario_config& base,
                                            double distance_m, int trials,
                                            double per_threshold) {
+  validate_or_throw(base, "evaluate_link");
   // Operating points are independent Monte-Carlo evaluations; parallelize
   // across points (the nested packet_error_rate loops run serially inside
   // each worker). Slot-per-point results keep the output order and values
-  // identical to the old serial loop.
+  // identical to the old serial loop; one collector child per point,
+  // joined in point order, does the same for the telemetry.
   const std::vector<operating_point> points = all_operating_points();
-  return parallel_map<link_evaluation>(points.size(), [&](std::size_t i) {
+  obs::collector_fork fork(base.collector, points.size());
+  auto evals = parallel_map(points.size(), [&](std::size_t i) {
     link_evaluation eval;
     eval.point = points[i];
-    const scenario_config config =
-        scenario_for_point(base, points[i].rate, distance_m);
+    scenario_config config = scenario_for_point(base, points[i].rate, distance_m);
+    config.collector = fork.child(i);
     eval.packet_error_rate = packet_error_rate(config, trials);
     eval.goodput_bps = eval.point.throughput_bps * (1.0 - eval.packet_error_rate);
     eval.usable = eval.packet_error_rate <= per_threshold;
     return eval;
   });
+  fork.join();
+  return evals;
 }
 
 std::optional<link_evaluation> max_goodput_point(
@@ -105,6 +111,7 @@ std::optional<link_evaluation> max_goodput_point(
 
 std::optional<link_evaluation> find_max_goodput(const scenario_config& base,
                                                 double distance_m, int trials) {
+  validate_or_throw(base, "find_max_goodput");
   std::vector<operating_point> points = all_operating_points();
   std::sort(points.begin(), points.end(),
             [](const operating_point& a, const operating_point& b) {
@@ -118,15 +125,17 @@ std::optional<link_evaluation> find_max_goodput(const scenario_config& base,
   // scan at any thread count — a wave only costs wasted speculative work
   // when the serial loop would have stopped mid-wave.
   std::optional<link_evaluation> best;
-  const std::size_t wave = std::max<std::size_t>(max_threads(), 1);
+  const std::size_t wave = std::max<std::size_t>(thread_count(), 1);
   for (std::size_t begin = 0; begin < points.size();) {
     if (best && points[begin].throughput_bps <= best->goodput_bps) break;
     const std::size_t end = std::min(points.size(), begin + wave);
+    obs::collector_fork fork(base.collector, end - begin);
     const std::vector<link_evaluation> evals =
-        parallel_map<link_evaluation>(end - begin, [&](std::size_t j) {
+        parallel_map(end - begin, [&](std::size_t j) {
           const operating_point& point = points[begin + j];
-          const scenario_config config =
+          scenario_config config =
               scenario_for_point(base, point.rate, distance_m);
+          config.collector = fork.child(j);
           link_evaluation eval;
           eval.point = point;
           eval.packet_error_rate = packet_error_rate(config, trials);
@@ -135,15 +144,21 @@ std::optional<link_evaluation> find_max_goodput(const scenario_config& base,
           return eval;
         });
     bool stopped = false;
+    std::size_t examined = 0;
     for (std::size_t j = 0; j < evals.size(); ++j) {
       if (best && points[begin + j].throughput_bps <= best->goodput_bps) {
         stopped = true;
         break;
       }
+      examined = j + 1;
       const link_evaluation& eval = evals[j];
       if (eval.usable && (!best || eval.goodput_bps > best->goodput_bps))
         best = eval;
     }
+    // Merge only the prefix the serial replay consumed: telemetry from
+    // speculative points past the stop index is discarded, so the merged
+    // registry is independent of the wave width (= thread count).
+    fork.join(examined);
     if (stopped) break;
     begin = end;
   }

@@ -1,0 +1,108 @@
+// JSON/CSV exporters: canonical output, exact round-trip through
+// from_json, timing exclusion, and the zero-sample probe check.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/collector.h"
+
+namespace backfi::obs {
+namespace {
+
+metrics_registry sample_registry() {
+  metrics_registry reg;
+  reg.add("sim.trials", 24);
+  reg.add("reader.decode_failures", 3);
+  reg.set("campaign.severity", 0.5);
+  // Awkward doubles on purpose: the %.17g round-trip must preserve them.
+  reg.observe("reader.post_mrc_snr_db", 17.299999999999997, -40.0, 60.0);
+  reg.observe("reader.post_mrc_snr_db", -3.0000000000000004, -40.0, 60.0);
+  reg.observe("timing.sim.trial", 1.25e-3, 0.0, 1.0);
+  return reg;
+}
+
+TEST(JsonExport, RoundTripsByteIdentically) {
+  const metrics_registry reg = sample_registry();
+  const std::string json = to_json(reg);
+  const auto parsed = from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(to_json(*parsed), json);
+}
+
+TEST(JsonExport, ParsedValuesMatchExactly) {
+  const metrics_registry reg = sample_registry();
+  auto parsed = from_json(to_json(reg));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_counter("sim.trials").value, 24u);
+  EXPECT_DOUBLE_EQ(parsed->get_gauge("campaign.severity").value, 0.5);
+  const histogram& h =
+      parsed->get_histogram("reader.post_mrc_snr_db", -40.0, 60.0);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 17.299999999999997 + -3.0000000000000004);
+  EXPECT_EQ(h.min_value, -3.0000000000000004);
+  EXPECT_EQ(h.max_value, 17.299999999999997);
+}
+
+TEST(JsonExport, IncludeTimingsFalseDropsTimingMetrics) {
+  const metrics_registry reg = sample_registry();
+  const std::string with = to_json(reg, {.include_timings = true});
+  const std::string without = to_json(reg, {.include_timings = false});
+  EXPECT_NE(with.find("timing.sim.trial"), std::string::npos);
+  EXPECT_EQ(without.find("timing.sim.trial"), std::string::npos);
+  // The non-timing content is unaffected.
+  EXPECT_NE(without.find("sim.trials"), std::string::npos);
+}
+
+TEST(JsonExport, MalformedInputIsRejected) {
+  EXPECT_FALSE(from_json("").has_value());
+  EXPECT_FALSE(from_json("{").has_value());
+  EXPECT_FALSE(from_json("[1, 2]").has_value());
+  EXPECT_FALSE(from_json("{\"counters\": {\"x\": }}").has_value());
+}
+
+TEST(CsvExport, OneRowPerMetricWithHeader) {
+  const metrics_registry reg = sample_registry();
+  const std::string csv = to_csv(reg);
+  EXPECT_EQ(csv.find("kind,name,count,value_or_sum,mean,min,max"), 0u);
+  EXPECT_NE(csv.find("counter,sim.trials,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,campaign.severity,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,reader.post_mrc_snr_db,"), std::string::npos);
+}
+
+TEST(WriteFile, WritesAndFailsGracefully) {
+  const std::string path = ::testing::TempDir() + "obs_export_test.json";
+  ASSERT_TRUE(write_file(path, "{}\n"));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[8] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "{}\n");
+  EXPECT_FALSE(write_file("/nonexistent-dir/x.json", "x"));
+}
+
+TEST(ZeroSampleProbes, FlagsSilentRequiredProbes) {
+  collector c;  // full catalogue pre-registered at zero
+  c.count(probe::trials, 5);
+  c.observe(probe::post_mrc_snr_db, 12.0);
+  const probe required[] = {probe::trials, probe::post_mrc_snr_db,
+                            probe::decode_failures, probe::evm_rms};
+  const auto silent = zero_sample_probes(c.registry(), required);
+  ASSERT_EQ(silent.size(), 2u);
+  EXPECT_EQ(silent[0], "reader.decode_failures");
+  EXPECT_EQ(silent[1], "reader.evm_rms");
+}
+
+TEST(ZeroSampleProbes, EmptyWhenAllFired) {
+  collector c;
+  c.count(probe::trials);
+  const probe required[] = {probe::trials};
+  EXPECT_TRUE(zero_sample_probes(c.registry(), required).empty());
+}
+
+}  // namespace
+}  // namespace backfi::obs

@@ -1,0 +1,116 @@
+// Unit semantics of the observability primitives: counters, gauges,
+// histograms, and the name-keyed registry with its find-or-create and
+// merge behaviour.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace backfi::obs {
+namespace {
+
+TEST(Histogram, AccumulatesMoments) {
+  histogram h;
+  h.lo = 0.0;
+  h.hi = 10.0;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) h.observe(v);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 10.0);
+  EXPECT_DOUBLE_EQ(h.sum_sq, 1.0 + 4.0 + 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(h.min_value, 1.0);
+  EXPECT_DOUBLE_EQ(h.max_value, 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToEdgeBins) {
+  histogram h;
+  h.lo = 0.0;
+  h.hi = 1.0;
+  h.observe(-5.0);
+  h.observe(5.0);
+  EXPECT_EQ(h.bins.front(), 1u);
+  EXPECT_EQ(h.bins.back(), 1u);
+  EXPECT_EQ(h.count, 2u);
+}
+
+TEST(Histogram, MergeAddsBinwise) {
+  histogram a, b;
+  a.lo = b.lo = 0.0;
+  a.hi = b.hi = 1.0;
+  a.observe(0.25);
+  b.observe(0.25);
+  b.observe(0.75);
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.sum, 1.25);
+  EXPECT_DOUBLE_EQ(a.min_value, 0.25);
+  EXPECT_DOUBLE_EQ(a.max_value, 0.75);
+}
+
+TEST(Histogram, MergeRejectsMismatchedRanges) {
+  histogram a, b;
+  a.lo = 0.0;
+  a.hi = 1.0;
+  b.lo = 0.0;
+  b.hi = 2.0;
+  b.observe(0.5);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+  // An empty source merges trivially regardless of range.
+  const histogram empty{.lo = -1.0, .hi = 1.0};
+  a.merge(empty);
+  EXPECT_EQ(a.count, 0u);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableEntries) {
+  metrics_registry reg;
+  counter& c = reg.get_counter("a");
+  c.value = 3;
+  EXPECT_EQ(reg.get_counter("a").value, 3u);
+  reg.add("a", 2);
+  EXPECT_EQ(c.value, 5u);
+}
+
+TEST(MetricsRegistry, GaugeSetTracksLastValue) {
+  metrics_registry reg;
+  reg.set("g", 1.5);
+  reg.set("g", -2.0);
+  EXPECT_TRUE(reg.get_gauge("g").set);
+  EXPECT_DOUBLE_EQ(reg.get_gauge("g").value, -2.0);
+}
+
+TEST(MetricsRegistry, MergeCombinesAllKinds) {
+  metrics_registry a, b;
+  a.add("hits", 1);
+  b.add("hits", 2);
+  b.add("only_b", 7);
+  b.set("gauge", 4.0);
+  a.observe("h", 0.5, 0.0, 1.0);
+  b.observe("h", 0.7, 0.0, 1.0);
+  a.merge(b);
+  EXPECT_EQ(a.get_counter("hits").value, 3u);
+  EXPECT_EQ(a.get_counter("only_b").value, 7u);
+  EXPECT_DOUBLE_EQ(a.get_gauge("gauge").value, 4.0);
+  EXPECT_EQ(a.get_histogram("h", 0.0, 1.0).count, 2u);
+}
+
+TEST(MetricsRegistry, MergeIsAssociativeOnCounters) {
+  metrics_registry a, b, c;
+  a.add("x", 1);
+  b.add("x", 2);
+  c.add("x", 4);
+  metrics_registry left;
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+  metrics_registry bc;
+  bc.merge(b);
+  bc.merge(c);
+  metrics_registry right;
+  right.merge(a);
+  right.merge(bc);
+  EXPECT_EQ(left.get_counter("x").value, right.get_counter("x").value);
+}
+
+}  // namespace
+}  // namespace backfi::obs
