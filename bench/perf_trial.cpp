@@ -1,0 +1,177 @@
+// perf_trial: end-to-end trial-pipeline throughput benchmark.
+//
+// Measures run_backscatter_trial on the fig08 mid-range scenario (the
+// 4000-byte PPDU / 600 payload-bit point) in three configurations:
+//
+//   serial      one trial after another on the calling thread, telemetry on
+//   threads=4   the same trial batch through the Monte-Carlo pool
+//   determinism the serial and threads=4 PER must be bit-identical
+//
+// and records the per-stage timing means plus the workspace reuse gauges
+// (runtime.workspace.*) from the serial run. Results go to BENCH_trial.json
+// (override with --out=FILE); scripts/bench_compare.py diffs that file
+// against the committed baseline in CI and fails on a >25% regression of
+// serial trials/sec.
+//
+// Exit code: non-zero when the parallel PER diverges from serial or the
+// output file cannot be written, so CI catches determinism bugs here too.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/collector.h"
+#include "obs/export.h"
+#include "sim/backscatter_sim.h"
+#include "sim/parallel.h"
+
+namespace {
+
+using namespace backfi;
+
+constexpr int kTrialsPerRep = 60;
+constexpr int kReps = 5;
+
+sim::scenario_config fig08_mid() {
+  sim::scenario_config cfg;
+  cfg.excitation.ppdu_bytes = 4000;
+  cfg.payload_bits = 600;
+  cfg.tag.preamble_us = 32;
+  cfg.tag_distance_m = 2.0;
+  cfg.tag.rate = {tag::tag_modulation::psk16, phy::code_rate::half, 2.5e6};
+  return cfg;
+}
+
+double wall_seconds_serial(obs::collector* collector) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t seed = 1; seed <= kTrialsPerRep; ++seed) {
+    sim::scenario_config cfg = fig08_mid();
+    cfg.seed = seed;
+    cfg.collector = collector;
+    sim::run_backscatter_trial(cfg);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void append_kv(std::string& out, const char* key, double v, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "    \"%s\": %.17g%s\n", key, v,
+                last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_trial.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+
+  bench::print_header("perf_trial", "end-to-end trial pipeline throughput");
+  std::printf("scenario: fig08_mid (ppdu=4000B payload=600b dist=2.0m psk16)\n");
+  std::printf("%d trials/rep, %d reps, median wall time\n", kTrialsPerRep,
+              kReps);
+
+  // Warm-up: populate the thread-local workspace and every process-wide
+  // cache (FFT plans, excitation prefix, scrambler keystreams) so the
+  // measured reps see the steady state a Monte-Carlo sweep runs in.
+  wall_seconds_serial(nullptr);
+
+  // Serial throughput, telemetry on (the realistic sweep configuration).
+  // The collector also supplies the per-stage means and — because the
+  // workspace gauges are set at the end of every trial — the post-warm-up
+  // reuse percentages.
+  obs::collector serial_collector;
+  std::vector<double> serial_walls;
+  for (int r = 0; r < kReps; ++r)
+    serial_walls.push_back(wall_seconds_serial(&serial_collector));
+  const double serial_wall = bench::median(serial_walls);
+  const double serial_tps = kTrialsPerRep / serial_wall;
+  std::printf("serial:    %8.1f trials/sec  (%7.1f us/trial)\n", serial_tps,
+              serial_wall / kTrialsPerRep * 1e6);
+
+  // Batch API through the Monte-Carlo pool at 4 threads, plus the serial
+  // reference for the determinism check. packet_error_rate aggregates the
+  // same per-seed trials, so the PERs must match bit-for-bit.
+  double per_serial = 0.0;
+  double per_threads = 0.0;
+  double pool_wall = 0.0;
+  {
+    sim::scenario_config cfg = fig08_mid();
+    cfg.seed = 1;
+    {
+      sim::scoped_thread_count guard(1);
+      per_serial = sim::packet_error_rate(cfg, kTrialsPerRep);
+    }
+    sim::scoped_thread_count guard(4);
+    std::vector<double> walls;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      per_threads = sim::packet_error_rate(cfg, kTrialsPerRep);
+      walls.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    pool_wall = bench::median(walls);
+  }
+  const double pool_tps = kTrialsPerRep / pool_wall;
+  const bool identical = per_serial == per_threads;
+  std::printf("threads=4: %8.1f trials/sec\n", pool_tps);
+  std::printf("PER serial %.17g  threads=4 %.17g  bit-identical: %s\n",
+              per_serial, per_threads,
+              identical ? "yes" : "NO — DETERMINISM BUG");
+
+  const auto& reg = serial_collector.registry();
+  auto gauge = [&](const char* name) {
+    const auto it = reg.gauges().find(name);
+    return it != reg.gauges().end() && it->second.set ? it->second.value : 0.0;
+  };
+  const double reused = gauge("runtime.workspace.bytes_reused");
+  const double allocated = gauge("runtime.workspace.bytes_allocated");
+  const double reuse_pct = gauge("runtime.workspace.reuse_pct");
+  std::printf("workspace: reused=%.0f B  allocated=%.0f B  reuse=%.2f%%\n",
+              reused, allocated, reuse_pct);
+
+  std::string json;
+  json += "{\n";
+  json += "  \"backfi_bench_trial\": 1,\n";
+  json += "  \"scenario\": \"fig08_mid\",\n";
+  json += "  \"trials_per_rep\": " + std::to_string(kTrialsPerRep) + ",\n";
+  json += "  \"reps\": " + std::to_string(kReps) + ",\n";
+  json += "  \"serial\": {\n";
+  append_kv(json, "trials_per_sec", serial_tps);
+  append_kv(json, "us_per_trial", serial_wall / kTrialsPerRep * 1e6, true);
+  json += "  },\n";
+  json += "  \"threads_4\": {\n";
+  append_kv(json, "trials_per_sec", pool_tps, true);
+  json += "  },\n";
+  json += "  \"determinism\": {\n";
+  append_kv(json, "per_serial", per_serial);
+  append_kv(json, "per_threads_4", per_threads);
+  json += std::string("    \"identical\": ") + (identical ? "true" : "false") +
+          "\n  },\n";
+  json += "  \"workspace\": {\n";
+  append_kv(json, "bytes_reused", reused);
+  append_kv(json, "bytes_allocated", allocated);
+  append_kv(json, "reuse_pct", reuse_pct, true);
+  json += "  },\n";
+  json += "  \"stage_means_us\": {\n";
+  bool first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (name.rfind("timing.", 0) != 0 || h.count == 0) continue;
+    if (!first) json += ",\n";
+    first = false;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "    \"%s\": %.17g", name.c_str() + 7,
+                  h.mean() * 1e6);
+    json += buf;
+  }
+  json += "\n  }\n}\n";
+
+  const bool wrote = obs::write_file(out_path, json);
+  std::printf("%s %s\n", wrote ? "wrote" : "FAILED to write", out_path.c_str());
+  return (identical && wrote) ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_trial.json against the committed baseline.
+
+Usage:
+    scripts/bench_compare.py --baseline BENCH_trial.json \
+        --current BENCH_trial_new.json [--max-regression 0.25]
+
+Compares serial trials/sec (the metric the zero-alloc hot-path work is
+gated on) and exits non-zero when the current build is more than
+--max-regression (fraction, default 0.25) slower than the baseline.
+Faster-than-baseline results always pass; CI artifacts carry the new file
+so an intentional speedup can be committed as the next baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def serial_tps(path: str) -> float:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("backfi_bench_trial") != 1:
+        raise ValueError(f"{path}: not a BENCH_trial.json (missing marker)")
+    return float(doc["serial"]["trials_per_sec"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_trial.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured BENCH_trial.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args()
+
+    try:
+        base = serial_tps(args.baseline)
+        cur = serial_tps(args.current)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 2
+
+    if base <= 0:
+        print(f"bench_compare: baseline trials/sec is {base}, cannot compare",
+              file=sys.stderr)
+        return 2
+
+    ratio = cur / base
+    floor = 1.0 - args.max_regression
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    print(f"serial trials/sec: baseline {base:.1f} -> current {cur:.1f} "
+          f"({ratio:.2f}x, floor {floor:.2f}x): {verdict}")
+    return 0 if ratio >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

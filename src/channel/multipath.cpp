@@ -47,6 +47,11 @@ cvec apply_channel(std::span<const cplx> x, std::span<const cplx> taps) {
   return dsp::convolve_same(x, taps);
 }
 
+void apply_channel_into(std::span<const cplx> x, std::span<const cplx> taps,
+                        cvec& out, dsp::workspace_stats* stats) {
+  dsp::convolve_same_into(x, taps, out, stats);
+}
+
 double tap_power(std::span<const cplx> taps) {
   double acc = 0.0;
   for (const cplx& t : taps) acc += std::norm(t);

@@ -10,6 +10,7 @@
 
 #include "dsp/rng.h"
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace backfi::channel {
 
@@ -28,6 +29,10 @@ cvec draw_multipath(const multipath_profile& profile, dsp::rng& gen);
 
 /// Convolve a signal with channel taps (output same length as input).
 cvec apply_channel(std::span<const cplx> x, std::span<const cplx> taps);
+
+/// As apply_channel(), into a reusable caller buffer; bit-identical.
+void apply_channel_into(std::span<const cplx> x, std::span<const cplx> taps,
+                        cvec& out, dsp::workspace_stats* stats = nullptr);
 
 /// Total tap power sum |h_k|^2.
 double tap_power(std::span<const cplx> taps);

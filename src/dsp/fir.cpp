@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "dsp/fft_plan.h"
+#include "dsp/fir_kernels.h"
 
 namespace backfi::dsp {
 
@@ -78,6 +79,76 @@ cvec convolve_same(std::span<const cplx> x, std::span<const cplx> h) {
   cvec full = convolve(x, h);
   full.resize(x.size());
   return full;
+}
+
+cvec convolve_same_range(std::span<const cplx> x, std::span<const cplx> h,
+                         std::size_t begin, std::size_t end) {
+  cvec out(x.size(), cplx{0.0, 0.0});
+  const std::size_t e = std::min(end, x.size());
+  const std::size_t b = std::min(begin, e);
+  if (b >= e || x.empty() || h.empty()) return out;
+  if (std::min(x.size(), h.size()) >= fft_convolve_min_taps) {
+    // FFT regime: the windowed direct loop would not match the overlap-save
+    // rounding, so compute the full dispatch path and copy the window.
+    const cvec full = convolve_same(x, h);
+    std::copy(full.begin() + static_cast<std::ptrdiff_t>(b),
+              full.begin() + static_cast<std::ptrdiff_t>(e),
+              out.begin() + static_cast<std::ptrdiff_t>(b));
+    return out;
+  }
+  detail::convolve_same_gather(x.data(), x.size(), h.data(), h.size(),
+                               out.data() + b, b, e);
+  return out;
+}
+
+void convolve_same_range_into(std::span<const cplx> x, std::span<const cplx> h,
+                              std::size_t begin, std::size_t end, cvec& out,
+                              workspace_stats* stats) {
+  acquire(out, x.size(), stats);
+  const std::size_t e = std::min(end, x.size());
+  const std::size_t b = std::min(begin, e);
+  if (b >= e) return;
+  if (h.empty()) {
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(b),
+              out.begin() + static_cast<std::ptrdiff_t>(e), cplx{0.0, 0.0});
+    return;
+  }
+  if (std::min(x.size(), h.size()) >= fft_convolve_min_taps) {
+    const cvec full = convolve_same(x, h);
+    std::copy(full.begin() + static_cast<std::ptrdiff_t>(b),
+              full.begin() + static_cast<std::ptrdiff_t>(e),
+              out.begin() + static_cast<std::ptrdiff_t>(b));
+    return;
+  }
+  detail::convolve_same_gather(x.data(), x.size(), h.data(), h.size(),
+                               out.data() + b, b, e);
+}
+
+void convolve_same_into(std::span<const cplx> x, std::span<const cplx> h,
+                        cvec& out, workspace_stats* stats) {
+  convolve_same_range_into(x, h, 0, x.size(), out, stats);
+}
+
+void convolve_same_subtract_into(std::span<const cplx> rx,
+                                 std::span<const cplx> x,
+                                 std::span<const cplx> h, cvec& out,
+                                 workspace_stats* stats) {
+  acquire(out, rx.size(), stats);
+  if (h.empty() || x.empty()) {
+    std::copy(rx.begin(), rx.end(), out.begin());
+    return;
+  }
+  const std::size_t overlap = std::min(rx.size(), x.size());
+  if (std::min(x.size(), h.size()) >= fft_convolve_min_taps) {
+    const cvec emulated = convolve_same(x, h);
+    for (std::size_t j = 0; j < overlap; ++j) out[j] = rx[j] - emulated[j];
+  } else {
+    detail::convolve_same_gather_subtract(x.data(), x.size(), h.data(),
+                                          h.size(), rx.data(), out.data(), 0,
+                                          overlap);
+  }
+  std::copy(rx.begin() + static_cast<std::ptrdiff_t>(overlap), rx.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(overlap));
 }
 
 fir_filter::fir_filter(cvec taps) : taps_(std::move(taps)) {

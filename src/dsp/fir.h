@@ -10,6 +10,7 @@
 #include <span>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace backfi::dsp {
 
@@ -35,6 +36,34 @@ cvec convolve_overlap_save(std::span<const cplx> x, std::span<const cplx> h);
 /// "Same"-length convolution: output length = len(x), aligned so that
 /// h[0] multiplies x[n] (i.e. the filter is causal, output truncated).
 cvec convolve_same(std::span<const cplx> x, std::span<const cplx> h);
+
+/// Windowed "same"-length convolution: returns a len(x) vector whose samples
+/// in [begin, end) (clamped to len(x)) are bit-identical to convolve_same at
+/// the same indices and zero elsewhere. Cost is proportional to the window,
+/// not the capture, in the short-kernel regime.
+cvec convolve_same_range(std::span<const cplx> x, std::span<const cplx> h,
+                         std::size_t begin, std::size_t end);
+
+/// As convolve_same_range, but writing into a reusable caller buffer (sized
+/// to len(x)). Only the window [begin, end) is written — samples outside it
+/// are left with unspecified (stale) contents, so callers must not read
+/// them. `stats`, when non-null, records buffer reuse vs. growth.
+void convolve_same_range_into(std::span<const cplx> x, std::span<const cplx> h,
+                              std::size_t begin, std::size_t end, cvec& out,
+                              workspace_stats* stats = nullptr);
+
+/// convolve_same into a reusable caller buffer (whole output written).
+void convolve_same_into(std::span<const cplx> x, std::span<const cplx> h,
+                        cvec& out, workspace_stats* stats = nullptr);
+
+/// Fused cancellation: out[j] = rx[j] - convolve_same(x, h)[j] for
+/// j < min(len(rx), len(x)), and out[j] = rx[j] beyond (matching a
+/// subtract over the overlapping prefix). Bit-identical to materializing
+/// the convolution and subtracting, without the intermediate buffer.
+void convolve_same_subtract_into(std::span<const cplx> rx,
+                                 std::span<const cplx> x,
+                                 std::span<const cplx> h, cvec& out,
+                                 workspace_stats* stats = nullptr);
 
 /// Streaming direct-form FIR filter holding state across process() calls,
 /// used by the digital canceller which filters a packet in segments.

@@ -73,23 +73,41 @@ cvec estimate_fir_least_squares(std::span<const cplx> x, std::span<const cplx> y
   const std::size_t n = std::min(x.size(), y.size());
   if (n < n_taps) throw std::invalid_argument("estimate_fir: too few samples");
 
-  // Rows n in [n_taps-1, n): y[n] = sum_k h[k] x[n-k].
+  // Rows r in [0, m) correspond to times row_time = r + n_taps - 1 where the
+  // full filter memory is available; the (virtual) design matrix entry is
+  // a(r, k) = x[row_time - k]. Build the normal equations
+  // (A^H A + ridge' I) h = A^H y directly from the spans — same accumulation
+  // order as materializing A and calling least_squares, without the
+  // O(m * n_taps) intermediate.
   const std::size_t m = n - (n_taps - 1);
-  cmatrix a(m, n_taps);
-  cvec b(m);
-  for (std::size_t r = 0; r < m; ++r) {
-    const std::size_t row_time = r + n_taps - 1;
-    for (std::size_t k = 0; k < n_taps; ++k) a(r, k) = x[row_time - k];
-    b[r] = y[row_time];
-  }
+  cmatrix gram(n_taps, n_taps);
+  cvec rhs(n_taps, cplx{0.0, 0.0});
   // Scale ridge with excitation energy so regularization strength is
   // independent of the absolute signal level.
   const double col_energy = [&] {
     double acc = 0.0;
-    for (std::size_t r = 0; r < m; ++r) acc += std::norm(a(r, 0));
+    for (std::size_t r = 0; r < m; ++r) acc += std::norm(x[r + n_taps - 1]);
     return acc;
   }();
-  return least_squares(a, b, ridge * std::max(col_energy, 1e-30));
+  const double scaled_ridge = ridge * std::max(col_energy, 1e-30);
+  for (std::size_t i = 0; i < n_taps; ++i) {
+    for (std::size_t j = i; j < n_taps; ++j) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t r = 0; r < m; ++r) {
+        const std::size_t row_time = r + n_taps - 1;
+        acc += std::conj(x[row_time - i]) * x[row_time - j];
+      }
+      gram(i, j) = acc;
+      gram(j, i) = std::conj(acc);
+    }
+    gram(i, i) += scaled_ridge;
+  }
+  for (std::size_t i = 0; i < n_taps; ++i)
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t row_time = r + n_taps - 1;
+      rhs[i] += std::conj(x[row_time - i]) * y[row_time];
+    }
+  return solve_hermitian_positive_definite(gram, rhs);
 }
 
 }  // namespace backfi::dsp

@@ -55,6 +55,20 @@ cvec hadamard(std::span<const cplx> x, std::span<const cplx> y) {
   return out;
 }
 
+void hadamard_into(std::span<const cplx> x, std::span<const cplx> y, cvec& out,
+                   workspace_stats* stats) {
+  assert(x.size() == y.size());
+  acquire(out, x.size(), stats);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * y[i];
+}
+
+void add_into(std::span<const cplx> x, std::span<const cplx> y, cvec& out,
+              workspace_stats* stats) {
+  assert(x.size() == y.size());
+  acquire(out, x.size(), stats);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+}
+
 double peak_magnitude(std::span<const cplx> x) {
   double best = 0.0;
   for (const cplx& v : x) best = std::max(best, std::abs(v));

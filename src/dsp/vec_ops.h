@@ -4,6 +4,7 @@
 #include <span>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace backfi::dsp {
 
@@ -33,6 +34,16 @@ cvec normalized_to_power(std::span<const cplx> x, double target_mean_power);
 
 /// Element-wise product x .* y as a new vector.
 cvec hadamard(std::span<const cplx> x, std::span<const cplx> y);
+
+/// Element-wise product x .* y into a reusable caller buffer (sized to
+/// x.size()); spans must have equal length.
+void hadamard_into(std::span<const cplx> x, std::span<const cplx> y, cvec& out,
+                   workspace_stats* stats = nullptr);
+
+/// Element-wise sum x + y into a reusable caller buffer (sized to
+/// x.size()); spans must have equal length.
+void add_into(std::span<const cplx> x, std::span<const cplx> y, cvec& out,
+              workspace_stats* stats = nullptr);
 
 /// Maximum |x[i]| over the span (0 for empty spans).
 double peak_magnitude(std::span<const cplx> x);

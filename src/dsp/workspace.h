@@ -1,0 +1,50 @@
+// Reusable scratch-buffer bookkeeping for the zero-alloc trial hot path.
+//
+// The Monte-Carlo pipeline used to allocate ~10 capture-length vectors per
+// trial. Hot-path stages now take caller-owned buffers (the `_into` variants
+// across dsp/channel/fd/reader) and size them through acquire(), which
+// records whether the request was served from existing capacity. A
+// warmed-up workspace therefore shows reuse_fraction() ~= 1, and the sim
+// layer exports the counters as runtime.* gauges so telemetry proves the
+// steady state is allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace backfi::dsp {
+
+/// Byte counters for reusable scratch buffers.
+struct workspace_stats {
+  std::uint64_t bytes_reused = 0;
+  std::uint64_t bytes_allocated = 0;
+
+  void note(std::size_t bytes, bool reused) {
+    if (reused)
+      bytes_reused += bytes;
+    else
+      bytes_allocated += bytes;
+  }
+
+  /// Fraction of acquired bytes served without a heap allocation
+  /// (1.0 when nothing has been acquired yet).
+  double reuse_fraction() const {
+    const double total =
+        static_cast<double>(bytes_reused) + static_cast<double>(bytes_allocated);
+    return total > 0.0 ? static_cast<double>(bytes_reused) / total : 1.0;
+  }
+};
+
+/// Size `buf` to exactly `n` elements for reuse as scratch. Existing element
+/// values are unspecified afterwards (callers overwrite what they read).
+/// Reports to `stats` whether the request fit in the current capacity.
+template <typename T>
+T* acquire(std::vector<T>& buf, std::size_t n, workspace_stats* stats = nullptr) {
+  const bool reused = buf.capacity() >= n;
+  buf.resize(n);
+  if (stats) stats->note(n * sizeof(T), reused);
+  return buf.data();
+}
+
+}  // namespace backfi::dsp

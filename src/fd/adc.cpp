@@ -8,16 +8,30 @@
 namespace backfi::fd {
 
 cvec quantize(std::span<const cplx> x, const adc_config& config) {
-  const double levels = static_cast<double>(1ULL << config.bits);
-  const double step = 2.0 * config.full_scale / levels;
-  auto quantize_axis = [&](double v) {
-    const double clipped = std::clamp(v, -config.full_scale, config.full_scale);
-    return std::round(clipped / step) * step;
-  };
-  cvec out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i)
-    out[i] = {quantize_axis(x[i].real()), quantize_axis(x[i].imag())};
+  cvec out;
+  quantize_into(x, config, out);
   return out;
+}
+
+void quantize_into(std::span<const cplx> x, const adc_config& config,
+                   cvec& out, dsp::workspace_stats* stats) {
+  const double levels = static_cast<double>(1ULL << config.bits);
+  const double full_scale = config.full_scale;
+  const double step = 2.0 * full_scale / levels;
+  dsp::acquire(out, x.size(), stats);
+  // Quantize the I/Q axes as one flat double array (std::complex<double> is
+  // layout-compatible with double[2]): per-axis ops are independent, so the
+  // flat loop performs the identical clamp/divide/round/scale sequence per
+  // axis and vectorizes where the complex-element form did not. The divide
+  // by step must stay a divide — multiplying by a reciprocal rounds
+  // differently.
+  const double* __restrict in = reinterpret_cast<const double*>(x.data());
+  double* __restrict o = reinterpret_cast<double*>(out.data());
+  const std::size_t n = 2 * x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double clipped = std::clamp(in[i], -full_scale, full_scale);
+    o[i] = std::round(clipped / step) * step;
+  }
 }
 
 double agc_full_scale(std::span<const cplx> x, double headroom) {

@@ -9,6 +9,7 @@
 #include <span>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace backfi::fd {
 
@@ -22,6 +23,10 @@ struct adc_config {
 
 /// Quantize a block of samples (clip to full scale, round to the LSB grid).
 cvec quantize(std::span<const cplx> x, const adc_config& config);
+
+/// As quantize(), into a reusable caller buffer (must not alias `x`).
+void quantize_into(std::span<const cplx> x, const adc_config& config,
+                   cvec& out, dsp::workspace_stats* stats = nullptr);
 
 /// Full-scale choice of a simple AGC: `headroom` times the input RMS.
 double agc_full_scale(std::span<const cplx> x, double headroom = 4.0);

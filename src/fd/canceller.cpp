@@ -14,14 +14,11 @@ namespace {
 
 cvec subtract_filtered(std::span<const cplx> tx, std::span<const cplx> rx,
                        const cvec& taps) {
-  cvec out(rx.begin(), rx.end());
-  if (taps.empty()) return out;
-  // dsp::convolve_same dispatches on tap count: the default 6-8 tap
-  // canceller stays on the exact direct loop, while long emulated channels
-  // (>= dsp::fft_convolve_min_taps) run FFT overlap-save automatically.
-  const cvec emulated = dsp::convolve_same(tx, taps);
-  const std::size_t n = std::min(out.size(), emulated.size());
-  for (std::size_t i = 0; i < n; ++i) out[i] -= emulated[i];
+  // convolve_same_subtract_into fuses the leakage emulation into the
+  // subtraction (bit-identical to materializing convolve_same and
+  // subtracting); the same FFT dispatch applies for long channels.
+  cvec out;
+  dsp::convolve_same_subtract_into(rx, tx, taps, out);
   return out;
 }
 
@@ -48,6 +45,12 @@ void analog_canceller::adapt(std::span<const cplx> tx, std::span<const cplx> rx)
 cvec analog_canceller::cancel(std::span<const cplx> tx,
                               std::span<const cplx> rx) const {
   return subtract_filtered(tx, rx, taps_);
+}
+
+void analog_canceller::cancel_into(std::span<const cplx> tx,
+                                   std::span<const cplx> rx, cvec& out,
+                                   dsp::workspace_stats* stats) const {
+  dsp::convolve_same_subtract_into(rx, tx, taps_, out, stats);
 }
 
 digital_canceller::digital_canceller(const digital_canceller_config& config)
@@ -119,7 +122,15 @@ void digital_canceller::adapt(std::span<const cplx> tx, std::span<const cplx> rx
 
 cvec digital_canceller::cancel(std::span<const cplx> tx,
                                std::span<const cplx> rx) const {
-  cvec out = subtract_filtered(tx, rx, taps_);
+  cvec out;
+  cancel_into(tx, rx, out);
+  return out;
+}
+
+void digital_canceller::cancel_into(std::span<const cplx> tx,
+                                    std::span<const cplx> rx, cvec& out,
+                                    dsp::workspace_stats* stats) const {
+  dsp::convolve_same_subtract_into(rx, tx, taps_, out, stats);
   if (!conj_taps_.empty()) {
     cvec ctx(tx.size());
     for (std::size_t i = 0; i < tx.size(); ++i) ctx[i] = std::conj(tx[i]);
@@ -129,7 +140,6 @@ cvec digital_canceller::cancel(std::span<const cplx> tx,
   }
   if (dc_ != cplx{0.0, 0.0})
     for (cplx& v : out) v -= dc_;
-  return out;
 }
 
 double cancellation_depth_db(std::span<const cplx> before,

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace backfi::fd {
 
@@ -36,6 +37,12 @@ class analog_canceller {
   /// rx - tx * taps (same length as rx; tx must be the aligned transmit
   /// samples for the same interval).
   cvec cancel(std::span<const cplx> tx, std::span<const cplx> rx) const;
+
+  /// As cancel(), into a reusable caller buffer. The emulated leakage is
+  /// fused into the subtraction (no intermediate waveform); bit-identical
+  /// to cancel().
+  void cancel_into(std::span<const cplx> tx, std::span<const cplx> rx,
+                   cvec& out, dsp::workspace_stats* stats = nullptr) const;
 
   const cvec& taps() const { return taps_; }
   bool adapted() const { return !taps_.empty(); }
@@ -67,6 +74,10 @@ class digital_canceller {
   void adapt(std::span<const cplx> tx, std::span<const cplx> rx);
 
   cvec cancel(std::span<const cplx> tx, std::span<const cplx> rx) const;
+
+  /// As cancel(), into a reusable caller buffer; bit-identical to cancel().
+  void cancel_into(std::span<const cplx> tx, std::span<const cplx> rx,
+                   cvec& out, dsp::workspace_stats* stats = nullptr) const;
 
   const cvec& taps() const { return taps_; }
   const cvec& conjugate_taps() const { return conj_taps_; }

@@ -13,7 +13,23 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
                                        std::size_t silent_begin,
                                        std::size_t silent_end,
                                        const receive_chain_config& config) {
+  receive_chain_scratch scratch;
+  receive_chain_result result =
+      run_receive_chain_into(tx, rx, silent_begin, silent_end, config, scratch);
+  result.cleaned = std::move(scratch.cleaned);
+  return result;
+}
+
+receive_chain_result run_receive_chain_into(std::span<const cplx> tx,
+                                            std::span<const cplx> rx,
+                                            std::size_t silent_begin,
+                                            std::size_t silent_end,
+                                            const receive_chain_config& config,
+                                            receive_chain_scratch& scratch) {
   receive_chain_result result;
+  cvec& after_analog = scratch.after_analog;
+  cvec& digitized = scratch.digitized;
+  cvec& cleaned = scratch.cleaned;
   obs::timing_span chain_span(config.collector, "fd.receive_chain");
   // A degenerate adaptation window (or misaligned tx/rx) would train both
   // cancellers on garbage and silently "cancel" the backscatter itself.
@@ -22,8 +38,9 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
       silent_end > rx.size()) {
     result.cancellation_bypassed = true;
     obs::count(config.collector, obs::probe::cancellation_bypassed);
-    result.cleaned.assign(rx.begin(), rx.end());
-    result.residual_power = dsp::mean_power(result.cleaned);
+    dsp::acquire(cleaned, rx.size(), scratch.stats);
+    std::copy(rx.begin(), rx.end(), cleaned.begin());
+    result.residual_power = dsp::mean_power(cleaned);
     return result;
   }
 
@@ -31,15 +48,15 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
   const auto rx_silent = rx.subspan(silent_begin, silent_end - silent_begin);
 
   // --- Analog stage (before the ADC) ---
-  cvec after_analog;
   {
     obs::timing_span span(config.collector, "fd.analog");
     if (config.enable_analog) {
       analog_canceller analog(config.analog);
       analog.adapt(tx_silent, rx_silent);
-      after_analog = analog.cancel(tx, rx);
+      analog.cancel_into(tx, rx, after_analog, scratch.stats);
     } else {
-      after_analog.assign(rx.begin(), rx.end());
+      dsp::acquire(after_analog, rx.size(), scratch.stats);
+      std::copy(rx.begin(), rx.end(), after_analog.begin());
     }
   }
   result.analog_depth_db = cancellation_depth_db(
@@ -52,7 +69,6 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
   }
 
   // --- AGC + ADC ---
-  cvec digitized;
   if (config.enable_adc) {
     adc_config adc = config.adc;
     adc.full_scale = agc_full_scale(after_analog, config.agc_headroom);
@@ -64,9 +80,11 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
         break;
       }
     }
-    digitized = quantize(after_analog, adc);
+    quantize_into(after_analog, adc, digitized, scratch.stats);
   } else {
-    digitized = std::move(after_analog);
+    // O(1) buffer exchange: after_analog's storage becomes next call's
+    // scratch; its contents are stale from here on.
+    std::swap(digitized, after_analog);
   }
 
   // --- Digital stage (adapted on the silent period only) ---
@@ -77,9 +95,9 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
       digital.adapt(tx_silent,
                     std::span(digitized).subspan(silent_begin,
                                                  silent_end - silent_begin));
-      result.cleaned = digital.cancel(tx, digitized);
+      digital.cancel_into(tx, digitized, cleaned, scratch.stats);
     } else {
-      result.cleaned = std::move(digitized);
+      std::swap(cleaned, digitized);
     }
   }
 
@@ -103,8 +121,8 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
   // The backscatter's projection on the model is ~SI - 90 dB, so neither
   // pass touches the tag signal.
   if (config.track_residual_gain && config.enable_digital &&
-      result.cleaned.size() > 1) {
-    const std::size_t n = result.cleaned.size();
+      cleaned.size() > 1) {
+    const std::size_t n = cleaned.size();
     // Pass 1: static widely-linear residual fit.
     {
       double p = 0.0;     // sum |m|^2
@@ -112,19 +130,19 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
       cplx r1{0.0, 0.0};  // sum cleaned * conj(m)
       cplx r2{0.0, 0.0};  // sum cleaned * m
       for (std::size_t i = 0; i < n; ++i) {
-        const cplx m = digitized[i] - result.cleaned[i];
+        const cplx m = digitized[i] - cleaned[i];
         p += std::norm(m);
         s += std::conj(m * m);
-        r1 += result.cleaned[i] * std::conj(m);
-        r2 += result.cleaned[i] * m;
+        r1 += cleaned[i] * std::conj(m);
+        r2 += cleaned[i] * m;
       }
       const double loaded = p * (1.0 + 1e-3) + 1e-30;
       const double det = loaded * loaded - std::norm(s);
       const cplx a0 = (loaded * r1 - s * r2) / det;
       const cplx b0 = (loaded * r2 - std::conj(s) * r1) / det;
       for (std::size_t i = 0; i < n; ++i) {
-        const cplx m = digitized[i] - result.cleaned[i];
-        result.cleaned[i] -= a0 * m + b0 * std::conj(m);
+        const cplx m = digitized[i] - cleaned[i];
+        cleaned[i] -= a0 * m + b0 * std::conj(m);
       }
     }
     // Pass 2: per-block rotation tracking.
@@ -138,9 +156,9 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
       double p = 0.0;
       cplx r1{0.0, 0.0};
       for (std::size_t i = begin; i < end; ++i) {
-        const cplx m = digitized[i] - result.cleaned[i];
+        const cplx m = digitized[i] - cleaned[i];
         p += std::norm(m);
-        r1 += result.cleaned[i] * std::conj(m);
+        r1 += cleaned[i] * std::conj(m);
       }
       gain_a[b] = r1 / (p * (1.0 + 1e-3) + 1e-30);
       centre[b] = 0.5 * static_cast<double>(begin + end - 1);
@@ -161,13 +179,13 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
             span_len > 0.0 ? (pos - centre[b]) / span_len : 0.0;
         a = gain_a[b] + (gain_a[hi] - gain_a[b]) * frac;
       }
-      const cplx m = digitized[i] - result.cleaned[i];
-      result.cleaned[i] -= a * m;
+      const cplx m = digitized[i] - cleaned[i];
+      cleaned[i] -= a * m;
     }
   }
 
-  const auto cleaned_silent = std::span(result.cleaned)
-                                  .subspan(silent_begin, silent_end - silent_begin);
+  const auto cleaned_silent =
+      std::span(cleaned).subspan(silent_begin, silent_end - silent_begin);
   result.total_depth_db = cancellation_depth_db(rx_silent, cleaned_silent);
   result.residual_power = dsp::mean_power(cleaned_silent);
   obs::observe(config.collector, obs::probe::analog_depth_db,

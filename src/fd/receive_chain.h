@@ -58,6 +58,16 @@ struct receive_chain_result {
   bool cancellation_bypassed = false;
 };
 
+/// Reusable buffers for repeated run_receive_chain_into calls (one per
+/// worker thread). `stats`, when non-null, accumulates reuse-vs-allocation
+/// bytes across the chain's buffer acquisitions.
+struct receive_chain_scratch {
+  cvec after_analog;
+  cvec digitized;
+  cvec cleaned;
+  dsp::workspace_stats* stats = nullptr;
+};
+
 /// Adapt on rx[silent_begin, silent_end) against the aligned tx samples and
 /// clean the entire rx buffer. tx and rx must be time-aligned and equally
 /// long; a degenerate silent window or misaligned buffers return a flagged
@@ -67,5 +77,16 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
                                        std::size_t silent_begin,
                                        std::size_t silent_end,
                                        const receive_chain_config& config = {});
+
+/// As run_receive_chain(), but all intermediate waveforms live in `scratch`
+/// and the cleaned output is produced in scratch.cleaned — result.cleaned is
+/// left empty so a reusing caller performs no capture-length allocations.
+/// All computed values are bit-identical to run_receive_chain().
+receive_chain_result run_receive_chain_into(std::span<const cplx> tx,
+                                            std::span<const cplx> rx,
+                                            std::size_t silent_begin,
+                                            std::size_t silent_end,
+                                            const receive_chain_config& config,
+                                            receive_chain_scratch& scratch);
 
 }  // namespace backfi::fd

@@ -8,7 +8,12 @@ namespace backfi::obs {
 
 namespace {
 
-bool is_timing(std::string_view name) { return name.starts_with("timing."); }
+// Metrics dropped when include_timings is off: wall-clock spans and the
+// runtime.* workspace/reuse diagnostics. Both describe the run, not the
+// simulated physics, so deterministic-output comparisons exclude them.
+bool is_timing(std::string_view name) {
+  return name.starts_with("timing.") || name.starts_with("runtime.");
+}
 
 void append_double(std::string& out, double v) {
   char buf[40];

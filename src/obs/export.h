@@ -22,7 +22,7 @@
 namespace backfi::obs {
 
 struct json_options {
-  bool include_timings = true;  ///< false: drop "timing.*" metrics
+  bool include_timings = true;  ///< false: drop "timing.*" / "runtime.*" metrics
   bool pretty = true;           ///< newline/indent per metric
 };
 

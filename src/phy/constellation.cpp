@@ -1,5 +1,6 @@
 #include "phy/constellation.h"
 
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -13,19 +14,35 @@ namespace backfi::phy {
 cvec constellation::map(std::span<const std::uint8_t> bits) const {
   if (bits.size() % bits_per_symbol != 0)
     throw std::invalid_argument("constellation::map: bits not a multiple of symbol size");
+  cvec out(bits.size() / bits_per_symbol);
+  map_into(bits, out);
+  return out;
+}
+
+void constellation::map_into(std::span<const std::uint8_t> bits,
+                             std::span<cplx> out) const {
+  if (bits.size() % bits_per_symbol != 0)
+    throw std::invalid_argument("constellation::map: bits not a multiple of symbol size");
   const std::size_t n_sym = bits.size() / bits_per_symbol;
-  // Label -> point lookup.
-  std::vector<std::size_t> by_label(points.size());
+  if (out.size() != n_sym)
+    throw std::invalid_argument("constellation::map_into: output size mismatch");
+
+  // Label -> point lookup; all built-ins fit the stack table (<= 64-QAM).
+  std::array<std::size_t, 64> small_table{};
+  std::vector<std::size_t> big_table;
+  std::size_t* by_label = small_table.data();
+  if (points.size() > small_table.size()) {
+    big_table.resize(points.size());
+    by_label = big_table.data();
+  }
   for (std::size_t i = 0; i < points.size(); ++i) by_label[labels[i]] = i;
 
-  cvec out(n_sym);
   for (std::size_t s = 0; s < n_sym; ++s) {
     std::uint32_t label = 0;
     for (std::size_t b = 0; b < bits_per_symbol; ++b)
       label = (label << 1) | (bits[s * bits_per_symbol + b] & 1u);
     out[s] = points[by_label[label]];
   }
-  return out;
 }
 
 std::uint32_t constellation::slice(cplx y) const {

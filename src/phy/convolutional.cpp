@@ -85,12 +85,15 @@ const char* code_rate_name(code_rate rate) {
 
 bitvec conv_encode(std::span<const std::uint8_t> info) {
   const auto& t = tables();
-  bitvec out;
-  out.reserve(2 * (info.size() + conv_tail_bits));
+  // Indexed writes into a presized buffer: per-bit push_back capacity checks
+  // dominate the encoder on long PPDUs. Output values are unchanged.
+  bitvec out(2 * (info.size() + conv_tail_bits));
   std::uint8_t state = 0;
+  std::size_t w = 0;
   auto push = [&](std::uint8_t bit) {
-    out.push_back(t.out0[state][bit]);
-    out.push_back(t.out1[state][bit]);
+    out[w] = t.out0[state][bit];
+    out[w + 1] = t.out1[state][bit];
+    w += 2;
     state = t.next_state[state][bit];
   };
   for (std::uint8_t bit : info) push(bit & 1u);
@@ -99,11 +102,26 @@ bitvec conv_encode(std::span<const std::uint8_t> info) {
 }
 
 bitvec puncture(std::span<const std::uint8_t> coded, code_rate rate) {
+  // Rate 1/2 transmits every mother bit: a straight copy.
+  if (rate == code_rate::half) return bitvec(coded.begin(), coded.end());
+
   const auto pattern = puncture_pattern(rate);
-  bitvec out;
-  out.reserve(coded.size());
-  for (std::size_t i = 0; i < coded.size(); ++i)
-    if (pattern[i % pattern.size()]) out.push_back(coded[i]);
+  const std::size_t period = pattern.size();
+  std::size_t kept_per_period = 0;
+  for (std::uint8_t keep : pattern) kept_per_period += keep;
+  const std::size_t full = coded.size() / period;
+  std::size_t total = full * kept_per_period;
+  for (std::size_t k = full * period; k < coded.size(); ++k)
+    total += pattern[k % period];
+
+  bitvec out(total);
+  std::size_t w = 0;
+  std::size_t i = 0;
+  for (; i + period <= coded.size(); i += period)
+    for (std::size_t k = 0; k < period; ++k)
+      if (pattern[k]) out[w++] = coded[i + k];
+  for (std::size_t k = 0; i < coded.size(); ++i, ++k)
+    if (pattern[k]) out[w++] = coded[i];
   return out;
 }
 
@@ -141,26 +159,47 @@ bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info,
   std::vector<std::uint8_t> survivor_input(n_steps * kStates);
   std::vector<std::uint8_t> survivor_prev(n_steps * kStates);
 
+  // Branch-metric selector per (state, input): the two coded bits packed as
+  // an index into the four possible +/-s0 +/-s1 sums, computed once per step
+  // instead of once per transition.
+  std::array<std::array<std::uint8_t, 2>, kStates> bm_index;
+  for (int s = 0; s < kStates; ++s)
+    for (int b = 0; b < 2; ++b)
+      bm_index[s][b] =
+          static_cast<std::uint8_t>((t.out0[s][b] << 1) | t.out1[s][b]);
+
   std::vector<double> next_metric(kStates);
   for (std::size_t step = 0; step < n_steps; ++step) {
     const double s0 = soft[2 * step];      // positive favours coded bit 0
     const double s1 = soft[2 * step + 1];
-    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    // bm[o0 << 1 | o1] = (o0 ? -s0 : s0) + (o1 ? -s1 : s1), same FP ops and
+    // order as computing each branch individually.
+    const double bm[4] = {s0 + s1, s0 + (-s1), (-s0) + s1, (-s0) + (-s1)};
     const int max_input = (step < n_info) ? 2 : 1;  // tail forces zeros
-    for (int s = 0; s < kStates; ++s) {
-      if (metric[s] == kNegInf) continue;
-      for (int b = 0; b < max_input; ++b) {
-        const std::uint8_t o0 = t.out0[s][b];
-        const std::uint8_t o1 = t.out1[s][b];
-        const double branch = (o0 ? -s0 : s0) + (o1 ? -s1 : s1);
-        const int ns = t.next_state[s][b];
-        const double cand = metric[s] + branch;
-        if (cand > next_metric[ns]) {
-          next_metric[ns] = cand;
-          survivor_input[step * kStates + ns] = static_cast<std::uint8_t>(b);
-          survivor_prev[step * kStates + ns] = static_cast<std::uint8_t>(s);
-        }
+    // Gather form of the scatter update: next state ns has exactly two
+    // predecessors 2*(ns & 31) and 2*(ns & 31) + 1, both via input bit
+    // ns >> 5. The select is branchless — the data-dependent winner made the
+    // scatter loop mispredict heavily. `c1 > c0` picks the second predecessor
+    // only on strict improvement, matching the original first-writer-wins tie
+    // break; -inf propagates through the sums, so an unreachable predecessor
+    // never beats a reachable one and fully unreachable states keep -inf.
+    // Their survivor entries are now written too, but traceback starts at
+    // state 0 (finite metric, trellis is terminated) and only ever follows
+    // winners, so decoded output is unchanged.
+    const std::size_t row = step * kStates;
+    for (int ns = 0; ns < kStates; ++ns) {
+      const int b = ns >> (kMemory - 1);
+      if (b >= max_input) {
+        next_metric[ns] = kNegInf;
+        continue;
       }
+      const int p0 = (ns & (kStates / 2 - 1)) * 2;
+      const double c0 = metric[p0] + bm[bm_index[p0][b]];
+      const double c1 = metric[p0 + 1] + bm[bm_index[p0 + 1][b]];
+      const bool take1 = c1 > c0;
+      next_metric[ns] = take1 ? c1 : c0;
+      survivor_input[row + ns] = static_cast<std::uint8_t>(b);
+      survivor_prev[row + ns] = static_cast<std::uint8_t>(p0 + (take1 ? 1 : 0));
     }
     metric.swap(next_metric);
   }

@@ -17,10 +17,26 @@ namespace backfi::reader {
 namespace {
 constexpr std::size_t samples_per_us = 20;
 
-bool all_finite(std::span<const cplx> v) {
-  for (const cplx& s : v)
-    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) return false;
+// One fused pass over both captures, restricted to [begin, end): the decoder
+// never reads outside that range, so a NaN beyond it cannot influence any
+// output and need not be scanned for.
+bool all_finite_window(std::span<const cplx> x, std::span<const cplx> y,
+                       std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!std::isfinite(x[i].real()) || !std::isfinite(x[i].imag()) ||
+        !std::isfinite(y[i].real()) || !std::isfinite(y[i].imag()))
+      return false;
+  }
   return true;
+}
+
+// label -> index into constellation.points (labels are unique), shared by
+// decode() and decode_from_symbols() so the EVM loop and phase tracker do a
+// table lookup instead of scanning the constellation per symbol.
+std::vector<std::size_t> label_to_point_index(const phy::constellation& c) {
+  std::vector<std::size_t> by_label(c.points.size());
+  for (std::size_t i = 0; i < c.points.size(); ++i) by_label[c.labels[i]] = i;
+  return by_label;
 }
 
 // Per-reason failure accounting: the aggregate counter plus an ad-hoc
@@ -79,6 +95,15 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
                                      std::span<const cplx> y,
                                      std::size_t nominal_origin,
                                      std::size_t payload_bits) const {
+  decoder_scratch scratch;
+  return decode(x, y, nominal_origin, payload_bits, scratch);
+}
+
+decode_result backfi_decoder::decode(std::span<const cplx> x,
+                                     std::span<const cplx> y,
+                                     std::size_t nominal_origin,
+                                     std::size_t payload_bits,
+                                     decoder_scratch& scratch) const {
   decode_result result;
   obs::timing_span decode_span(config_.collector, "reader.decode");
   // --- Input validation: malformed captures return a typed failure ---
@@ -102,12 +127,6 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
     note_failure(config_.collector, result.failure);
     return result;
   }
-  if (!all_finite(x) || !all_finite(y)) {
-    result.failure = decode_failure::non_finite_samples;
-    note_failure(config_.collector, result.failure);
-    return result;
-  }
-
   const tag::tag_device device(tag_config_);
   const std::size_t sps = device.samples_per_symbol();
   const std::size_t preamble_begin =
@@ -117,6 +136,30 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
   const std::size_t data_begin = sync_begin + tag_config_.sync_symbols * sps;
   const std::size_t n_payload_symbols = device.payload_symbols(payload_bits);
 
+  // Widest timing search any retry attempt can reach; together with the
+  // estimator's (taps - 1) history reach-back it bounds every sample index
+  // the pipeline below touches.
+  const std::size_t max_search = [&] {
+    double width = static_cast<double>(std::max(config_.timing_search, 0));
+    for (std::size_t a = 0; a < config_.sync_retries; ++a)
+      width *= std::max(config_.retry_search_scale, 1.0);
+    return static_cast<std::size_t>(static_cast<int>(std::min(width, 1e6)));
+  }();
+  {
+    const std::size_t history = config_.fb_taps - 1;
+    const std::size_t window_lo =
+        sync_begin >= max_search + history ? sync_begin - max_search - history : 0;
+    const std::size_t scan_lo =
+        std::min(std::min(preamble_begin, window_lo), y.size());
+    const std::size_t scan_hi = std::min(
+        y.size(), data_begin + n_payload_symbols * sps + max_search);
+    if (scan_lo < scan_hi && !all_finite_window(x, y, scan_lo, scan_hi)) {
+      result.failure = decode_failure::non_finite_samples;
+      note_failure(config_.collector, result.failure);
+      return result;
+    }
+  }
+
   // Channel memory contaminates the first (taps - 1) samples of each
   // symbol with the previous symbol's phase (paper Fig. 6 "sample ignored").
   const std::size_t guard =
@@ -125,9 +168,7 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
   const auto sync_labels = device.sync_labels();
   const auto& constellation =
       phy::psk_constellation(tag::psk_order(tag_config_.rate.modulation));
-  std::vector<std::size_t> by_label(constellation.points.size());
-  for (std::size_t i = 0; i < constellation.points.size(); ++i)
-    by_label[constellation.labels[i]] = i;
+  const std::vector<std::size_t> by_label = label_to_point_index(constellation);
   cvec sync_points(sync_labels.size());
   for (std::size_t i = 0; i < sync_labels.size(); ++i)
     sync_points[i] = constellation.points[by_label[sync_labels[i]]];
@@ -140,7 +181,7 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
   int best_offset = 0;
   double best_score = -1.0;
   cplx best_reference{1.0, 0.0};
-  cvec yhat;
+  std::size_t window_begin = 0;  // absolute index of scratch.products[0]
   double search_width = static_cast<double>(std::max(config_.timing_search, 0));
   obs::timing_span sync_span(config_.collector, "reader.sync_scan");
   for (std::size_t attempt = 0; attempt <= config_.sync_retries; ++attempt,
@@ -175,14 +216,27 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
       note_failure(config_.collector, result.failure);
       return result;
     }
-    // Expected unmodulated backscatter over the whole timeline.
-    yhat = dsp::convolve_same(x, result.h_fb);
+    // Expected unmodulated backscatter — only over the window the MRC
+    // stages below actually read (`fits` bounds it inside the capture).
+    // `mrc_precompute` then folds y * conj(yhat) and |yhat|^2 into scratch
+    // once per attempt, so each of the 2*search+1 candidate offsets below
+    // is just contiguous sums over those buffers.
+    window_begin = sync_begin - static_cast<std::size_t>(search);
+    const std::size_t window_end =
+        data_begin + n_payload_symbols * sps + static_cast<std::size_t>(search);
+    dsp::convolve_same_range_into(x, result.h_fb, window_begin, window_end,
+                                  scratch.yhat, scratch.stats);
+    mrc_precompute(y, scratch.yhat, window_begin, window_end, scratch.products,
+                   scratch.weights, scratch.stats);
+    dsp::acquire(scratch.sync_estimates, sync_labels.size(), scratch.stats);
 
     for (int offset = -search; offset <= search; ++offset) {
       const std::size_t start = sync_begin + static_cast<std::size_t>(
                                     static_cast<std::ptrdiff_t>(offset));
-      const cvec m = mrc_symbol_estimates(y, yhat, start, sps,
-                                          sync_labels.size(), guard);
+      mrc_symbol_estimates_from_products(
+          scratch.products, scratch.weights, window_begin, y.size(), start,
+          sps, sync_labels.size(), guard, scratch.sync_estimates);
+      const std::span<const cplx> m(scratch.sync_estimates);
       cplx corr{0.0, 0.0};
       double energy = 0.0;
       for (std::size_t i = 0; i < m.size(); ++i) {
@@ -224,8 +278,11 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
                        static_cast<std::ptrdiff_t>(best_offset));
   double noise_var = 0.0;
   {
-    const cvec m = mrc_symbol_estimates(y, yhat, sync_start_best, sps,
-                                        sync_labels.size(), guard);
+    mrc_symbol_estimates_from_products(
+        scratch.products, scratch.weights, window_begin, y.size(),
+        sync_start_best, sps, sync_labels.size(), guard,
+        scratch.sync_estimates);
+    const std::span<const cplx> m(scratch.sync_estimates);
     for (std::size_t i = 0; i < m.size(); ++i)
       noise_var += std::norm(m[i] / correction - sync_points[i]);
     noise_var /= static_cast<double>(m.size());
@@ -240,8 +297,10 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
       data_begin + static_cast<std::size_t>(
                        static_cast<std::ptrdiff_t>(best_offset));
   obs::timing_span mrc_span(config_.collector, "reader.mrc");
-  cvec symbols = mrc_symbol_estimates(y, yhat, data_start_best, sps,
-                                      n_payload_symbols, guard);
+  cvec symbols(n_payload_symbols);
+  mrc_symbol_estimates_from_products(scratch.products, scratch.weights,
+                                     window_begin, y.size(), data_start_best,
+                                     sps, n_payload_symbols, guard, symbols);
   for (cplx& m : symbols) m /= correction;
   mrc_span.stop();
 
@@ -263,7 +322,9 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
   }
 
   // --- 5. Soft decoding ---
-  decode_result bits = decode_from_symbols(symbols, noise_var, payload_bits);
+  decode_result bits = decode_from_symbols_impl(symbols, noise_var,
+                                                payload_bits, constellation,
+                                                by_label);
   bits.sync_found = result.sync_found;
   bits.sync_attempts = result.sync_attempts;
   bits.timing_offset = result.timing_offset;
@@ -290,17 +351,33 @@ decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
   }
   const auto& constellation =
       phy::psk_constellation(tag::psk_order(tag_config_.rate.modulation));
+  return decode_from_symbols_impl(symbols, noise_var, payload_bits,
+                                  constellation,
+                                  label_to_point_index(constellation));
+}
 
-  // EVM against sliced points.
+decode_result backfi_decoder::decode_from_symbols_impl(
+    std::span<const cplx> symbols, double noise_var, std::size_t payload_bits,
+    const phy::constellation& constellation,
+    std::span<const std::size_t> by_label) const {
+  decode_result result;
+  if (payload_bits == 0) {
+    result.failure = decode_failure::zero_payload;
+    note_failure(config_.collector, result.failure);
+    return result;
+  }
+  if (symbols.empty()) {
+    result.failure = decode_failure::empty_input;
+    note_failure(config_.collector, result.failure);
+    return result;
+  }
+
+  // EVM against sliced points (label -> point index via the shared table).
   {
     double acc = 0.0;
     for (const cplx& m : symbols) {
       const std::uint32_t label = constellation.slice(m);
-      for (std::size_t p = 0; p < constellation.points.size(); ++p)
-        if (constellation.labels[p] == label) {
-          acc += std::norm(m - constellation.points[p]);
-          break;
-        }
+      acc += std::norm(m - constellation.points[by_label[label]]);
     }
     result.evm_rms = std::sqrt(acc / std::max<std::size_t>(symbols.size(), 1));
     obs::observe(config_.collector, obs::probe::evm_rms, result.evm_rms);

@@ -13,14 +13,20 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 #include "phy/bits.h"
 #include "tag/tag_device.h"
 
 namespace backfi::obs {
 class collector;
 }  // namespace backfi::obs
+
+namespace backfi::phy {
+struct constellation;
+}  // namespace backfi::phy
 
 namespace backfi::reader {
 
@@ -88,6 +94,17 @@ struct decode_result {
   cvec symbol_estimates;         ///< raw MRC outputs (payload symbols)
 };
 
+/// Reusable buffers for repeated decode() calls. One instance per worker
+/// thread; contents are scratch only (no decode state carries across calls).
+/// `stats`, when non-null, accumulates buffer reuse-vs-allocation bytes.
+struct decoder_scratch {
+  cvec yhat;                    ///< windowed expected backscatter
+  cvec products;                ///< y * conj(yhat) over the sync/data window
+  std::vector<double> weights;  ///< |yhat|^2 over the same window
+  cvec sync_estimates;          ///< per-offset sync-word MRC outputs
+  dsp::workspace_stats* stats = nullptr;
+};
+
 class backfi_decoder {
  public:
   backfi_decoder(const tag::tag_config& tag_config,
@@ -100,6 +117,13 @@ class backfi_decoder {
   ///  payload_bits    expected payload size (link-layer agreed)
   decode_result decode(std::span<const cplx> x, std::span<const cplx> y,
                        std::size_t nominal_origin, std::size_t payload_bits) const;
+
+  /// As decode(), reusing the caller's scratch buffers so a warmed-up
+  /// worker runs the sync scan and MRC allocation-free. Results are
+  /// bit-identical to the scratch-less overload.
+  decode_result decode(std::span<const cplx> x, std::span<const cplx> y,
+                       std::size_t nominal_origin, std::size_t payload_bits,
+                       decoder_scratch& scratch) const;
 
   /// Demap, depuncture, Viterbi-decode and CRC-check a stream of per-symbol
   /// MRC estimates (used by the multi-antenna combiner, which produces the
@@ -118,6 +142,14 @@ class backfi_decoder {
   const decoder_config& config() const { return config_; }
 
  private:
+  /// Shared demap/Viterbi/CRC tail used by decode() and decode_from_symbols;
+  /// takes the constellation and its label->point-index table so neither
+  /// caller rebuilds them.
+  decode_result decode_from_symbols_impl(
+      std::span<const cplx> symbols, double noise_var, std::size_t payload_bits,
+      const phy::constellation& constellation,
+      std::span<const std::size_t> by_label) const;
+
   tag::tag_config tag_config_;
   decoder_config config_;
 };

@@ -1,36 +1,117 @@
 #include "reader/excitation.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+#include "dsp/rng.h"
 #include "phy/prbs.h"
+#include "wifi/preamble.h"
 
 namespace backfi::reader {
 
 namespace {
+
 constexpr std::size_t samples_per_wake_bit = 20;  // 1 us at 20 MS/s
+
+// Everything in the excitation that does not depend on the per-trial payload
+// seed: the tag's wake preamble (bits + expanded on/off pulses) and the WiFi
+// legacy preamble + SIGNAL symbol of each PPDU. Entries live on an immutable
+// singly-linked list (same publication pattern as the dsp fft_plan cache):
+// steady-state lookups are one acquire load and a short walk, misses build
+// the entry under a mutex, and entries are never destroyed so references
+// stay valid for the life of the process.
+struct prefix_entry {
+  std::uint32_t tag_id = 0;
+  std::size_t wake_bits = 0;
+  wifi::wifi_rate rate{};
+  std::size_t ppdu_bytes = 0;
+  phy::bitvec wake_preamble;
+  cvec wake_samples;  ///< wake preamble expanded to 1 us on/off pulses
+  cvec ppdu_prefix;   ///< legacy preamble + SIGNAL symbol for this shape
+  const prefix_entry* next = nullptr;
+};
+
+std::atomic<const prefix_entry*> g_prefix_head{nullptr};
+std::mutex g_prefix_mutex;
+
+const prefix_entry& prefix_for(const excitation_config& config) {
+  auto matches = [&](const prefix_entry& e) {
+    return e.tag_id == config.tag_id && e.wake_bits == config.wake_bits &&
+           e.rate == config.rate && e.ppdu_bytes == config.ppdu_bytes;
+  };
+  for (const prefix_entry* e = g_prefix_head.load(std::memory_order_acquire);
+       e != nullptr; e = e->next)
+    if (matches(*e)) return *e;
+
+  std::lock_guard<std::mutex> lock(g_prefix_mutex);
+  for (const prefix_entry* e = g_prefix_head.load(std::memory_order_acquire);
+       e != nullptr; e = e->next)
+    if (matches(*e)) return *e;
+
+  auto entry = std::make_unique<prefix_entry>();
+  entry->tag_id = config.tag_id;
+  entry->wake_bits = config.wake_bits;
+  entry->rate = config.rate;
+  entry->ppdu_bytes = config.ppdu_bytes;
+  entry->wake_preamble = phy::wake_preamble(config.tag_id, config.wake_bits);
+  entry->wake_samples.reserve(entry->wake_preamble.size() * samples_per_wake_bit);
+  for (std::uint8_t bit : entry->wake_preamble) {
+    const cplx level = bit ? cplx{1.0, 0.0} : cplx{0.0, 0.0};
+    entry->wake_samples.insert(entry->wake_samples.end(), samples_per_wake_bit,
+                               level);
+  }
+  entry->ppdu_prefix = wifi::legacy_preamble();
+  const cvec sig = wifi::signal_symbol(config.rate, config.ppdu_bytes);
+  entry->ppdu_prefix.insert(entry->ppdu_prefix.end(), sig.begin(), sig.end());
+
+  entry->next = g_prefix_head.load(std::memory_order_relaxed);
+  const prefix_entry* raw = entry.release();
+  g_prefix_head.store(raw, std::memory_order_release);
+  return *raw;
+}
+
 }  // namespace
 
 excitation build_excitation(const excitation_config& config) {
   excitation out;
-  out.wake_preamble = phy::wake_preamble(config.tag_id, config.wake_bits);
-
-  out.samples.reserve(excitation_length(config));
-  for (std::uint8_t bit : out.wake_preamble) {
-    const cplx level = bit ? cplx{1.0, 0.0} : cplx{0.0, 0.0};
-    out.samples.insert(out.samples.end(), samples_per_wake_bit, level);
-  }
-  out.wake_end = out.samples.size();
-  out.ppdu_start = out.samples.size();
-
-  out.ppdu = wifi::random_ppdu(config.ppdu_bytes, {.rate = config.rate},
-                               config.payload_seed);
-  out.samples.insert(out.samples.end(), out.ppdu.samples.begin(),
-                     out.ppdu.samples.end());
-  for (std::size_t i = 1; i < config.n_ppdus; ++i) {
-    const auto extra = wifi::random_ppdu(config.ppdu_bytes, {.rate = config.rate},
-                                         config.payload_seed + i);
-    out.samples.insert(out.samples.end(), extra.samples.begin(),
-                       extra.samples.end());
-  }
+  build_excitation_into(config, out);
   return out;
+}
+
+void build_excitation_into(const excitation_config& config, excitation& out,
+                           dsp::workspace_stats* stats) {
+  const prefix_entry& pre = prefix_for(config);
+
+  out.wake_preamble = pre.wake_preamble;
+  dsp::acquire(out.samples, excitation_length(config), stats);
+  std::copy(pre.wake_samples.begin(), pre.wake_samples.end(),
+            out.samples.begin());
+  out.wake_end = pre.wake_samples.size();
+  out.ppdu_start = out.wake_end;
+
+  // Unified per-PPDU loop: PPDU i draws its payload from payload_seed + i
+  // (same rng, same draw order as wifi::random_ppdu — the prefix cache never
+  // touches the rng, so every emitted sample is unchanged).
+  const std::size_t n_ppdus = std::max<std::size_t>(config.n_ppdus, 1);
+  thread_local std::vector<std::uint8_t> psdu_scratch;
+  thread_local wifi::tx_ppdu extra_scratch;
+  std::size_t offset = out.ppdu_start;
+  for (std::size_t i = 0; i < n_ppdus; ++i) {
+    dsp::rng gen(config.payload_seed + i);
+    psdu_scratch.resize(config.ppdu_bytes);
+    for (auto& b : psdu_scratch)
+      b = static_cast<std::uint8_t>(gen.uniform_int(256));
+    wifi::tx_ppdu& ppdu = (i == 0) ? out.ppdu : extra_scratch;
+    wifi::transmit_into(psdu_scratch, {.rate = config.rate}, pre.ppdu_prefix,
+                        ppdu, stats);
+    std::copy(ppdu.samples.begin(), ppdu.samples.end(),
+              out.samples.begin() + offset);
+    offset += ppdu.samples.size();
+  }
+  assert(offset == out.samples.size());
 }
 
 std::size_t excitation_length(const excitation_config& config) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 #include "phy/bits.h"
 #include "wifi/ppdu.h"
 
@@ -33,8 +34,17 @@ struct excitation {
   phy::bitvec wake_preamble;
 };
 
-/// Build the excitation for one backscatter opportunity.
+/// Build the excitation for one backscatter opportunity. The wake preamble
+/// and the per-shape WiFi preamble + SIGNAL prefix are served from a
+/// process-wide cache keyed on (tag_id, wake_bits, rate, ppdu_bytes); only
+/// the seed-dependent payload symbols are recomputed per call.
 excitation build_excitation(const excitation_config& config);
+
+/// As build_excitation(), recycling the caller's excitation buffers across
+/// calls (one per worker thread). Every field of `out` is overwritten;
+/// bit-identical output.
+void build_excitation_into(const excitation_config& config, excitation& out,
+                           dsp::workspace_stats* stats = nullptr);
 
 /// Duration [samples] of an excitation with the given parameters.
 std::size_t excitation_length(const excitation_config& config);

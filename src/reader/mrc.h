@@ -11,8 +11,10 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace backfi::reader {
 
@@ -30,6 +32,29 @@ cvec mrc_symbol_estimates(std::span<const cplx> y, std::span<const cplx> yhat,
                           std::size_t first_symbol_start,
                           std::size_t samples_per_symbol, std::size_t n_symbols,
                           std::size_t guard);
+
+/// Precompute the per-sample MRC terms over the absolute index window
+/// [begin, end): products[i - begin] = y[i] * conj(yhat[i]) and
+/// weights[i - begin] = |yhat[i]|^2. The sync scan evaluates all timing
+/// offsets as contiguous sums over these buffers instead of recomputing
+/// the products per offset.
+void mrc_precompute(std::span<const cplx> y, std::span<const cplx> yhat,
+                    std::size_t begin, std::size_t end, cvec& products,
+                    std::vector<double>& weights,
+                    dsp::workspace_stats* stats = nullptr);
+
+/// mrc_symbol_estimates evaluated from precomputed products/weights whose
+/// index 0 corresponds to absolute sample `window_begin`, writing into the
+/// caller's span (sized n_symbols). `capture_size` is the length of the
+/// original y/yhat vectors and reproduces the end-of-capture truncation.
+/// Every symbol window must lie inside the precomputed window (or past
+/// `capture_size`, where the original breaks). Bit-identical to
+/// mrc_symbol_estimates: same per-sample accumulation order.
+void mrc_symbol_estimates_from_products(
+    std::span<const cplx> products, std::span<const double> weights,
+    std::size_t window_begin, std::size_t capture_size,
+    std::size_t first_symbol_start, std::size_t samples_per_symbol,
+    std::size_t n_symbols, std::size_t guard, std::span<cplx> out);
 
 /// Naive alternative the paper rejects (Section 4.3.2): divide y by yhat
 /// sample-wise and average. Amplifies noise wherever |yhat| is small;

@@ -59,17 +59,25 @@ void validate_or_throw(const scenario_config& config, const char* where) {
   throw std::invalid_argument(message);
 }
 
-double oracle_post_mrc_snr_db(std::span<const cplx> x,
-                              const channel::backscatter_channels& channels,
-                              double reflection_amplitude,
-                              std::size_t samples_per_symbol, std::size_t guard,
-                              std::size_t data_begin, std::size_t data_end) {
-  const cvec h_fb = dsp::convolve(channels.h_f, channels.h_b);
-  cvec yhat = dsp::convolve_same(x, h_fb);
-  const std::size_t end = std::min(data_end, yhat.size());
+namespace {
+
+// Windowed oracle core: only [data_begin, end) of the combined-channel
+// estimate is ever read, so the convolution is evaluated on that range alone
+// (bit-identical there to the full convolve_same) into a reusable buffer.
+double oracle_post_mrc_snr_db_ws(std::span<const cplx> x,
+                                 const channel::backscatter_channels& channels,
+                                 double reflection_amplitude,
+                                 std::size_t samples_per_symbol,
+                                 std::size_t guard, std::size_t data_begin,
+                                 std::size_t data_end, cvec& yhat,
+                                 dsp::workspace_stats* stats) {
+  const std::size_t end = std::min(data_end, x.size());
   if (end <= data_begin) return -120.0;
+  const cvec h_fb = dsp::convolve(channels.h_f, channels.h_b);
+  dsp::convolve_same_range_into(x, h_fb, data_begin, end, yhat, stats);
   const double mean_sig =
-      dsp::mean_power(std::span(yhat).subspan(data_begin, end - data_begin)) *
+      dsp::mean_power(
+          std::span<const cplx>(yhat).subspan(data_begin, end - data_begin)) *
       reflection_amplitude * reflection_amplitude;
   const std::size_t usable = samples_per_symbol - guard;
   const double snr =
@@ -77,7 +85,41 @@ double oracle_post_mrc_snr_db(std::span<const cplx> x,
   return dsp::to_db(std::max(snr, 1e-12));
 }
 
+// Publish the workspace reuse counters (cumulative over the thread's
+// trials; reuse_pct converges to ~100 once every buffer has warmed up).
+void report_workspace_gauges(obs::collector* c, const dsp::workspace_stats& s) {
+  if (!c) return;
+  c->set_gauge("runtime.workspace.bytes_reused",
+               static_cast<double>(s.bytes_reused));
+  c->set_gauge("runtime.workspace.bytes_allocated",
+               static_cast<double>(s.bytes_allocated));
+  c->set_gauge("runtime.workspace.reuse_pct", 100.0 * s.reuse_fraction());
+}
+
+}  // namespace
+
+double oracle_post_mrc_snr_db(std::span<const cplx> x,
+                              const channel::backscatter_channels& channels,
+                              double reflection_amplitude,
+                              std::size_t samples_per_symbol, std::size_t guard,
+                              std::size_t data_begin, std::size_t data_end) {
+  cvec yhat;
+  return oracle_post_mrc_snr_db_ws(x, channels, reflection_amplitude,
+                                   samples_per_symbol, guard, data_begin,
+                                   data_end, yhat, nullptr);
+}
+
+trial_workspace& local_trial_workspace() {
+  thread_local trial_workspace workspace;
+  return workspace;
+}
+
 trial_result run_backscatter_trial(const scenario_config& config) {
+  return run_backscatter_trial(config, local_trial_workspace());
+}
+
+trial_result run_backscatter_trial(const scenario_config& config,
+                                   trial_workspace& ws) {
   validate_or_throw(config, "run_backscatter_trial");
   trial_result result;
   obs::collector* const c = config.collector;
@@ -89,12 +131,14 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   reader::excitation_config ex_cfg = config.excitation;
   ex_cfg.tag_id = config.tag.id;
   ex_cfg.payload_seed = gen.next_u64();
-  const reader::excitation ex = reader::build_excitation(ex_cfg);
+  reader::build_excitation_into(ex_cfg, ws.ex, &ws.stats);
+  const reader::excitation& ex = ws.ex;
   const auto channels =
       channel::draw_backscatter_channels(config.budget, config.tag_distance_m, gen);
 
   // --- Tag side: wake detection on the incident signal ---
-  const cvec incident = channel::apply_channel(ex.samples, channels.h_f);
+  channel::apply_channel_into(ex.samples, channels.h_f, ws.incident, &ws.stats);
+  const cvec& incident = ws.incident;
   const double incident_dbm =
       channel::incident_power_at_tag_dbm(config.budget, config.tag_distance_m);
   const std::size_t wake_window =
@@ -103,7 +147,10 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   const auto wake = tag::detect_wake(std::span(incident).first(wake_window),
                                      ex.wake_preamble, incident_dbm);
   result.woke = wake.woke;
-  if (!wake.woke) return result;
+  if (!wake.woke) {
+    report_workspace_gauges(c, ws.stats);
+    return result;
+  }
   obs::count(c, obs::probe::trials_woke);
 
   const std::size_t jitter =
@@ -120,20 +167,26 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   // --- Tag backscatter ---
   const phy::bitvec payload = gen.random_bits(config.payload_bits);
   const tag::tag_device device(config.tag);
-  auto tag_tx = device.backscatter(payload, ex.samples.size(), tag_origin);
+  device.backscatter_into(payload, ex.samples.size(), tag_origin, ws.tag_tx,
+                          &ws.stats);
+  tag::tag_transmission& tag_tx = ws.tag_tx;
   result.payload_symbols = tag_tx.n_payload_symbols;
   result.tag_energy_pj = tag_tx.energy_pj;
   obs::observe(c, obs::probe::tag_energy_pj, result.tag_energy_pj);
-  if (tag_tx.n_payload_symbols < device.payload_symbols(config.payload_bits))
+  if (tag_tx.n_payload_symbols < device.payload_symbols(config.payload_bits)) {
+    report_workspace_gauges(c, ws.stats);
     return result;  // excitation too short for the payload
+  }
   faults.apply_to_reflection(tag_tx.reflection, tag_tx.preamble_start,
                              tag_tx.data_end);
 
   // --- Received signal at the reader ---
-  cvec rx = channel::apply_channel(ex.samples, channels.h_env);
-  const cvec reflected = dsp::hadamard(incident, tag_tx.reflection);
-  const cvec backscatter = channel::apply_channel(reflected, channels.h_b);
-  dsp::add_in_place(rx, backscatter);
+  channel::apply_channel_into(ex.samples, channels.h_env, ws.rx, &ws.stats);
+  cvec& rx = ws.rx;
+  dsp::hadamard_into(incident, tag_tx.reflection, ws.reflected, &ws.stats);
+  channel::apply_channel_into(ws.reflected, channels.h_b, ws.backscatter,
+                              &ws.stats);
+  dsp::add_in_place(rx, ws.backscatter);
   channel::add_awgn(rx, channels.noise_power, gen);
   faults.apply_at_antenna(rx);
 
@@ -153,9 +206,9 @@ trial_result run_backscatter_trial(const scenario_config& config) {
       faults.apply_front_end(samples);
     };
   }
-  auto chain =
-      fd::run_receive_chain(ex.samples, rx, silent_begin, silent_end, chain_cfg);
-  faults.apply_post_cancellation(ex.samples, chain.cleaned, silent_end);
+  auto chain = fd::run_receive_chain_into(ex.samples, rx, silent_begin,
+                                          silent_end, chain_cfg, ws.chain);
+  faults.apply_post_cancellation(ex.samples, ws.chain.cleaned, silent_end);
   result.cancellation_bypassed = chain.cancellation_bypassed;
   result.link.analog_depth_db = chain.analog_depth_db;
   result.link.total_depth_db = chain.total_depth_db;
@@ -169,8 +222,8 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   reader::decoder_config dec_cfg = config.decoder;
   dec_cfg.collector = c;
   const reader::backfi_decoder decoder(config.tag, dec_cfg);
-  const auto decoded = decoder.decode(ex.samples, chain.cleaned, ex.wake_end,
-                                      config.payload_bits);
+  const auto decoded = decoder.decode(ex.samples, ws.chain.cleaned, ex.wake_end,
+                                      config.payload_bits, ws.decoder);
   result.sync_found = decoded.sync_found;
   result.decoded = decoded.decoded;
   result.crc_ok = decoded.crc_ok;
@@ -212,10 +265,11 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   const std::size_t guard = std::min<std::size_t>(
       config.decoder.fb_taps - 1,
       device.samples_per_symbol() > 2 ? device.samples_per_symbol() - 2 : 1);
-  result.link.expected_snr_db = oracle_post_mrc_snr_db(
+  result.link.expected_snr_db = oracle_post_mrc_snr_db_ws(
       ex.samples, channels,
       dsp::db_to_amplitude(-config.tag.insertion_loss_db),
-      device.samples_per_symbol(), guard, tag_tx.data_start, tag_tx.data_end);
+      device.samples_per_symbol(), guard, tag_tx.data_start, tag_tx.data_end,
+      ws.oracle_yhat, &ws.stats);
   obs::observe(c, obs::probe::expected_snr_db, result.link.expected_snr_db);
 
   // --- Throughput accounting ---
@@ -236,6 +290,7 @@ trial_result run_backscatter_trial(const scenario_config& config) {
   result.residual_si_over_noise_db = result.link.residual_si_over_noise_db;
   result.analog_depth_db = result.link.analog_depth_db;
   result.total_depth_db = result.link.total_depth_db;
+  report_workspace_gauges(c, ws.stats);
   return result;
 }
 

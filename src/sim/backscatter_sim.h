@@ -93,8 +93,45 @@ struct trial_result {
   double effective_throughput_bps = 0.0;  ///< info bits / data airtime if ok
 };
 
-/// Run one complete backscatter exchange.
+/// Reusable per-thread buffer arena for run_backscatter_trial: every
+/// capture-length intermediate of the pipeline (excitation, channel
+/// outputs, tag reflection, receive-chain waveforms, decoder scratch) plus
+/// the shared reuse-vs-allocation byte counters. A warmed-up workspace
+/// serves the whole trial without heap allocations; the trial exports the
+/// counters through the collector as runtime.workspace.* gauges.
+struct trial_workspace {
+  reader::excitation ex;
+  cvec incident;
+  cvec rx;
+  cvec reflected;
+  cvec backscatter;
+  tag::tag_transmission tag_tx;
+  fd::receive_chain_scratch chain;
+  reader::decoder_scratch decoder;
+  cvec oracle_yhat;
+  dsp::workspace_stats stats;
+
+  trial_workspace() {
+    chain.stats = &stats;
+    decoder.stats = &stats;
+  }
+  // The scratch structs point at this->stats.
+  trial_workspace(const trial_workspace&) = delete;
+  trial_workspace& operator=(const trial_workspace&) = delete;
+};
+
+/// The calling thread's lazily created workspace (what the config-only
+/// run_backscatter_trial overload uses).
+trial_workspace& local_trial_workspace();
+
+/// Run one complete backscatter exchange (on the calling thread's
+/// workspace; results are independent of workspace history).
 trial_result run_backscatter_trial(const scenario_config& config);
+
+/// As above with an explicit workspace. Bit-identical to the workspace-free
+/// path for any prior workspace contents.
+trial_result run_backscatter_trial(const scenario_config& config,
+                                   trial_workspace& workspace);
 
 /// Oracle post-MRC SNR: true combined channel, thermal noise only.
 double oracle_post_mrc_snr_db(std::span<const cplx> x,

@@ -1,5 +1,6 @@
 #include "tag/tag_device.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -54,7 +55,18 @@ tag_transmission tag_device::backscatter(std::span<const std::uint8_t> payload,
                                          std::size_t total_samples,
                                          std::size_t time_origin) const {
   tag_transmission out;
-  out.reflection.assign(total_samples, cplx{0.0, 0.0});
+  backscatter_into(payload, total_samples, time_origin, out);
+  return out;
+}
+
+void tag_device::backscatter_into(std::span<const std::uint8_t> payload,
+                                  std::size_t total_samples,
+                                  std::size_t time_origin,
+                                  tag_transmission& out,
+                                  dsp::workspace_stats* stats) const {
+  dsp::acquire(out.reflection, total_samples, stats);
+  std::fill(out.reflection.begin(), out.reflection.end(), cplx{0.0, 0.0});
+  out.n_payload_symbols = 0;
   out.samples_per_symbol = samples_per_symbol();
 
   out.silent_start = time_origin;
@@ -110,7 +122,6 @@ tag_transmission tag_device::backscatter(std::span<const std::uint8_t> payload,
   out.switch_toggles = modulator.toggle_count();
   out.energy_pj =
       energy_per_bit_pj(config_.rate) * static_cast<double>(out.info_bits.size());
-  return out;
 }
 
 }  // namespace backfi::tag

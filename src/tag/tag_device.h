@@ -15,6 +15,7 @@
 #include <span>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 #include "phy/bits.h"
 #include "tag/energy_model.h"
 #include "tag/phase_modulator.h"
@@ -65,6 +66,14 @@ class tag_device {
   tag_transmission backscatter(std::span<const std::uint8_t> payload,
                                std::size_t total_samples,
                                std::size_t time_origin) const;
+
+  /// As backscatter(), reusing the caller's tag_transmission so the
+  /// capture-length reflection buffer is recycled across calls. Every field
+  /// of `out` is overwritten; results are bit-identical to backscatter().
+  void backscatter_into(std::span<const std::uint8_t> payload,
+                        std::size_t total_samples, std::size_t time_origin,
+                        tag_transmission& out,
+                        dsp::workspace_stats* stats = nullptr) const;
 
   /// Number of payload symbols required for `n_payload_bits` (with CRC-32,
   /// coding and tail included).

@@ -1,5 +1,6 @@
 #include "wifi/ppdu.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "dsp/rng.h"
@@ -41,6 +42,19 @@ cvec signal_symbol(wifi_rate rate, std::size_t length_bytes) {
 }
 
 tx_ppdu transmit(std::span<const std::uint8_t> psdu, const tx_config& config) {
+  return transmit(psdu, config, std::span<const cplx>{});
+}
+
+tx_ppdu transmit(std::span<const std::uint8_t> psdu, const tx_config& config,
+                 std::span<const cplx> prefix) {
+  tx_ppdu out;
+  transmit_into(psdu, config, prefix, out);
+  return out;
+}
+
+void transmit_into(std::span<const std::uint8_t> psdu, const tx_config& config,
+                   std::span<const cplx> prefix, tx_ppdu& out,
+                   dsp::workspace_stats* stats) {
   if (psdu.empty() || psdu.size() > 4095)
     throw std::invalid_argument("transmit: PSDU must be 1..4095 bytes");
   const auto& p = params_for(config.rate);
@@ -63,24 +77,40 @@ tx_ppdu transmit(std::span<const std::uint8_t> psdu, const tx_config& config) {
   const phy::interleaver il(p.n_cbps, p.n_bpsc);
   const auto& constellation = phy::wifi_constellation(p.n_bpsc);
 
-  tx_ppdu out;
   out.rate = config.rate;
   out.psdu_bytes = psdu.size();
   out.payload.assign(psdu.begin(), psdu.end());
   out.n_data_symbols = n_sym;
-  out.samples = legacy_preamble();
-  const cvec sig = signal_symbol(config.rate, psdu.size());
-  out.samples.insert(out.samples.end(), sig.begin(), sig.end());
-  out.data_start = out.samples.size();
+  out.data_start = preamble_samples + symbol_samples;
 
+  // Presize once and modulate each data symbol in place: the append-per-symbol
+  // reallocations and per-symbol interleave/map/IFFT temporaries dominate the
+  // transmitter for long PPDUs.
+  dsp::acquire(out.samples, out.data_start + n_sym * symbol_samples, stats);
+  if (prefix.empty()) {
+    const cvec preamble = legacy_preamble();
+    const cvec sig = signal_symbol(config.rate, psdu.size());
+    std::copy(preamble.begin(), preamble.end(), out.samples.begin());
+    std::copy(sig.begin(), sig.end(), out.samples.begin() + preamble.size());
+  } else {
+    if (prefix.size() != preamble_samples + symbol_samples)
+      throw std::invalid_argument("transmit: prefix must be preamble + SIGNAL");
+    std::copy(prefix.begin(), prefix.end(), out.samples.begin());
+  }
+
+  phy::bitvec interleaved(p.n_cbps);
+  cvec points(n_data_subcarriers);
+  cvec freq_scratch;
   for (std::size_t s = 0; s < n_sym; ++s) {
     const std::span<const std::uint8_t> block(coded.data() + s * p.n_cbps, p.n_cbps);
-    const phy::bitvec interleaved = il.interleave(block);
-    const cvec points = constellation.map(interleaved);
-    const cvec symbol = modulate_symbol(points, s + 1);  // SIGNAL was index 0
-    out.samples.insert(out.samples.end(), symbol.begin(), symbol.end());
+    il.interleave_into(block, interleaved);
+    constellation.map_into(interleaved, points);
+    modulate_symbol_into(points, s + 1,  // SIGNAL was index 0
+                         std::span<cplx>(out.samples)
+                             .subspan(out.data_start + s * symbol_samples,
+                                      symbol_samples),
+                         freq_scratch);
   }
-  return out;
 }
 
 std::size_t ppdu_length_samples(std::size_t length_bytes, wifi_rate rate) {

@@ -1,6 +1,7 @@
 #include "dsp/fir.h"
 
 #include <gtest/gtest.h>
+#include <cstdint>
 
 #include "dsp/rng.h"
 
@@ -141,6 +142,94 @@ TEST(FirTest, ResetClearsHistory) {
   const cvec out = filt.process(block);
   // Without reset the first output would be 1 + previous(1) = 2.
   EXPECT_NEAR(std::abs(out[0] - cplx(1.0, 0.0)), 0.0, 1e-15);
+}
+
+
+cvec window_vec(std::size_t n, std::uint64_t seed) {
+  rng gen(seed);
+  cvec v(n);
+  for (auto& s : v) s = gen.complex_gaussian();
+  return v;
+}
+
+TEST(FirTest, ConvolveSameRangeBitIdenticalInsideWindowZeroOutside) {
+  const cvec x = window_vec(300, 101);
+  const cvec h = window_vec(5, 102);
+  const cvec full = convolve_same(x, h);
+  const std::size_t windows[][2] = {{0, 300},   {0, 0},     {10, 11},
+                                    {37, 123},  {250, 300}, {290, 1000},
+                                    {300, 300}, {500, 600}};
+  for (const auto& w : windows) {
+    const cvec ranged = convolve_same_range(x, h, w[0], w[1]);
+    ASSERT_EQ(ranged.size(), x.size());
+    const std::size_t hi = w[1] < x.size() ? w[1] : x.size();
+    const std::size_t lo = w[0] < hi ? w[0] : hi;
+    for (std::size_t i = 0; i < ranged.size(); ++i) {
+      const cplx want = (i >= lo && i < hi) ? full[i] : cplx{0.0, 0.0};
+      ASSERT_EQ(ranged[i], want)
+          << "window [" << w[0] << ", " << w[1] << ") sample " << i;
+    }
+  }
+}
+
+TEST(FirTest, ConvolveSameRangeAllZeroTapsGiveZeroWindow) {
+  const cvec x = window_vec(64, 103);
+  const cvec h(4, cplx{0.0, 0.0});
+  const cvec ranged = convolve_same_range(x, h, 5, 20);
+  for (const auto& v : ranged) ASSERT_EQ(v, cplx(0.0, 0.0));
+}
+
+TEST(FirTest, ConvolveSameRangeMatchesFftRegime) {
+  const cvec x = window_vec(512, 104);
+  const cvec h = window_vec(fft_convolve_min_taps + 7, 105);
+  const cvec full = convolve_same(x, h);
+  const cvec ranged = convolve_same_range(x, h, 100, 200);
+  for (std::size_t i = 100; i < 200; ++i) ASSERT_EQ(ranged[i], full[i]) << i;
+}
+
+TEST(FirTest, ConvolveSameRangeIntoReusesWarmBuffer) {
+  const cvec x = window_vec(256, 106);
+  const cvec h = window_vec(6, 107);
+  const cvec full = convolve_same(x, h);
+  workspace_stats stats;
+  cvec out;
+  convolve_same_range_into(x, h, 30, 90, out, &stats);
+  ASSERT_EQ(out.size(), x.size());
+  for (std::size_t i = 30; i < 90; ++i) ASSERT_EQ(out[i], full[i]) << i;
+  EXPECT_GT(stats.bytes_allocated, 0u);
+  const std::uint64_t allocated_after_first = stats.bytes_allocated;
+  for (int rep = 0; rep < 3; ++rep) {
+    convolve_same_range_into(x, h, 30, 90, out, &stats);
+    for (std::size_t i = 30; i < 90; ++i) ASSERT_EQ(out[i], full[i]) << i;
+  }
+  EXPECT_EQ(stats.bytes_allocated, allocated_after_first);
+  EXPECT_GT(stats.bytes_reused, 0u);
+}
+
+TEST(FirTest, ConvolveSameIntoMatchesConvolveSame) {
+  const cvec x = window_vec(200, 108);
+  const cvec h = window_vec(7, 109);
+  const cvec full = convolve_same(x, h);
+  cvec out(17, cplx{3.0, -4.0});  // dirty and wrongly sized
+  convolve_same_into(x, h, out);
+  ASSERT_EQ(out.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) ASSERT_EQ(out[i], full[i]) << i;
+}
+
+TEST(FirTest, ConvolveSameSubtractIntoMatchesMaterializedSubtract) {
+  for (const std::size_t taps : {std::size_t{6}, fft_convolve_min_taps + 3}) {
+    const cvec x = window_vec(400, 110 + taps);
+    const cvec rx = window_vec(420, 111 + taps);  // longer rx: plain tail copy
+    const cvec h = window_vec(taps, 112 + taps);
+    const cvec conv = convolve_same(x, h);
+    cvec out;
+    convolve_same_subtract_into(rx, x, h, out);
+    ASSERT_EQ(out.size(), rx.size());
+    for (std::size_t i = 0; i < rx.size(); ++i) {
+      const cplx want = i < x.size() ? rx[i] - conv[i] : rx[i];
+      ASSERT_EQ(out[i], want) << "taps " << taps << " sample " << i;
+    }
+  }
 }
 
 }  // namespace

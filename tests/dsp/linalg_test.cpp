@@ -1,6 +1,8 @@
 #include "dsp/linalg.h"
 
 #include <gtest/gtest.h>
+#include <algorithm>
+#include <cstdint>
 
 #include "dsp/fir.h"
 #include "dsp/rng.h"
@@ -112,6 +114,38 @@ TEST(LinalgTest, FirEstimateRejectsTooFewSamples) {
   const cvec x(4, cplx{1.0, 0.0});
   const cvec y(4, cplx{1.0, 0.0});
   EXPECT_THROW(estimate_fir_least_squares(x, y, 8), std::invalid_argument);
+}
+
+
+TEST(LinalgTest, MatrixFreeFirEstimateMatchesMaterializedNormalEquations) {
+  rng gen(77);
+  for (const std::size_t n_taps :
+       {std::size_t{1}, std::size_t{5}, std::size_t{8}}) {
+    cvec x(220), y(220);
+    for (auto& v : x) v = gen.complex_gaussian();
+    for (auto& v : y) v = gen.complex_gaussian();
+    const cvec fast = estimate_fir_least_squares(x, y, n_taps, 1e-9);
+
+    // Reference: materialize the design matrix and go through
+    // least_squares(), exactly as the pre-refactor implementation did. The
+    // matrix-free path keeps the same accumulation order, so the estimates
+    // must match bit for bit.
+    const std::size_t m = x.size() - (n_taps - 1);
+    cmatrix a(m, n_taps);
+    cvec b(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t row_time = r + n_taps - 1;
+      for (std::size_t k = 0; k < n_taps; ++k) a(r, k) = x[row_time - k];
+      b[r] = y[row_time];
+    }
+    double col_energy = 0.0;
+    for (std::size_t r = 0; r < m; ++r) col_energy += std::norm(a(r, 0));
+    const cvec ref = least_squares(a, b, 1e-9 * std::max(col_energy, 1e-30));
+
+    ASSERT_EQ(fast.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      ASSERT_EQ(fast[k], ref[k]) << "n_taps " << n_taps << " tap " << k;
+  }
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
 #include "fd/adc.h"
 
 #include <gtest/gtest.h>
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 
 #include "dsp/rng.h"
 #include "dsp/vec_ops.h"
@@ -51,6 +55,63 @@ TEST(AdcTest, AgcTracksInputRms) {
   cvec x(5000);
   for (auto& v : x) v = 0.1 * gen.complex_gaussian();
   EXPECT_NEAR(agc_full_scale(x, 4.0), 0.4, 0.02);
+}
+
+
+TEST(AdcTest, QuantizeIntoMatchesQuantize) {
+  dsp::rng gen(91);
+  cvec x(5000);
+  for (auto& v : x) v = 0.8 * gen.complex_gaussian();
+  x[7] = cplx{10.0, -10.0};  // beyond full scale on both axes
+  adc_config cfg;
+  cfg.bits = 10;
+  cfg.full_scale = 1.6;
+  const cvec ref = quantize(x, cfg);
+  cvec out(3, cplx{99.0, 99.0});  // dirty and wrongly sized
+  dsp::workspace_stats stats;
+  quantize_into(x, cfg, out, &stats);
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(out[i], ref[i]) << i;
+  const std::uint64_t allocated = stats.bytes_allocated;
+  quantize_into(x, cfg, out, &stats);
+  EXPECT_EQ(stats.bytes_allocated, allocated);
+  EXPECT_GT(stats.bytes_reused, 0u);
+}
+
+TEST(AdcTest, QuantizeMatchesScalarRoundReferenceOnHalfwayCodes) {
+  // The adc TU compiles with -fno-trapping-math so std::round expands to an
+  // inline (vectorized) sequence. round() is exactly specified for every
+  // input, so the quantizer grid must match a libm-round reference computed
+  // here at default flags — including the half-step inputs where an inexact
+  // expansion (e.g. the naive add-0.5-then-truncate) would differ.
+  adc_config cfg;
+  cfg.bits = 10;
+  cfg.full_scale = 1.6;
+  const double step = 2.0 * cfg.full_scale / static_cast<double>(1ULL << cfg.bits);
+  static double (*volatile libm_round)(double) = &std::round;  // no inlining
+
+  cvec x;
+  for (int k = -1030; k <= 1030; ++k) {
+    const double half_code = static_cast<double>(k) * step / 2.0;
+    x.push_back(cplx{half_code, -half_code});
+    x.push_back(cplx{std::nextafter(half_code, 10.0),
+                     std::nextafter(half_code, -10.0)});
+  }
+  const cvec q = quantize(x, cfg);
+  ASSERT_EQ(q.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto axis = [&](double v) {
+      const double clipped = std::clamp(v, -cfg.full_scale, cfg.full_scale);
+      return libm_round(clipped / step) * step;
+    };
+    const cplx want{axis(x[i].real()), axis(x[i].imag())};
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(q[i].real()),
+              std::bit_cast<std::uint64_t>(want.real()))
+        << "sample " << i << " in " << x[i].real();
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(q[i].imag()),
+              std::bit_cast<std::uint64_t>(want.imag()))
+        << "sample " << i << " in " << x[i].imag();
+  }
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "fd/receive_chain.h"
 
 #include <gtest/gtest.h>
+#include <cstdint>
 
 #include "channel/awgn.h"
 #include "channel/backscatter_link.h"
@@ -131,6 +132,41 @@ TEST(ReceiveChainTest, FrontEndHookObservesAndMutatesTheResidual) {
   EXPECT_EQ(dsp::mean_power(result.cleaned), 0.0);
   // The analog stage ran before the hook: its depth is still measured.
   EXPECT_GT(result.analog_depth_db, 25.0);
+}
+
+
+TEST(ReceiveChainTest, ScratchPathBitIdenticalToAllocatingPath) {
+  const chain_scenario s = make_scenario(11);
+  receive_chain_config configs[2];
+  configs[1].track_residual_gain = true;
+  for (const auto& cfg : configs) {
+    const auto plain = run_receive_chain(s.tx, s.rx, 0, 320, cfg);
+
+    // Dirty the scratch with a different packet first: results must be
+    // independent of workspace history.
+    receive_chain_scratch scratch;
+    dsp::workspace_stats stats;
+    scratch.stats = &stats;
+    const chain_scenario other = make_scenario(12);
+    run_receive_chain_into(other.tx, other.rx, 0, 320, cfg, scratch);
+
+    const auto ws = run_receive_chain_into(s.tx, s.rx, 0, 320, cfg, scratch);
+    EXPECT_TRUE(ws.cleaned.empty());  // output lives in scratch.cleaned
+    ASSERT_EQ(scratch.cleaned.size(), plain.cleaned.size());
+    for (std::size_t i = 0; i < plain.cleaned.size(); ++i)
+      ASSERT_EQ(scratch.cleaned[i], plain.cleaned[i]) << i;
+    EXPECT_EQ(ws.analog_depth_db, plain.analog_depth_db);
+    EXPECT_EQ(ws.total_depth_db, plain.total_depth_db);
+    EXPECT_EQ(ws.residual_power, plain.residual_power);
+    EXPECT_EQ(ws.adc_saturated, plain.adc_saturated);
+    EXPECT_EQ(ws.cancellation_bypassed, plain.cancellation_bypassed);
+
+    // A warm same-size re-run performs no further tracked allocations.
+    const std::uint64_t allocated = stats.bytes_allocated;
+    run_receive_chain_into(s.tx, s.rx, 0, 320, cfg, scratch);
+    EXPECT_EQ(stats.bytes_allocated, allocated);
+    EXPECT_GT(stats.bytes_reused, 0u);
+  }
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include "phy/convolutional.h"
 
 #include <gtest/gtest.h>
+#include <algorithm>
+#include <array>
+#include <limits>
 
 #include "dsp/rng.h"
 
@@ -126,6 +129,115 @@ TEST_P(ConvolutionalNoiseTest, SoftDecodingSurvivesGaussianNoise) {
 
 INSTANTIATE_TEST_SUITE_P(NoiseSweep, ConvolutionalNoiseTest,
                          ::testing::Values(0.1, 0.3, 0.5, 0.7));
+
+
+/// The pre-restructure scatter-form Viterbi, kept verbatim as a reference:
+/// the production decoder now runs a branchless gather over next states,
+/// which must stay bit-identical in decoded bits and final path metric.
+bitvec reference_viterbi(std::span<const double> soft, std::size_t n_info,
+                         double* final_metric) {
+  constexpr int kMemory = 6;
+  constexpr int kStates = 1 << kMemory;
+  constexpr std::uint32_t kG0 = 0b1011011;
+  constexpr std::uint32_t kG1 = 0b1111001;
+  const auto parity = [](std::uint32_t v) {
+    v ^= v >> 16;
+    v ^= v >> 8;
+    v ^= v >> 4;
+    v ^= v >> 2;
+    v ^= v >> 1;
+    return static_cast<std::uint8_t>(v & 1u);
+  };
+  std::array<std::array<std::uint8_t, 2>, kStates> next_state, out0, out1;
+  for (int s = 0; s < kStates; ++s)
+    for (int b = 0; b < 2; ++b) {
+      const std::uint32_t reg = (static_cast<std::uint32_t>(b) << kMemory) |
+                                static_cast<std::uint32_t>(s);
+      out0[s][b] = parity(reg & kG0);
+      out1[s][b] = parity(reg & kG1);
+      next_state[s][b] = static_cast<std::uint8_t>(reg >> 1);
+    }
+
+  const std::size_t n_steps = n_info + conv_tail_bits;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> metric(kStates, kNegInf);
+  metric[0] = 0.0;
+  std::vector<std::uint8_t> survivor_input(n_steps * kStates);
+  std::vector<std::uint8_t> survivor_prev(n_steps * kStates);
+  std::vector<double> next_metric(kStates);
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    const double s0 = soft[2 * step];
+    const double s1 = soft[2 * step + 1];
+    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    const int max_input = (step < n_info) ? 2 : 1;
+    for (int s = 0; s < kStates; ++s) {
+      if (metric[s] == kNegInf) continue;
+      for (int b = 0; b < max_input; ++b) {
+        const double branch =
+            (out0[s][b] ? -s0 : s0) + (out1[s][b] ? -s1 : s1);
+        const int ns = next_state[s][b];
+        const double cand = metric[s] + branch;
+        if (cand > next_metric[ns]) {
+          next_metric[ns] = cand;
+          survivor_input[step * kStates + ns] = static_cast<std::uint8_t>(b);
+          survivor_prev[step * kStates + ns] = static_cast<std::uint8_t>(s);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+  if (final_metric) *final_metric = metric[0];
+  bitvec decoded(n_steps);
+  int state = 0;
+  for (std::size_t step = n_steps; step-- > 0;) {
+    decoded[step] = survivor_input[step * kStates + state];
+    state = survivor_prev[step * kStates + state];
+  }
+  decoded.resize(n_info);
+  return decoded;
+}
+
+TEST(ConvolutionalTest, ViterbiMatchesReferenceScatterImplementation) {
+  dsp::rng gen(7);
+  for (const std::size_t n_info :
+       {std::size_t{8}, std::size_t{40}, std::size_t{96}, std::size_t{632}}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      bitvec info(n_info);
+      for (auto& b : info) b = static_cast<std::uint8_t>(gen.uniform_int(2));
+      const bitvec mother = conv_encode(info);
+      std::vector<double> soft(mother.size());
+      for (std::size_t i = 0; i < soft.size(); ++i)
+        soft[i] = ((mother[i] & 1u) ? -1.0 : 1.0) + 0.6 * gen.gaussian();
+      double ref_metric = 0.0, got_metric = 0.0;
+      const bitvec ref = reference_viterbi(soft, n_info, &ref_metric);
+      const bitvec got = viterbi_decode(soft, n_info, &got_metric);
+      ASSERT_EQ(got, ref) << "n_info " << n_info << " rep " << rep;
+      ASSERT_EQ(got_metric, ref_metric) << "n_info " << n_info << " rep " << rep;
+    }
+  }
+}
+
+TEST(ConvolutionalTest, ViterbiMatchesReferenceWithErasures) {
+  // Depunctured streams interleave true soft values with 0.0 erasures; the
+  // branchless select must break the resulting exact metric ties the same
+  // way the scatter loop did (first writer wins).
+  dsp::rng gen(8);
+  const std::size_t n_info = 120;
+  bitvec info(n_info);
+  for (auto& b : info) b = static_cast<std::uint8_t>(gen.uniform_int(2));
+  const bitvec mother = conv_encode(info);
+  const bitvec sent = puncture(mother, code_rate::three_quarters);
+  std::vector<double> soft_sent(sent.size());
+  for (std::size_t i = 0; i < soft_sent.size(); ++i)
+    soft_sent[i] = ((sent[i] & 1u) ? -1.0 : 1.0) + 0.4 * gen.gaussian();
+  const std::vector<double> soft =
+      depuncture(soft_sent, code_rate::three_quarters, mother.size());
+  double ref_metric = 0.0, got_metric = 0.0;
+  const bitvec ref = reference_viterbi(soft, n_info, &ref_metric);
+  const bitvec got = viterbi_decode(soft, n_info, &got_metric);
+  ASSERT_EQ(got, ref);
+  ASSERT_EQ(got_metric, ref_metric);
+}
 
 }  // namespace
 }  // namespace backfi::phy

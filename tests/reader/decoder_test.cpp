@@ -1,6 +1,7 @@
 #include "reader/decoder.h"
 
 #include <gtest/gtest.h>
+#include <cstdint>
 
 #include <limits>
 
@@ -209,7 +210,12 @@ TEST(DecoderTest, ZeroPayloadYieldsTypedFailure) {
 
 TEST(DecoderTest, NonFiniteSamplesYieldTypedFailure) {
   auto ex = make_exchange(default_tag(), 300, -120.0, 0, 19);
-  ex.y[ex.nominal + 100] = cplx{std::numeric_limits<double>::quiet_NaN(), 0.0};
+  // Inside the estimation preamble (the silent period before it is no
+  // longer scanned: the finite check covers only the samples the decoder
+  // reads, see NonFiniteSamplesOutsideDecodeWindowStillDecode).
+  const std::size_t silent_samples = 20 * default_tag().silent_us;
+  ex.y[ex.nominal + silent_samples + 100] =
+      cplx{std::numeric_limits<double>::quiet_NaN(), 0.0};
   const backfi_decoder decoder(default_tag());
   const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 300);
   EXPECT_FALSE(result.decoded);
@@ -246,6 +252,63 @@ TEST(DecoderTest, PhaseTrackingAbsorbsSlowResidualRotation) {
   const auto with = tracking.decode(ex.x, ex.y, ex.nominal, 300);
   EXPECT_FALSE(without.crc_ok);
   EXPECT_TRUE(with.crc_ok);
+}
+
+
+TEST(DecoderTest, NonFiniteSamplesOutsideDecodeWindowStillDecode) {
+  // The finite scan is restricted to the samples the pipeline actually
+  // reads (estimation window through payload end plus the widest timing
+  // search). Garbage in the wake region or far past the payload — which a
+  // co-channel burst can easily leave in the capture — must not veto an
+  // otherwise clean decode.
+  auto ex = make_exchange(default_tag(), 300, -120.0, 0, 23);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ex.y[0] = cplx{nan, nan};                // wake region, before the window
+  ex.y[ex.y.size() - 1] = cplx{nan, 0.0};  // far past the payload symbols
+  ex.x[1] = cplx{0.0, nan};                // x is scanned over the same window
+  const backfi_decoder decoder(default_tag());
+  const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 300);
+  ASSERT_TRUE(result.decoded);
+  EXPECT_EQ(result.failure, decode_failure::none);
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_EQ(result.payload, ex.payload);
+}
+
+TEST(DecoderTest, ScratchDecodeBitIdenticalToAllocatingDecode) {
+  const auto ex = make_exchange(default_tag(), 300, -112.0, 5, 24);
+  const backfi_decoder decoder(default_tag());
+  const auto plain = decoder.decode(ex.x, ex.y, ex.nominal, 300);
+  ASSERT_TRUE(plain.crc_ok);
+
+  // Dirty the scratch with a different exchange first: decode results must
+  // be independent of scratch history.
+  decoder_scratch scratch;
+  dsp::workspace_stats stats;
+  scratch.stats = &stats;
+  const auto other = make_exchange(default_tag(), 200, -110.0, 3, 25);
+  decoder.decode(other.x, other.y, other.nominal, 200, scratch);
+
+  const auto ws = decoder.decode(ex.x, ex.y, ex.nominal, 300, scratch);
+  EXPECT_EQ(ws.crc_ok, plain.crc_ok);
+  EXPECT_EQ(ws.failure, plain.failure);
+  EXPECT_EQ(ws.payload, plain.payload);
+  EXPECT_EQ(ws.timing_offset, plain.timing_offset);
+  EXPECT_EQ(ws.sync_attempts, plain.sync_attempts);
+  EXPECT_EQ(ws.sync_correlation, plain.sync_correlation);
+  EXPECT_EQ(ws.post_mrc_snr_db, plain.post_mrc_snr_db);
+  EXPECT_EQ(ws.evm_rms, plain.evm_rms);
+  ASSERT_EQ(ws.h_fb.size(), plain.h_fb.size());
+  for (std::size_t i = 0; i < plain.h_fb.size(); ++i)
+    ASSERT_EQ(ws.h_fb[i], plain.h_fb[i]) << i;
+  ASSERT_EQ(ws.symbol_estimates.size(), plain.symbol_estimates.size());
+  for (std::size_t i = 0; i < plain.symbol_estimates.size(); ++i)
+    ASSERT_EQ(ws.symbol_estimates[i], plain.symbol_estimates[i]) << i;
+
+  // Warm same-capture re-decode performs no further tracked allocations.
+  const std::uint64_t allocated = stats.bytes_allocated;
+  decoder.decode(ex.x, ex.y, ex.nominal, 300, scratch);
+  EXPECT_EQ(stats.bytes_allocated, allocated);
+  EXPECT_GT(stats.bytes_reused, 0u);
 }
 
 }  // namespace

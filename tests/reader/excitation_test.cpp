@@ -1,6 +1,7 @@
 #include "reader/excitation.h"
 
 #include <gtest/gtest.h>
+#include <cstdint>
 
 #include "dsp/vec_ops.h"
 #include "phy/prbs.h"
@@ -59,6 +60,74 @@ TEST(ExcitationTest, DeterministicForSameConfig) {
   ASSERT_EQ(a.samples.size(), b.samples.size());
   for (std::size_t i = 0; i < a.samples.size(); ++i)
     ASSERT_EQ(a.samples[i], b.samples[i]);
+}
+
+
+TEST(ExcitationTest, BuildIntoMatchesBuildAndReusesBuffers) {
+  excitation_config cfg;
+  cfg.tag_id = 3;
+  cfg.ppdu_bytes = 600;
+  cfg.n_ppdus = 2;
+  cfg.payload_seed = 9;
+  const excitation a = build_excitation(cfg);
+
+  excitation out;
+  dsp::workspace_stats stats;
+  build_excitation_into(cfg, out, &stats);
+  EXPECT_EQ(out.wake_end, a.wake_end);
+  EXPECT_EQ(out.ppdu_start, a.ppdu_start);
+  EXPECT_EQ(out.wake_preamble, a.wake_preamble);
+  ASSERT_EQ(out.samples.size(), a.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    ASSERT_EQ(out.samples[i], a.samples[i]) << i;
+  ASSERT_EQ(out.ppdu.samples.size(), a.ppdu.samples.size());
+  EXPECT_EQ(out.ppdu.data_start, a.ppdu.data_start);
+  for (std::size_t i = 0; i < a.ppdu.samples.size(); ++i)
+    ASSERT_EQ(out.ppdu.samples[i], a.ppdu.samples[i]) << i;
+
+  // Same config into the warm buffers: no further tracked allocations.
+  const std::uint64_t allocated = stats.bytes_allocated;
+  build_excitation_into(cfg, out, &stats);
+  EXPECT_EQ(stats.bytes_allocated, allocated);
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    ASSERT_EQ(out.samples[i], a.samples[i]) << i;
+}
+
+TEST(ExcitationTest, PrefixCacheRespondsToEveryKeyField) {
+  // The cached wake/preamble prefix is keyed on (tag_id, wake_bits, rate,
+  // ppdu_bytes): vary each field and check the waveform changes where it
+  // must, while a repeated config stays identical (a stale cache hit on a
+  // mutated key would reproduce the previous waveform).
+  excitation_config base;
+  base.ppdu_bytes = 400;
+  const excitation ref = build_excitation(base);
+  const excitation same = build_excitation(base);
+  ASSERT_EQ(ref.samples.size(), same.samples.size());
+  for (std::size_t i = 0; i < ref.samples.size(); ++i)
+    ASSERT_EQ(ref.samples[i], same.samples[i]) << i;
+
+  excitation_config other_tag = base;
+  other_tag.tag_id = base.tag_id + 5;
+  const excitation tag_ex = build_excitation(other_tag);
+  EXPECT_NE(tag_ex.wake_preamble, ref.wake_preamble);
+
+  excitation_config other_wake = base;
+  other_wake.wake_bits = base.wake_bits + 4;
+  EXPECT_NE(build_excitation(other_wake).wake_end, ref.wake_end);
+
+  excitation_config other_bytes = base;
+  other_bytes.ppdu_bytes = base.ppdu_bytes + 100;
+  EXPECT_NE(build_excitation(other_bytes).samples.size(), ref.samples.size());
+
+  excitation_config other_rate = base;
+  other_rate.rate = wifi::wifi_rate::mbps12;
+  EXPECT_NE(build_excitation(other_rate).samples.size(), ref.samples.size());
+
+  // And the original key still serves the original waveform.
+  const excitation again = build_excitation(base);
+  ASSERT_EQ(again.samples.size(), ref.samples.size());
+  for (std::size_t i = 0; i < ref.samples.size(); ++i)
+    ASSERT_EQ(again.samples[i], ref.samples[i]) << i;
 }
 
 }  // namespace

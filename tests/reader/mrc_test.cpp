@@ -1,6 +1,8 @@
 #include "reader/mrc.h"
 
 #include <gtest/gtest.h>
+#include <cstdint>
+#include <vector>
 
 #include "dsp/math_util.h"
 #include "dsp/rng.h"
@@ -98,6 +100,55 @@ TEST(MrcTest, TruncatedFinalSymbolLeftZero) {
   EXPECT_GT(std::abs(m[0]), 0.5);
   EXPECT_EQ(m[1], cplx(0.0, 0.0));
   EXPECT_EQ(m[2], cplx(0.0, 0.0));
+}
+
+
+TEST(MrcTest, PrecomputedProductsReproduceSymbolEstimates) {
+  dsp::rng gen(55);
+  const std::size_t n = 400;
+  cvec y(n), yhat(n);
+  for (auto& v : y) v = gen.complex_gaussian();
+  for (auto& v : yhat) v = gen.complex_gaussian();
+  const std::size_t first = 37, sps = 20, n_sym = 15, guard = 4;
+  const cvec direct = mrc_symbol_estimates(y, yhat, first, sps, n_sym, guard);
+
+  const std::size_t begin = 30, end = n;
+  cvec products;
+  std::vector<double> weights;
+  dsp::workspace_stats stats;
+  mrc_precompute(y, yhat, begin, end, products, weights, &stats);
+  ASSERT_EQ(products.size(), end - begin);
+  ASSERT_EQ(weights.size(), end - begin);
+  cvec out(n_sym);
+  mrc_symbol_estimates_from_products(products, weights, begin, n, first, sps,
+                                     n_sym, guard, out);
+  for (std::size_t s = 0; s < n_sym; ++s) ASSERT_EQ(out[s], direct[s]) << s;
+
+  // Warm re-run of the precompute serves from existing capacity.
+  const std::uint64_t allocated = stats.bytes_allocated;
+  mrc_precompute(y, yhat, begin, end, products, weights, &stats);
+  EXPECT_EQ(stats.bytes_allocated, allocated);
+  EXPECT_GT(stats.bytes_reused, 0u);
+}
+
+TEST(MrcTest, ProductsPathReproducesEndOfCaptureTruncation) {
+  dsp::rng gen(56);
+  const std::size_t n = 100;
+  cvec y(n), yhat(n);
+  for (auto& v : y) v = gen.complex_gaussian();
+  for (auto& v : yhat) v = gen.complex_gaussian();
+  // The final symbols extend past the capture; from_products must reproduce
+  // the original zero-fill of truncated symbols via `capture_size`.
+  const std::size_t first = 10, sps = 16, n_sym = 7, guard = 3;
+  const cvec direct = mrc_symbol_estimates(y, yhat, first, sps, n_sym, guard);
+
+  cvec products;
+  std::vector<double> weights;
+  mrc_precompute(y, yhat, 0, n, products, weights);
+  cvec out(n_sym);
+  mrc_symbol_estimates_from_products(products, weights, 0, n, first, sps,
+                                     n_sym, guard, out);
+  for (std::size_t s = 0; s < n_sym; ++s) ASSERT_EQ(out[s], direct[s]) << s;
 }
 
 }  // namespace
