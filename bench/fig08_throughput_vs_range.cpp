@@ -5,18 +5,22 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "sim/parallel.h"
 #include "sim/rate_adaptation.h"
+#include "sim/scheduler.h"
 
 namespace {
 
 using namespace backfi;
 
-// Paper-scale trial count; affordable now that the per-point Monte-Carlo
-// loops run on the sim::parallel_for pool.
+// Paper-scale trial count; affordable now that find_max_goodput flattens
+// each speculative wave's (point x trial) grid through the sweep
+// scheduler, and cheaper still under the adaptive rerun below.
 constexpr int kTrials = 40;
 
 sim::scenario_config base_scenario(std::size_t preamble_us) {
@@ -34,6 +38,15 @@ int run_sweep() {
   const double distances[] = {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
   std::printf("%-8s | %-34s | %-34s\n", "range", "32 us preamble", "96 us preamble");
   std::printf("---------+------------------------------------+-----------------------------------\n");
+  // Fixed-trials results, kept so the adaptive rerun below can report its
+  // PER deltas against them.
+  struct cell_result {
+    bool decoded = false;
+    double per = 0.0;
+    double goodput_bps = 0.0;
+  };
+  cell_result fixed[8][2];
+  std::size_t d_idx = 0;
   for (const double d : distances) {
     std::string cells[2];
     std::size_t idx = 0;
@@ -43,6 +56,7 @@ int run_sweep() {
       base.collector = telemetry.collector();
       const auto best = sim::find_max_goodput(base, d, kTrials);
       if (best) {
+        fixed[d_idx][idx] = {true, best->packet_error_rate, best->goodput_bps};
         char buf[96];
         std::snprintf(buf, sizeof buf, "%-10s (%s %s @%.2fM, PER %.2f)",
                       bench::format_throughput(best->goodput_bps).c_str(),
@@ -57,6 +71,7 @@ int run_sweep() {
       ++idx;
     }
     std::printf("%5.1f m  | %-34s | %-34s\n", d, cells[0].c_str(), cells[1].c_str());
+    ++d_idx;
   }
   bench::print_paper_reference("6.67 Mbps @ 0.5 m, 5 Mbps @ 1 m, 1 Mbps @ 5 m (32 us)");
   bench::print_paper_reference("7 m: 96 us preamble gives ~10x over 32 us (10 -> 100 Kbps)");
@@ -66,9 +81,56 @@ int run_sweep() {
       "8 ranges x 2 preambles, " + std::to_string(kTrials) + " trials/point",
       elapsed.count(), sim::thread_count());
 
+  // Adaptive rerun of the same sweep: identical configuration, but each
+  // point's trial count is governed by the Wilson early-stopping rule
+  // (max_trials = kTrials, so the estimates can only use fewer trials,
+  // never more). Confidently-decided points — PER pinned near 0 or 1 —
+  // stop after min_trials, which is most of the descending-throughput
+  // scan, so the sweep wall time drops substantially at identical
+  // operating-point decisions.
+  sim::per_options adaptive;
+  adaptive.max_trials = kTrials;
+  adaptive.target_ci_halfwidth = 0.15;
+  const auto adaptive_start = std::chrono::steady_clock::now();
+  double max_per_delta = 0.0;
+  std::size_t agree = 0, cells_total = 0;
+  d_idx = 0;
+  for (const double d : distances) {
+    std::size_t idx = 0;
+    for (const std::size_t pre : {32u, 96u}) {
+      sim::scenario_config base = base_scenario(pre);
+      base.seed = static_cast<std::uint64_t>(d * 1000) + pre;
+      base.collector = telemetry.collector();
+      const auto best = sim::find_max_goodput(base, d, adaptive);
+      ++cells_total;
+      if (best && fixed[d_idx][idx].decoded) {
+        max_per_delta = std::max(
+            max_per_delta,
+            std::abs(best->packet_error_rate - fixed[d_idx][idx].per));
+      }
+      if (static_cast<bool>(best) == fixed[d_idx][idx].decoded) ++agree;
+      ++idx;
+    }
+    ++d_idx;
+  }
+  const std::chrono::duration<double> adaptive_elapsed =
+      std::chrono::steady_clock::now() - adaptive_start;
+  bench::print_wall_time("same sweep, adaptive PER (CI half-width <= 0.15)",
+                         adaptive_elapsed.count(), sim::thread_count());
+  std::printf(
+      "# adaptive: %.2f s vs fixed %.2f s (%.0f%% saved), decode agreement "
+      "%zu/%zu, max |PER delta| %.3f\n",
+      adaptive_elapsed.count(), elapsed.count(),
+      100.0 * (1.0 - adaptive_elapsed.count() /
+                         std::max(elapsed.count(), 1e-12)),
+      agree, cells_total, max_per_delta);
+
   // Every probe the fig. 8 pipeline is supposed to exercise must have
   // fired; a zero-sample probe is disconnected instrumentation and fails
-  // the bench (and the CI telemetry job) via the exit code.
+  // the bench (and the CI telemetry job) via the exit code. The named
+  // metrics cover the PR 5 additions: the stage-level timing spans and the
+  // scheduler / adaptive telemetry, none of which live in the typed probe
+  // catalogue.
   const obs::probe required[] = {
       obs::probe::trials,          obs::probe::trials_woke,
       obs::probe::trials_sync_found, obs::probe::trials_decoded,
@@ -80,7 +142,14 @@ int run_sweep() {
       obs::probe::viterbi_path_metric, obs::probe::tag_energy_pj,
       obs::probe::effective_throughput_bps,
   };
-  return telemetry.finish(required);
+  const std::string required_named[] = {
+      "timing.reader.excitation", "timing.channel.forward",
+      "timing.tag.modulate",      "timing.channel.backscatter",
+      "timing.sim.noise",         "timing.reader.slicer",
+      "timing.sim.oracle",        "sim.adaptive.points",
+      "sim.adaptive.trials_run",
+  };
+  return telemetry.finish(required, required_named);
 }
 
 void bm_single_link_trial(benchmark::State& state) {

@@ -16,8 +16,9 @@ namespace {
 
 using namespace backfi;
 
-// Paper-scale trial count; affordable now that evaluate_link fans the
-// operating-point grid out over the sim::parallel_for pool.
+// Paper-scale trial count; affordable now that evaluate_link flattens the
+// whole (operating point x trial) grid into one sweep-scheduler pool — no
+// per-point barrier, lanes steal trials from the slowest points.
 constexpr int kTrials = 24;
 
 int run_sweep() {

@@ -3,13 +3,29 @@
 
 Usage:
     scripts/bench_compare.py --baseline BENCH_trial.json \
-        --current BENCH_trial_new.json [--max-regression 0.25]
+        --current BENCH_trial_new.json [--max-regression 0.25] \
+        [--min-scaling-efficiency 0.6]
+    scripts/bench_compare.py --self-test
 
-Compares serial trials/sec (the metric the zero-alloc hot-path work is
-gated on) and exits non-zero when the current build is more than
---max-regression (fraction, default 0.25) slower than the baseline.
-Faster-than-baseline results always pass; CI artifacts carry the new file
-so an intentional speedup can be committed as the next baseline.
+Gates (exit 1 on failure, 2 on unusable input):
+  * serial trials/sec must not be more than --max-regression (fraction,
+    default 0.25) below the baseline. Faster always passes; CI artifacts
+    carry the new file so an intentional speedup can be committed as the
+    next baseline.
+  * threads_4.scaling_efficiency_4t in the *current* file must be at least
+    --min-scaling-efficiency (default: no gate). The efficiency is already
+    normalized by min(4, hardware_threads), so the gate is meaningful on
+    any runner; it is skipped — with a notice — only when the current file
+    predates the field or reports hardware_threads < 2 AND no efficiency
+    field (old bench binary on a small box).
+
+Key lookup is tolerant: metrics live at dotted paths ("serial.trials_per_sec")
+walked through nested objects, and a missing or renamed key in either file
+produces a warning plus a skipped comparison, not a crash — the schema is
+allowed to grow between PRs without breaking older baselines.
+
+--self-test runs the embedded unit tests (no files needed); CI invokes it
+before trusting the gate.
 """
 
 import argparse
@@ -17,42 +33,238 @@ import json
 import sys
 
 
-def serial_tps(path: str) -> float:
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if doc.get("backfi_bench_trial") != 1:
         raise ValueError(f"{path}: not a BENCH_trial.json (missing marker)")
-    return float(doc["serial"]["trials_per_sec"])
+    return doc
 
 
-def main() -> int:
+def lookup(doc, dotted_path):
+    """Walk `dotted_path` ("a.b.c") through nested dicts.
+
+    Returns (value, None) on success, (None, reason) when any segment is
+    missing or a non-dict appears mid-path. Never raises.
+    """
+    node = doc
+    walked = []
+    for part in dotted_path.split("."):
+        if not isinstance(node, dict):
+            return None, f"'{'.'.join(walked)}' is not an object"
+        if part not in node:
+            return None, f"missing key '{part}' under '{'.'.join(walked) or '<root>'}'"
+        walked.append(part)
+        node = node[part]
+    return node, None
+
+
+def numeric(doc, dotted_path):
+    """lookup() + float conversion; (None, reason) when not a number."""
+    value, reason = lookup(doc, dotted_path)
+    if reason:
+        return None, reason
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None, f"'{dotted_path}' is {type(value).__name__}, not a number"
+    return float(value), None
+
+
+def compare(baseline, current, max_regression, min_scaling_efficiency,
+            out=sys.stdout):
+    """Core gate logic on two parsed documents. Returns the exit code."""
+    status = 0
+
+    def warn(msg):
+        print(f"bench_compare: warning: {msg}", file=out)
+
+    # --- serial throughput regression gate -------------------------------
+    base_tps, base_err = numeric(baseline, "serial.trials_per_sec")
+    cur_tps, cur_err = numeric(current, "serial.trials_per_sec")
+    if base_err or cur_err:
+        warn(f"cannot compare serial trials/sec "
+             f"(baseline: {base_err or 'ok'}; current: {cur_err or 'ok'}); "
+             f"skipping the regression gate")
+    elif base_tps <= 0:
+        warn(f"baseline trials/sec is {base_tps}; skipping the regression gate")
+    else:
+        ratio = cur_tps / base_tps
+        floor = 1.0 - max_regression
+        verdict = "OK" if ratio >= floor else "REGRESSION"
+        print(f"serial trials/sec: baseline {base_tps:.1f} -> current "
+              f"{cur_tps:.1f} ({ratio:.2f}x, floor {floor:.2f}x): {verdict}",
+              file=out)
+        if ratio < floor:
+            status = 1
+
+    # --- informational deltas (never gate, warn when missing) ------------
+    for path in ("threads_4.trials_per_sec", "stage_coverage.coverage",
+                 "workspace.reuse_pct"):
+        b, b_err = numeric(baseline, path)
+        c, c_err = numeric(current, path)
+        if c_err:
+            warn(f"current: {c_err}")
+        elif b_err:
+            print(f"{path}: current {c:.3f} (baseline predates the field)",
+                  file=out)
+        else:
+            print(f"{path}: baseline {b:.3f} -> current {c:.3f}", file=out)
+
+    # --- parallel scaling gate -------------------------------------------
+    eff, eff_err = numeric(current, "threads_4.scaling_efficiency_4t")
+    hw, _ = numeric(current, "hardware_threads")
+    if min_scaling_efficiency is None:
+        if eff is not None:
+            print(f"scaling_efficiency_4t: {eff:.2f} "
+                  f"(hardware_threads {int(hw) if hw else '?'}, no gate)",
+                  file=out)
+    elif eff_err:
+        warn(f"current: {eff_err}; skipping the scaling-efficiency gate")
+    else:
+        verdict = "OK" if eff >= min_scaling_efficiency else "TOO LOW"
+        print(f"scaling_efficiency_4t: {eff:.2f} "
+              f"(hardware_threads {int(hw) if hw else '?'}, "
+              f"floor {min_scaling_efficiency:.2f}): {verdict}", file=out)
+        if eff < min_scaling_efficiency:
+            status = 1
+
+    return status
+
+
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_trial.json")
-    parser.add_argument("--current", required=True,
-                        help="freshly measured BENCH_trial.json")
+    parser.add_argument("--baseline", help="committed BENCH_trial.json")
+    parser.add_argument("--current", help="freshly measured BENCH_trial.json")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional slowdown (default 0.25)")
-    args = parser.parse_args()
+    parser.add_argument("--min-scaling-efficiency", type=float, default=None,
+                        help="minimum threads_4.scaling_efficiency_4t of the "
+                             "current file (default: no gate)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded unit tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required "
+                     "(or use --self-test)")
 
     try:
-        base = serial_tps(args.baseline)
-        cur = serial_tps(args.current)
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        baseline = load_doc(args.baseline)
+        current = load_doc(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"bench_compare: {exc}", file=sys.stderr)
         return 2
 
-    if base <= 0:
-        print(f"bench_compare: baseline trials/sec is {base}, cannot compare",
-              file=sys.stderr)
-        return 2
+    return compare(baseline, current, args.max_regression,
+                   args.min_scaling_efficiency)
 
-    ratio = cur / base
-    floor = 1.0 - args.max_regression
-    verdict = "OK" if ratio >= floor else "REGRESSION"
-    print(f"serial trials/sec: baseline {base:.1f} -> current {cur:.1f} "
-          f"({ratio:.2f}x, floor {floor:.2f}x): {verdict}")
-    return 0 if ratio >= floor else 1
+
+# --- embedded self-test ----------------------------------------------------
+
+def run_self_test():
+    import io
+    import unittest
+
+    def doc(serial_tps=100.0, pool_tps=None, eff=None, hw=None, extra=None):
+        d = {"backfi_bench_trial": 1,
+             "serial": {"trials_per_sec": serial_tps}}
+        if pool_tps is not None or eff is not None:
+            d["threads_4"] = {}
+            if pool_tps is not None:
+                d["threads_4"]["trials_per_sec"] = pool_tps
+            if eff is not None:
+                d["threads_4"]["scaling_efficiency_4t"] = eff
+        if hw is not None:
+            d["hardware_threads"] = hw
+        if extra:
+            d.update(extra)
+        return d
+
+    class LookupTest(unittest.TestCase):
+        def test_walks_nested_objects(self):
+            value, reason = lookup({"a": {"b": {"c": 3}}}, "a.b.c")
+            self.assertEqual(value, 3)
+            self.assertIsNone(reason)
+
+        def test_missing_key_reports_path_not_raises(self):
+            value, reason = lookup({"a": {}}, "a.b.c")
+            self.assertIsNone(value)
+            self.assertIn("missing key 'b'", reason)
+
+        def test_non_object_mid_path(self):
+            value, reason = lookup({"a": 7}, "a.b")
+            self.assertIsNone(value)
+            self.assertIn("not an object", reason)
+
+        def test_numeric_rejects_strings_and_bools(self):
+            self.assertIsNotNone(numeric({"a": "fast"}, "a")[1])
+            self.assertIsNotNone(numeric({"a": True}, "a")[1])
+            self.assertEqual(numeric({"a": 2}, "a")[0], 2.0)
+
+    class CompareTest(unittest.TestCase):
+        def run_compare(self, baseline, current, **kw):
+            out = io.StringIO()
+            code = compare(baseline, current, kw.pop("max_regression", 0.25),
+                           kw.pop("min_scaling_efficiency", None), out=out)
+            return code, out.getvalue()
+
+        def test_within_budget_passes(self):
+            code, text = self.run_compare(doc(100.0), doc(90.0))
+            self.assertEqual(code, 0)
+            self.assertIn("OK", text)
+
+        def test_regression_fails(self):
+            code, text = self.run_compare(doc(100.0), doc(50.0))
+            self.assertEqual(code, 1)
+            self.assertIn("REGRESSION", text)
+
+        def test_missing_serial_key_warns_not_crashes(self):
+            broken = {"backfi_bench_trial": 1}
+            code, text = self.run_compare(broken, doc(90.0))
+            self.assertEqual(code, 0)
+            self.assertIn("warning", text)
+
+        def test_renamed_nested_key_warns_not_crashes(self):
+            renamed = {"backfi_bench_trial": 1,
+                       "serial": {"tps": 100.0}}  # renamed field
+            code, text = self.run_compare(doc(100.0), renamed)
+            self.assertEqual(code, 0)
+            self.assertIn("missing key 'trials_per_sec'", text)
+
+        def test_scaling_gate_passes_and_fails(self):
+            good = doc(100.0, pool_tps=95.0, eff=0.9, hw=1)
+            bad = doc(100.0, pool_tps=30.0, eff=0.3, hw=8)
+            code, _ = self.run_compare(doc(100.0), good,
+                                       min_scaling_efficiency=0.6)
+            self.assertEqual(code, 0)
+            code, text = self.run_compare(doc(100.0), bad,
+                                          min_scaling_efficiency=0.6)
+            self.assertEqual(code, 1)
+            self.assertIn("TOO LOW", text)
+
+        def test_scaling_gate_skipped_when_field_absent(self):
+            old = doc(100.0, pool_tps=95.0)  # pre-PR-5 bench output
+            code, text = self.run_compare(doc(100.0), old,
+                                          min_scaling_efficiency=0.6)
+            self.assertEqual(code, 0)
+            self.assertIn("skipping the scaling-efficiency gate", text)
+
+        def test_informational_fields_tolerate_old_baseline(self):
+            new = doc(100.0, pool_tps=95.0, eff=0.9, hw=4,
+                      extra={"stage_coverage": {"coverage": 0.99},
+                             "workspace": {"reuse_pct": 99.7}})
+            code, text = self.run_compare(doc(100.0), new)
+            self.assertEqual(code, 0)
+            self.assertIn("baseline predates the field", text)
+
+    suite = unittest.TestSuite()
+    loader = unittest.TestLoader()
+    suite.addTests(loader.loadTestsFromTestCase(LookupTest))
+    suite.addTests(loader.loadTestsFromTestCase(CompareTest))
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
 
 
 if __name__ == "__main__":

@@ -347,4 +347,23 @@ std::vector<std::string> zero_sample_probes(const metrics_registry& registry,
   return unsampled;
 }
 
+std::vector<std::string> zero_sample_metrics(
+    const metrics_registry& registry, std::span<const std::string> required) {
+  std::vector<std::string> unsampled;
+  for (const std::string& name : required) {
+    bool sampled = false;
+    if (const auto it = registry.counters().find(name);
+        it != registry.counters().end() && it->second.value > 0)
+      sampled = true;
+    if (const auto it = registry.histograms().find(name);
+        !sampled && it != registry.histograms().end() && it->second.count > 0)
+      sampled = true;
+    if (const auto it = registry.gauges().find(name);
+        !sampled && it != registry.gauges().end() && it->second.set)
+      sampled = true;
+    if (!sampled) unsampled.push_back(name);
+  }
+  return unsampled;
+}
+
 }  // namespace backfi::obs

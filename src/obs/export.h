@@ -49,4 +49,11 @@ bool write_file(const std::string& path, std::string_view contents);
 std::vector<std::string> zero_sample_probes(const metrics_registry& registry,
                                             std::span<const probe> required);
 
+/// Same check for ad-hoc named metrics that have no typed probe-catalogue
+/// entry (the lazily created timing spans and sim.scheduler.* counters). A
+/// name counts as sampled when it exists as a counter with value > 0, a
+/// histogram with count > 0, or a gauge that has been set.
+std::vector<std::string> zero_sample_metrics(
+    const metrics_registry& registry, std::span<const std::string> required);
+
 }  // namespace backfi::obs

@@ -11,6 +11,7 @@
 #include "dsp/vec_ops.h"
 #include "phy/constellation.h"
 #include "sim/parallel.h"
+#include "sim/scheduler.h"
 #include "tag/wake_detector.h"
 
 namespace backfi::sim {
@@ -128,16 +129,25 @@ trial_result run_backscatter_trial(const scenario_config& config,
   dsp::rng gen(config.seed);
 
   // --- Excitation and channels ---
+  // Stage spans below close the probe gap between sim.trial and the
+  // fd/reader spans: every contiguous region of the trial body has its own
+  // top-level timing span, so the stage means sum to the trial mean.
+  obs::timing_span excitation_span(c, "reader.excitation");
   reader::excitation_config ex_cfg = config.excitation;
   ex_cfg.tag_id = config.tag.id;
   ex_cfg.payload_seed = gen.next_u64();
   reader::build_excitation_into(ex_cfg, ws.ex, &ws.stats);
   const reader::excitation& ex = ws.ex;
+  excitation_span.stop();
+
+  obs::timing_span forward_span(c, "channel.forward");
   const auto channels =
       channel::draw_backscatter_channels(config.budget, config.tag_distance_m, gen);
 
   // --- Tag side: wake detection on the incident signal ---
   channel::apply_channel_into(ex.samples, channels.h_f, ws.incident, &ws.stats);
+  forward_span.stop();
+  obs::timing_span modulate_span(c, "tag.modulate");
   const cvec& incident = ws.incident;
   const double incident_dbm =
       channel::incident_power_at_tag_dbm(config.budget, config.tag_distance_m);
@@ -179,16 +189,21 @@ trial_result run_backscatter_trial(const scenario_config& config,
   }
   faults.apply_to_reflection(tag_tx.reflection, tag_tx.preamble_start,
                              tag_tx.data_end);
+  modulate_span.stop();
 
   // --- Received signal at the reader ---
+  obs::timing_span backscatter_span(c, "channel.backscatter");
   channel::apply_channel_into(ex.samples, channels.h_env, ws.rx, &ws.stats);
   cvec& rx = ws.rx;
   dsp::hadamard_into(incident, tag_tx.reflection, ws.reflected, &ws.stats);
   channel::apply_channel_into(ws.reflected, channels.h_b, ws.backscatter,
                               &ws.stats);
   dsp::add_in_place(rx, ws.backscatter);
+  backscatter_span.stop();
+  obs::timing_span noise_span(c, "sim.noise");
   channel::add_awgn(rx, channels.noise_power, gen);
   faults.apply_at_antenna(rx);
+  noise_span.stop();
 
   // --- Self-interference cancellation over the silent window ---
   // The reader adapts over its nominal silent window: the tag stays silent
@@ -240,6 +255,7 @@ trial_result run_backscatter_trial(const scenario_config& config,
   }
 
   // Raw (pre-Viterbi) symbol errors for the Fig. 11b BER analysis.
+  obs::timing_span slicer_span(c, "reader.slicer");
   if (decoded.sync_found && !decoded.symbol_estimates.empty()) {
     const auto& constellation =
         phy::psk_constellation(tag::psk_order(config.tag.rate.modulation));
@@ -261,7 +277,10 @@ trial_result run_backscatter_trial(const scenario_config& config,
     obs::count(c, obs::probe::raw_symbol_errors, errors);
   }
 
+  slicer_span.stop();
+
   // --- Oracle SNR (the paper's VNA-measured expectation) ---
+  obs::timing_span oracle_span(c, "sim.oracle");
   const std::size_t guard = std::min<std::size_t>(
       config.decoder.fb_taps - 1,
       device.samples_per_symbol() > 2 ? device.samples_per_symbol() - 2 : 1);
@@ -270,6 +289,7 @@ trial_result run_backscatter_trial(const scenario_config& config,
       dsp::db_to_amplitude(-config.tag.insertion_loss_db),
       device.samples_per_symbol(), guard, tag_tx.data_start, tag_tx.data_end,
       ws.oracle_yhat, &ws.stats);
+  oracle_span.stop();
   obs::observe(c, obs::probe::expected_snr_db, result.link.expected_snr_db);
 
   // --- Throughput accounting ---
@@ -300,25 +320,125 @@ double packet_error_rate(const scenario_config& config, int trials) {
   // Each trial's seed depends only on (base seed, trial index) and each
   // trial fills its own slot; the index-ordered reduction (and the
   // index-ordered collector join) keeps the result — telemetry included —
-  // bit-identical to the serial loop at any thread count.
+  // bit-identical to the serial loop at any thread count. Execution goes
+  // through the work-stealing sweep scheduler; its deterministic counters
+  // (sim.scheduler.*) are reported on the parent after the join.
   const std::size_t n = static_cast<std::size_t>(trials);
   obs::collector_fork fork(config.collector, n);
-  const double per = parallel_map(
-      n,
-      [&](std::size_t t) {
-        scenario_config c = config;
-        c.seed = config.seed * 1000003ULL + static_cast<std::uint64_t>(t);
-        c.collector = fork.child(t);
-        const trial_result r = run_backscatter_trial(c);
-        return (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
-      },
-      [&](const std::vector<int>& failed) {
-        int failures = 0;
-        for (const int f : failed) failures += f;
-        return static_cast<double>(failures) / static_cast<double>(trials);
-      });
+  std::vector<std::uint8_t> failed(n, 0);
+  const sweep_stats stats = sweep_for(n, [&](std::size_t t) {
+    scenario_config c = config;
+    c.seed = derive_trial_seed(config.seed, t);
+    c.collector = fork.child(t);
+    const trial_result r = run_backscatter_trial(c);
+    failed[t] = (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
+  });
   fork.join();
-  return per;
+  report_sweep_stats(config.collector, stats);
+  int failures = 0;
+  for (const std::uint8_t f : failed) failures += f;
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+double wilson_halfwidth(int failures, int trials, double z) {
+  if (trials <= 0) return 1.0;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(failures) / n;
+  const double z2 = z * z;
+  return (z / (1.0 + z2 / n)) *
+         std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+}
+
+std::vector<per_estimate> packet_error_rates_adaptive(
+    std::span<const scenario_config> configs, const per_options& options,
+    obs::collector* collector) {
+  for (const scenario_config& config : configs)
+    validate_or_throw(config, "packet_error_rates_adaptive");
+  std::vector<per_estimate> out(configs.size());
+  if (configs.empty() || options.max_trials <= 0) return out;
+  const int max_trials = options.max_trials;
+  const int min_trials = std::clamp(options.min_trials, 1, max_trials);
+  const int batch = std::max(options.batch, 1);
+  const bool adaptive = options.target_ci_halfwidth > 0.0;
+
+  // Round loop: every live point contributes its next `batch` trial
+  // indices to one flattened sweep, then the stopping rule replays the
+  // committed outcome prefix of each point in index order. The round
+  // composition is a pure function of (configs, options) and the
+  // deterministic trial outcomes, so every quantity below — including the
+  // telemetry merge order — is independent of the thread count.
+  struct round_task {
+    std::size_t point;
+    int trial;
+  };
+  std::vector<std::uint8_t> live(configs.size(), 1);
+  std::vector<round_task> round;
+  std::vector<std::uint8_t> failed;
+  for (;;) {
+    round.clear();
+    for (std::size_t p = 0; p < configs.size(); ++p) {
+      if (!live[p]) continue;
+      const int end = std::min(out[p].trials_run + batch, max_trials);
+      for (int t = out[p].trials_run; t < end; ++t) round.push_back({p, t});
+    }
+    if (round.empty()) break;
+    obs::collector_fork fork(collector, round.size());
+    failed.assign(round.size(), 0);
+    const sweep_stats stats = sweep_for(round.size(), [&](std::size_t k) {
+      const round_task task = round[k];
+      scenario_config c = configs[task.point];
+      c.seed = derive_trial_seed(configs[task.point].seed,
+                                 static_cast<std::uint64_t>(task.trial));
+      c.collector = fork.child(k);
+      const trial_result r = run_backscatter_trial(c);
+      failed[k] = (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
+    });
+    fork.join();
+    report_sweep_stats(collector, stats);
+    // Commit the round in (point, trial) order, then apply the stopping
+    // rule at the new batch boundary of every live point.
+    for (std::size_t k = 0; k < round.size(); ++k) {
+      per_estimate& e = out[round[k].point];
+      e.failures += failed[k];
+      ++e.trials_run;
+    }
+    for (std::size_t p = 0; p < configs.size(); ++p) {
+      if (!live[p]) continue;
+      per_estimate& e = out[p];
+      e.ci_halfwidth = wilson_halfwidth(e.failures, e.trials_run, options.z);
+      if (adaptive && e.trials_run >= min_trials && e.trials_run < max_trials &&
+          e.ci_halfwidth <= options.target_ci_halfwidth) {
+        e.early_stopped = true;
+        live[p] = 0;
+      } else if (e.trials_run >= max_trials) {
+        live[p] = 0;
+      }
+    }
+  }
+  std::uint64_t trials_run = 0, trials_saved = 0, early_stops = 0;
+  for (per_estimate& e : out) {
+    e.per = e.trials_run > 0 ? static_cast<double>(e.failures) /
+                                   static_cast<double>(e.trials_run)
+                             : 0.0;
+    trials_run += static_cast<std::uint64_t>(e.trials_run);
+    trials_saved += static_cast<std::uint64_t>(max_trials - e.trials_run);
+    early_stops += e.early_stopped ? 1 : 0;
+  }
+  if (collector) {
+    // Deterministic adaptive telemetry: depends only on the config and the
+    // deterministic outcome sequences, never on the thread count.
+    collector->add_counter("sim.adaptive.points", configs.size());
+    collector->add_counter("sim.adaptive.trials_run", trials_run);
+    collector->add_counter("sim.adaptive.trials_saved", trials_saved);
+    collector->add_counter("sim.adaptive.early_stops", early_stops);
+  }
+  return out;
+}
+
+per_estimate packet_error_rate(const scenario_config& config,
+                               const per_options& options) {
+  return packet_error_rates_adaptive(std::span(&config, 1), options,
+                                     config.collector)[0];
 }
 
 }  // namespace backfi::sim

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "channel/backscatter_link.h"
 #include "fd/receive_chain.h"
@@ -141,6 +143,55 @@ double oracle_post_mrc_snr_db(std::span<const cplx> x,
                               std::size_t data_begin, std::size_t data_end);
 
 /// Packet error probability over `trials` independent trials (CRC-based).
+/// The trials run flattened through the work-stealing sweep scheduler
+/// (sim/scheduler.h) with per-trial seeds derive_trial_seed(seed, t);
+/// results and merged telemetry are bit-identical at any BACKFI_THREADS.
 double packet_error_rate(const scenario_config& config, int trials);
+
+/// Opt-in adaptive Monte-Carlo control for PER evaluation. Off by default
+/// (target_ci_halfwidth == 0 runs exactly max_trials, matching the fixed
+/// API bit for bit). With a target, trials are committed in `batch`-sized
+/// rounds and a point stops as soon as its Wilson-score confidence
+/// interval half-width is at or below the target (never before
+/// min_trials, never past max_trials). The stopping decision replays the
+/// deterministic per-trial outcome sequence in index order at fixed batch
+/// boundaries, so the stop point — and therefore the reported PER and the
+/// sim.adaptive.* telemetry — is identical at any thread count.
+struct per_options {
+  int max_trials = 0;               ///< trial budget per point (required)
+  double target_ci_halfwidth = 0.0; ///< 0 = fixed count; else stop when tight
+  int min_trials = 16;              ///< never stop before this many trials
+  int batch = 8;                    ///< stopping rule checked every `batch`
+  double z = 1.959963984540054;     ///< normal quantile (default 95% CI)
+};
+
+/// One adaptively evaluated PER point.
+struct per_estimate {
+  double per = 0.0;
+  int trials_run = 0;
+  int failures = 0;
+  double ci_halfwidth = 1.0;  ///< Wilson half-width at trials_run
+  bool early_stopped = false; ///< stopped by the CI rule before max_trials
+};
+
+/// Wilson-score interval half-width for `failures` out of `trials` at
+/// normal quantile `z`; 1.0 when trials <= 0.
+double wilson_halfwidth(int failures, int trials, double z);
+
+/// Adaptive PER of one scenario (see per_options).
+per_estimate packet_error_rate(const scenario_config& config,
+                               const per_options& options);
+
+/// Adaptive PER of several scenarios at once: every live point's next
+/// batch is flattened into one sweep-scheduler pool per round, so points
+/// that stop early stop consuming the machine while the rest keep it
+/// full. Telemetry merges child collectors in (point, trial) order per
+/// round — deterministic at any thread count because the round
+/// composition depends only on the deterministic outcome sequences.
+/// `collector` receives the merged trial probes plus the sim.adaptive.*
+/// counters (points, trials_run, trials_saved, early_stops).
+std::vector<per_estimate> packet_error_rates_adaptive(
+    std::span<const scenario_config> configs, const per_options& options,
+    obs::collector* collector);
 
 }  // namespace backfi::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "channel/awgn.h"
 #include "channel/pathloss.h"
@@ -9,6 +11,7 @@
 #include "dsp/vec_ops.h"
 #include "reader/excitation.h"
 #include "sim/parallel.h"
+#include "sim/scheduler.h"
 #include "tag/wake_detector.h"
 
 namespace backfi::sim {
@@ -83,22 +86,19 @@ double client_throughput_bps(const coexistence_config& config, int trials) {
   const auto& p = wifi::params_for(config.rate);
   if (trials <= 0) return 0.0;
   // Seeds depend only on (base seed, trial index); disjoint result slots
-  // and the index-ordered reduction keep the parallel outcome bit-identical
-  // to the serial loop.
+  // and the index-ordered reduction keep the outcome bit-identical to the
+  // serial loop at any thread count. Runs through the work-stealing sweep
+  // scheduler like the other Monte-Carlo evaluators.
   const std::size_t n = static_cast<std::size_t>(trials);
-  return parallel_map(
-      n,
-      [&](std::size_t t) {
-        coexistence_config c = config;
-        c.seed = config.seed * 7919ULL + static_cast<std::uint64_t>(t);
-        return run_coexistence_trial(c).client_decoded ? 1 : 0;
-      },
-      [&](const std::vector<int>& decoded) {
-        int ok = 0;
-        for (const int d : decoded) ok += d;
-        return p.mbps * 1e6 * static_cast<double>(ok) /
-               static_cast<double>(trials);
-      });
+  std::vector<std::uint8_t> decoded(n, 0);
+  (void)sweep_for(n, [&](std::size_t t) {
+    coexistence_config c = config;
+    c.seed = derive_coexistence_seed(config.seed, t);
+    decoded[t] = run_coexistence_trial(c).client_decoded ? 1 : 0;
+  });
+  int ok = 0;
+  for (const std::uint8_t d : decoded) ok += d;
+  return p.mbps * 1e6 * static_cast<double>(ok) / static_cast<double>(trials);
 }
 
 double distance_for_client_snr(const channel::link_budget& budget, double snr_db) {

@@ -6,6 +6,7 @@
 #include "obs/collector.h"
 #include "sim/parallel.h"
 #include "sim/rate_adaptation.h"
+#include "sim/scheduler.h"
 
 namespace backfi::sim {
 
@@ -64,7 +65,7 @@ campaign_run run_campaign_arm(const campaign_config& config,
     }
     // Same per-poll seeds in both arms: paired comparison, the only
     // difference between the curves is the recovery machinery.
-    trial.seed = config.seed * 1000003ULL + poll;
+    trial.seed = derive_trial_seed(config.seed, poll);
     const trial_result r = run_backscatter_trial(trial);
     const bool ok = r.crc_ok && r.bit_errors == 0;
     if (ok) {
@@ -112,29 +113,33 @@ campaign_result run_fault_campaign(const campaign_config& config) {
     }
   }
   // Each (cell, arm) pair is an independent pure computation — seeds come
-  // from (config.seed, poll index) — so the grid maps in parallel with one
-  // collector child per pair; the index-ordered fold and join keep results
-  // and telemetry identical to the old nested serial loops.
+  // from (config.seed, poll index) — so the grid runs flattened through the
+  // sweep scheduler with one collector child per pair; the index-ordered
+  // commit and join keep results and telemetry identical to the old nested
+  // serial loops. Arms are whole multi-poll campaigns (the heaviest task
+  // granularity in the repo), so the chunk size is pinned to 1: any lane
+  // that finishes early steals single arms instead of sitting behind a
+  // multi-arm chunk.
   const std::size_t n_runs = 2 * result.cells.size();
   obs::collector_fork fork(config.link.collector, n_runs);
-  parallel_map(
+  std::vector<campaign_run> runs(n_runs);
+  const sweep_stats stats = sweep_for(
       n_runs,
       [&](std::size_t i) {
         const campaign_cell& cell = result.cells[i / 2];
         const bool recovery = (i % 2) != 0;
         campaign_config arm_config = config;
         arm_config.link.collector = fork.child(i);
-        return run_campaign_arm(arm_config, cell.fault, cell.severity,
-                                recovery);
+        runs[i] =
+            run_campaign_arm(arm_config, cell.fault, cell.severity, recovery);
       },
-      [&](std::vector<campaign_run> runs) {
-        for (std::size_t i = 0; i < runs.size(); ++i) {
-          campaign_cell& cell = result.cells[i / 2];
-          ((i % 2) != 0 ? cell.recovery : cell.baseline) = std::move(runs[i]);
-        }
-        return 0;
-      });
+      /*chunk=*/1);
   fork.join();
+  report_sweep_stats(config.link.collector, stats);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    campaign_cell& cell = result.cells[i / 2];
+    ((i % 2) != 0 ? cell.recovery : cell.baseline) = std::move(runs[i]);
+  }
   return result;
 }
 

@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <cstdint>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <thread>
+
+#include "sim/scheduler.h"
 
 namespace backfi::sim {
 
@@ -15,16 +13,13 @@ namespace {
 
 std::atomic<std::size_t> g_thread_override{0};
 
-// Sanity cap: more workers than this is configuration error, not tuning.
-constexpr std::size_t kMaxPoolThreads = 256;
-
 std::size_t default_thread_count() {
   static const std::size_t n = [] {
     if (const char* env = std::getenv("BACKFI_THREADS")) {
       char* end = nullptr;
       const unsigned long value = std::strtoul(env, &end, 10);
       if (end != env && value > 0) {
-        return std::min<std::size_t>(value, kMaxPoolThreads);
+        return std::min<std::size_t>(value, max_pool_threads);
       }
     }
     const unsigned hw = std::thread::hardware_concurrency();
@@ -33,129 +28,13 @@ std::size_t default_thread_count() {
   return n;
 }
 
-// True on threads currently executing a parallel_for body (workers, and the
-// calling thread while it participates). Nested parallel_for calls on such
-// threads run serially instead of re-entering the pool.
-thread_local bool tl_in_parallel_region = false;
-
-class thread_pool {
- public:
-  static thread_pool& instance() {
-    static thread_pool pool;
-    return pool;
-  }
-
-  void run(std::size_t n, const std::function<void(std::size_t)>& body,
-           std::size_t want_threads) {
-    // One job at a time; concurrent top-level parallel_for calls queue here.
-    std::lock_guard<std::mutex> job_lock(job_mutex_);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ensure_workers_locked(want_threads - 1);
-      body_ = &body;
-      total_ = n;
-      next_ = 0;
-      in_flight_ = 0;
-      error_ = nullptr;
-      ++generation_;
-    }
-    work_available_.notify_all();
-    // The calling thread participates as one of the want_threads lanes.
-    {
-      const bool was_in_region = tl_in_parallel_region;
-      tl_in_parallel_region = true;
-      std::unique_lock<std::mutex> lock(mutex_);
-      drain_locked(lock);
-      tl_in_parallel_region = was_in_region;
-      job_done_.wait(lock, [&] { return next_ >= total_ && in_flight_ == 0; });
-      body_ = nullptr;
-      if (error_) {
-        std::exception_ptr error = error_;
-        error_ = nullptr;
-        std::rethrow_exception(error);
-      }
-    }
-  }
-
- private:
-  thread_pool() = default;
-
-  ~thread_pool() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stopping_ = true;
-    }
-    work_available_.notify_all();
-    for (auto& worker : workers_) worker.join();
-  }
-
-  void ensure_workers_locked(std::size_t want) {
-    want = std::min(want, kMaxPoolThreads);
-    while (workers_.size() < want) {
-      workers_.emplace_back([this] { worker_main(); });
-    }
-  }
-
-  void worker_main() {
-    tl_in_parallel_region = true;
-    std::unique_lock<std::mutex> lock(mutex_);
-    std::uint64_t seen_generation = 0;
-    for (;;) {
-      work_available_.wait(lock, [&] {
-        return stopping_ || (body_ != nullptr && generation_ != seen_generation);
-      });
-      if (stopping_) return;
-      seen_generation = generation_;
-      drain_locked(lock);
-    }
-  }
-
-  // Claim and run indices until none remain. Entered and exited holding
-  // mutex_; the body itself runs unlocked.
-  void drain_locked(std::unique_lock<std::mutex>& lock) {
-    while (body_ != nullptr && next_ < total_) {
-      const std::size_t index = next_++;
-      ++in_flight_;
-      const auto* body = body_;
-      lock.unlock();
-      std::exception_ptr error;
-      try {
-        (*body)(index);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      lock.lock();
-      --in_flight_;
-      if (error) {
-        if (!error_) error_ = error;
-        next_ = total_;  // abandon remaining indices
-      }
-    }
-    if (next_ >= total_ && in_flight_ == 0) job_done_.notify_all();
-  }
-
-  std::mutex job_mutex_;
-
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable job_done_;
-  std::vector<std::thread> workers_;
-  const std::function<void(std::size_t)>* body_ = nullptr;
-  std::size_t total_ = 0;
-  std::size_t next_ = 0;
-  std::size_t in_flight_ = 0;
-  std::uint64_t generation_ = 0;
-  std::exception_ptr error_;
-  bool stopping_ = false;
-};
-
 }  // namespace
 
 std::size_t thread_count() {
   const std::size_t override_value =
       g_thread_override.load(std::memory_order_relaxed);
   if (override_value > 0) {
-    return std::min(override_value, kMaxPoolThreads);
+    return std::min(override_value, max_pool_threads);
   }
   return default_thread_count();
 }
@@ -173,13 +52,10 @@ scoped_thread_count::~scoped_thread_count() {
 
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
-  const std::size_t threads = std::min(thread_count(), n);
-  if (threads <= 1 || tl_in_parallel_region) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  thread_pool::instance().run(n, body, threads);
+  // The work-stealing sweep scheduler owns the execution (and the serial
+  // fallbacks for thread_count() <= 1 and nested calls); parallel_for is
+  // the stats-free spelling of the same loop.
+  (void)sweep_for(n, body);
 }
 
 }  // namespace backfi::sim

@@ -14,6 +14,11 @@
 // from inside a worker run serially on that worker, so trial bodies may
 // themselves call parallelized evaluators without deadlock or
 // oversubscription.
+//
+// Execution is delegated to the chunked work-stealing sweep scheduler
+// (scheduler.h): parallel_for is sweep_for without the execution report.
+// Callers that want per-lane busy time, steal counts, or scheduler
+// telemetry use sweep_for directly.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +28,15 @@
 #include <vector>
 
 namespace backfi::sim {
+
+/// Sanity cap on pool workers: more than this is configuration error, not
+/// tuning. thread_count() and the scheduler both clamp to it.
+inline constexpr std::size_t max_pool_threads = 256;
+
+/// True on threads currently executing a parallel_for / sweep_for body
+/// (pool workers, and the calling thread while it participates). Nested
+/// loops on such threads run serially in index order.
+bool in_parallel_region();
 
 // --- Thread-count control ------------------------------------------------
 //

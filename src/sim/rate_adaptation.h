@@ -43,9 +43,21 @@ scenario_config scenario_for_point(const scenario_config& base,
                                    double distance_m);
 
 /// Evaluate every operating point at `distance_m` with `trials` packets
-/// each; a point is usable when its PER is at most `per_threshold`.
+/// each; a point is usable when its PER is at most `per_threshold`. The
+/// whole (point x trial) grid runs as one flattened sweep-scheduler pool
+/// (sim/scheduler.h) — no per-point barrier — with per-trial seeds
+/// derive_trial_seed(point seed, trial); results and merged telemetry are
+/// identical at any BACKFI_THREADS.
 std::vector<link_evaluation> evaluate_link(const scenario_config& base,
                                            double distance_m, int trials,
+                                           double per_threshold = 0.5);
+
+/// Adaptive variant: per-point trial counts follow the early-stopping
+/// Wilson-CI rule of per_options (see backscatter_sim.h). Deterministic
+/// given (base, distance_m, options) — independent of the thread count.
+std::vector<link_evaluation> evaluate_link(const scenario_config& base,
+                                           double distance_m,
+                                           const per_options& options,
                                            double per_threshold = 0.5);
 
 /// The point with the highest goodput (Fig. 8); empty when nothing ever
@@ -58,6 +70,15 @@ std::optional<link_evaluation> max_goodput_point(
 /// best goodput found so far even at zero PER.
 std::optional<link_evaluation> find_max_goodput(const scenario_config& base,
                                                 double distance_m, int trials);
+
+/// Adaptive variant of the descending-throughput scan: each wave's points
+/// are evaluated with the early-stopping PER estimator, so confidently bad
+/// (or confidently good) points stop sampling early. Picks the same point
+/// as the fixed variant would whenever their PER estimates agree on the
+/// accept/stop decisions.
+std::optional<link_evaluation> find_max_goodput(const scenario_config& base,
+                                                double distance_m,
+                                                const per_options& options);
 
 /// Minimum-REPB usable point with throughput >= target (Figs. 9/10).
 std::optional<operating_point> min_repb_point_for_throughput(

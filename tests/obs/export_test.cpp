@@ -104,5 +104,34 @@ TEST(ZeroSampleProbes, EmptyWhenAllFired) {
   EXPECT_TRUE(zero_sample_probes(c.registry(), required).empty());
 }
 
+TEST(ZeroSampleMetrics, ChecksNamedCountersHistogramsAndGauges) {
+  // The ad-hoc named metrics (timing spans, sim.scheduler.* counters,
+  // runtime gauges) have no probe-catalogue entry; the named check covers
+  // them across all three metric kinds.
+  collector c;
+  c.add_counter("sim.scheduler.sweeps", 1);
+  c.record_timing("reader.excitation", 1e-4);
+  c.set_gauge("runtime.scheduler.threads", 4.0);
+  const std::string required[] = {
+      "sim.scheduler.sweeps",       // counter, sampled
+      "timing.reader.excitation",   // histogram, sampled
+      "runtime.scheduler.threads",  // gauge, sampled
+      "timing.tag.modulate",        // never recorded
+      "sim.scheduler.tasks",        // never recorded
+  };
+  const auto silent = zero_sample_metrics(c.registry(), required);
+  ASSERT_EQ(silent.size(), 2u);
+  EXPECT_EQ(silent[0], "timing.tag.modulate");
+  EXPECT_EQ(silent[1], "sim.scheduler.tasks");
+}
+
+TEST(ZeroSampleMetrics, ZeroValueCounterCountsAsSilent) {
+  collector c;
+  c.add_counter("sim.adaptive.early_stops", 0);
+  const std::string required[] = {"sim.adaptive.early_stops"};
+  const auto silent = zero_sample_metrics(c.registry(), required);
+  ASSERT_EQ(silent.size(), 1u);
+}
+
 }  // namespace
 }  // namespace backfi::obs

@@ -1,0 +1,169 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/collector.h"
+#include "obs/export.h"
+#include "sim/parallel.h"
+
+namespace backfi::sim {
+namespace {
+
+TEST(SchedulerTest, ChunkSizeIsAPureFunctionOfTaskCount) {
+  // Explicit chunk option always wins.
+  EXPECT_EQ(sweep_chunk_size(1000, 7), 7u);
+  EXPECT_EQ(sweep_chunk_size(0, 3), 3u);
+  // Automatic policy: max(1, min(64, n / 64)). These are pinned because
+  // the sim.scheduler.chunks counter — which deterministic exports compare
+  // across thread counts — is derived from them.
+  EXPECT_EQ(sweep_chunk_size(0, 0), 1u);
+  EXPECT_EQ(sweep_chunk_size(63, 0), 1u);
+  EXPECT_EQ(sweep_chunk_size(64, 0), 1u);
+  EXPECT_EQ(sweep_chunk_size(128, 0), 2u);
+  EXPECT_EQ(sweep_chunk_size(4096, 0), 64u);
+  EXPECT_EQ(sweep_chunk_size(1000000, 0), 64u);
+}
+
+TEST(SchedulerTest, RunsEveryIndexExactlyOnceAtEveryThreadCount) {
+  const std::size_t n = 1337;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    scoped_thread_count guard(threads);
+    std::vector<std::atomic<int>> counts(n);
+    for (auto& c : counts) c.store(0);
+    const sweep_stats stats = sweep_for(n, [&](std::size_t i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(counts[i].load(), 1) << "threads=" << threads << " i=" << i;
+    EXPECT_EQ(stats.tasks, n);
+  }
+}
+
+TEST(SchedulerTest, StatsDescribeTheSubmittedWork) {
+  scoped_thread_count guard(4);
+  const std::size_t n = 500;
+  const sweep_stats stats = sweep_for(n, [](std::size_t) {});
+  EXPECT_EQ(stats.tasks, n);
+  EXPECT_EQ(stats.chunk, sweep_chunk_size(n, 0));
+  EXPECT_EQ(stats.chunks, (n + stats.chunk - 1) / stats.chunk);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+  // One busy-time entry per participating lane; lane count never exceeds
+  // the requested threads or the chunk count.
+  EXPECT_EQ(stats.busy_seconds.size(), stats.threads);
+  EXPECT_LE(stats.threads, 4u);
+  EXPECT_LE(stats.threads, stats.chunks);
+}
+
+TEST(SchedulerTest, ExplicitChunkSizeIsHonored) {
+  scoped_thread_count guard(2);
+  const sweep_stats stats = sweep_for(100, [](std::size_t) {}, /*chunk=*/10);
+  EXPECT_EQ(stats.chunk, 10u);
+  EXPECT_EQ(stats.chunks, 10u);
+}
+
+TEST(SchedulerTest, ZeroTasksIsANoOp) {
+  scoped_thread_count guard(4);
+  bool ran = false;
+  const sweep_stats stats = sweep_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(stats.tasks, 0u);
+  EXPECT_EQ(stats.chunks, 0u);
+}
+
+TEST(SchedulerTest, PropagatesFirstBodyException) {
+  scoped_thread_count guard(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      sweep_for(200,
+                [&](std::size_t i) {
+                  if (i == 17) throw std::runtime_error("task failed");
+                  completed.fetch_add(1, std::memory_order_relaxed);
+                }),
+      std::runtime_error);
+  // The throw abandons unclaimed work instead of running it.
+  EXPECT_LT(completed.load(), 200);
+}
+
+TEST(SchedulerTest, NestedSweepsRunSeriallyWithoutDeadlock) {
+  scoped_thread_count guard(4);
+  const std::size_t outer = 6, inner = 20;
+  std::vector<int> counts(outer * inner, 0);
+  sweep_for(outer, [&](std::size_t i) {
+    EXPECT_TRUE(in_parallel_region());
+    const sweep_stats inner_stats = sweep_for(inner, [&](std::size_t j) {
+      // Serial on this worker, so the unsynchronized write is race-free.
+      ++counts[i * inner + j];
+    });
+    EXPECT_EQ(inner_stats.threads, 1u);
+  });
+  for (std::size_t k = 0; k < counts.size(); ++k)
+    ASSERT_EQ(counts[k], 1) << "k=" << k;
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(SchedulerTest, DeterministicCountersAreThreadCountInvariant) {
+  // The sim.scheduler.* counters must depend only on the submitted work,
+  // never on how many lanes executed it: deterministic exports diff these
+  // across BACKFI_THREADS settings.
+  const std::size_t n = 777;
+  std::string exports[2];
+  std::size_t idx = 0;
+  for (const std::size_t threads : {1u, 8u}) {
+    scoped_thread_count guard(threads);
+    obs::collector collector;
+    const sweep_stats stats = sweep_for(n, [](std::size_t) {});
+    report_sweep_stats(&collector, stats);
+    exports[idx++] = obs::to_json(collector.registry(),
+                                  {.include_timings = false, .pretty = true});
+  }
+  EXPECT_EQ(exports[0], exports[1]);
+}
+
+TEST(SchedulerTest, ReportSplitsCountersFromRuntimeGauges) {
+  scoped_thread_count guard(2);
+  obs::collector collector;
+  const sweep_stats stats = sweep_for(50, [](std::size_t) {});
+  report_sweep_stats(&collector, stats);
+  const auto& reg = collector.registry();
+  EXPECT_EQ(reg.counters().at("sim.scheduler.sweeps").value, 1u);
+  EXPECT_EQ(reg.counters().at("sim.scheduler.tasks").value, 50u);
+  EXPECT_TRUE(reg.gauges().at("runtime.scheduler.threads").set);
+  EXPECT_TRUE(reg.gauges().at("runtime.scheduler.wall_seconds").set);
+  // The gauges-only variant must add no deterministic counters.
+  obs::collector gauges_only;
+  report_sweep_runtime(&gauges_only, stats);
+  EXPECT_EQ(gauges_only.registry().counters().count("sim.scheduler.sweeps"),
+            0u);
+  EXPECT_TRUE(
+      gauges_only.registry().gauges().at("runtime.scheduler.threads").set);
+  // Null collector is a no-op, not a crash.
+  report_sweep_stats(nullptr, stats);
+  report_sweep_runtime(nullptr, stats);
+}
+
+TEST(SchedulerTest, ResultsIdenticalAcrossThreadCountsForSeededBodies) {
+  // The determinism contract end to end: a body that derives its value
+  // from (seed, index) alone produces the same slot vector at any thread
+  // count.
+  const std::size_t n = 400;
+  std::vector<std::uint64_t> reference(n);
+  for (std::size_t i = 0; i < n; ++i)
+    reference[i] = derive_trial_seed(99, i) ^ (i * 0x9e3779b97f4a7c15ULL);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    scoped_thread_count guard(threads);
+    std::vector<std::uint64_t> out(n, 0);
+    sweep_for(n, [&](std::size_t i) {
+      out[i] = derive_trial_seed(99, i) ^ (i * 0x9e3779b97f4a7c15ULL);
+    });
+    EXPECT_EQ(out, reference) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace backfi::sim
