@@ -7,6 +7,15 @@
 
 namespace backfi::mac {
 
+const char* to_string(coded_directive directive) {
+  switch (directive) {
+    case coded_directive::continue_stream: return "continue_stream";
+    case coded_directive::send_repair: return "send_repair";
+    case coded_directive::abandon_block: return "abandon_block";
+  }
+  return "unknown";
+}
+
 const char* to_string(link_state state) {
   switch (state) {
     case link_state::healthy: return "healthy";
@@ -66,11 +75,30 @@ std::optional<std::uint32_t> link_supervisor::next() {
   // Every tag still inside its backoff window spent this opportunity
   // deferred — including the case where nobody was pollable at all (a
   // single supervised tag backing off idles the whole slot).
-  for (auto& r : records_)
-    if ((!chosen || r.id != *chosen) && scheduler_.is_deferred(r.id))
+  for (auto& r : records_) {
+    if ((!chosen || r.id != *chosen) && scheduler_.is_deferred(r.id)) {
       ++r.stats.deferred_polls;
       obs::count(collector_, obs::probe::arq_deferred_polls);
+    }
+  }
   return chosen;
+}
+
+std::size_t link_supervisor::clamped_backoff(std::size_t streak) const {
+  // Doubling in a loop with a midpoint guard saturates at the cap no
+  // matter how large the base, cap, or streak get — the old
+  // `base << min(streak-1, 16)` form overflowed for bases above
+  // SIZE_MAX >> 16 and wrapped the ladder back to tiny delays.
+  const std::size_t cap = std::max<std::size_t>(config_.backoff_cap, 1);
+  std::size_t backoff = std::max<std::size_t>(config_.backoff_base, 1);
+  for (std::size_t i = 1; i < streak && backoff < cap; ++i) {
+    if (backoff > cap / 2) {
+      backoff = cap;
+      break;
+    }
+    backoff *= 2;
+  }
+  return std::min(backoff, cap);
 }
 
 void link_supervisor::handle_transaction_failure(tag_record& r) {
@@ -80,10 +108,7 @@ void link_supervisor::handle_transaction_failure(tag_record& r) {
     ++r.stats.fallbacks;
     obs::count(collector_, obs::probe::arq_fallbacks);
     ++r.fallback_streak;
-    const std::size_t shift = std::min<std::size_t>(r.fallback_streak - 1, 16);
-    const std::size_t backoff =
-        std::min(config_.backoff_cap, config_.backoff_base << shift);
-    scheduler_.defer(r.id, backoff);
+    scheduler_.defer(r.id, clamped_backoff(r.fallback_streak));
     transition(r, link_state::backoff);
     return;
   }
@@ -97,10 +122,8 @@ void link_supervisor::handle_transaction_failure(tag_record& r) {
     transition(r, link_state::suspended);
     scheduler_.defer(r.id, config_.suspend_poll_interval);
   } else {
-    const std::size_t shift = std::min<std::size_t>(
-        r.fallback_streak + r.floor_failures - 1, 16);
-    scheduler_.defer(r.id, std::min(config_.backoff_cap,
-                                    config_.backoff_base << shift));
+    scheduler_.defer(r.id,
+                     clamped_backoff(r.fallback_streak + r.floor_failures));
     transition(r, link_state::backoff);
   }
 }
@@ -164,12 +187,81 @@ void link_supervisor::report_result(std::uint32_t id, bool success,
     handle_transaction_failure(r);
 }
 
+void link_supervisor::report_symbol_result(std::uint32_t id, bool delivered,
+                                           double delivered_bits) {
+  tag_record& r = record_of(id);
+  scheduler_.report_result(id, delivered, delivered_bits);
+
+  if (delivered) {
+    ++r.coding.symbols_delivered;
+    if (collector_ != nullptr)
+      collector_->add_counter("mac.coding.symbols_delivered");
+    r.erasure_streak = 0;
+    if (r.state != link_state::healthy) {
+      ++r.stats.recoveries;
+      obs::count(collector_, obs::probe::arq_recoveries);
+    }
+    transition(r, link_state::healthy);
+    return;
+  }
+
+  ++r.coding.symbols_erased;
+  if (collector_ != nullptr)
+    collector_->add_counter("mac.coding.symbols_erased");
+  ++r.erasure_streak;
+  if (r.erasure_streak >= config_.erasure_backoff_after) {
+    // Erasures this long look like an OFF burst, not noise the code can
+    // absorb: skip a fixed handful of polls instead of climbing the
+    // exponential ladder (the operating point is not at fault).
+    r.erasure_streak = 0;
+    ++r.coding.erasure_backoffs;
+    if (collector_ != nullptr)
+      collector_->add_counter("mac.coding.erasure_backoffs");
+    scheduler_.defer(r.id,
+                     std::min(config_.erasure_backoff, config_.backoff_cap));
+    transition(r, link_state::backoff);
+  }
+}
+
+coded_directive link_supervisor::report_block_outcome(std::uint32_t id,
+                                                      phy::block_status status) {
+  tag_record& r = record_of(id);
+  switch (status) {
+    case phy::block_status::decoded:
+      ++r.coding.blocks_decoded;
+      if (collector_ != nullptr)
+        collector_->add_counter("mac.coding.blocks_decoded");
+      r.repair_rounds_used = 0;
+      return coded_directive::continue_stream;
+    case phy::block_status::pending:
+      if (r.repair_rounds_used < config_.max_repair_rounds) {
+        ++r.repair_rounds_used;
+        ++r.coding.repair_rounds;
+        if (collector_ != nullptr)
+          collector_->add_counter("mac.coding.repair_rounds");
+        return coded_directive::send_repair;
+      }
+      break;
+    case phy::block_status::unrecoverable:
+      break;
+  }
+  ++r.coding.blocks_abandoned;
+  if (collector_ != nullptr)
+    collector_->add_counter("mac.coding.blocks_abandoned");
+  r.repair_rounds_used = 0;
+  return coded_directive::abandon_block;
+}
+
 link_state link_supervisor::state(std::uint32_t id) const {
   return record_of(id).state;
 }
 
 const supervision_stats& link_supervisor::stats(std::uint32_t id) const {
   return record_of(id).stats;
+}
+
+const coding_stats& link_supervisor::coding(std::uint32_t id) const {
+  return record_of(id).coding;
 }
 
 }  // namespace backfi::mac

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mac/tag_network.h"
+#include "phy/erasure_code.h"
 
 namespace backfi::obs {
 class collector;
@@ -37,6 +38,19 @@ struct arq_config {
   std::size_t suspend_after = 3;
   /// Keepalive poll period while suspended.
   std::size_t suspend_poll_interval = 32;
+
+  // Coded-link knobs (report_symbol_result / report_block_outcome). An
+  // erased coded symbol is expected wild-traffic behaviour, not evidence
+  // the operating point is wrong, so it never triggers rate fallback —
+  // only a short fixed backoff once erasures run long enough to look like
+  // an OFF burst worth riding out.
+  /// Consecutive erased symbols before the coded link backs off.
+  std::size_t erasure_backoff_after = 8;
+  /// Fixed polls skipped when the erasure threshold trips (clamped to
+  /// backoff_cap).
+  std::size_t erasure_backoff = 4;
+  /// Repair rounds granted per source block before it is abandoned.
+  std::size_t max_repair_rounds = 4;
 };
 
 enum class link_state : std::uint8_t {
@@ -48,6 +62,26 @@ enum class link_state : std::uint8_t {
 };
 
 const char* to_string(link_state state);
+
+/// What the supervisor wants the tag-side coder to do after a block
+/// outcome report.
+enum class coded_directive : std::uint8_t {
+  continue_stream,  ///< block decoded (or still streaming); carry on
+  send_repair,      ///< grant the block one more round of repair symbols
+  abandon_block,    ///< repair budget exhausted; drop the block, move on
+};
+
+const char* to_string(coded_directive directive);
+
+/// Per-tag coded-link bookkeeping (symbol = one coded packet / poll).
+struct coding_stats {
+  std::size_t symbols_delivered = 0;
+  std::size_t symbols_erased = 0;
+  std::size_t erasure_backoffs = 0;  ///< times the erasure threshold tripped
+  std::size_t repair_rounds = 0;     ///< send_repair directives issued
+  std::size_t blocks_decoded = 0;
+  std::size_t blocks_abandoned = 0;
+};
 
 struct supervision_stats {
   std::size_t retries = 0;        ///< immediate re-polls issued
@@ -80,9 +114,28 @@ class link_supervisor {
   /// backlog/statistics bookkeeping to the scheduler.
   void report_result(std::uint32_t id, bool success, double delivered_bits);
 
+  /// Coded-link outcome of one poll. Unlike report_result, an erasure
+  /// never steps the rate down or burns retries — the code absorbs losses
+  /// and per-packet ARQ degrades to "request more repair symbols". A long
+  /// erasure run (erasure_backoff_after) defers polls by a fixed clamped
+  /// erasure_backoff to ride out an OFF burst.
+  void report_symbol_result(std::uint32_t id, bool delivered,
+                            double delivered_bits);
+
+  /// Reader-side verdict on a source block; returns what the coder should
+  /// do next. `pending` earns repair rounds up to max_repair_rounds, then
+  /// the block is abandoned.
+  coded_directive report_block_outcome(std::uint32_t id,
+                                       phy::block_status status);
+
   link_state state(std::uint32_t id) const;
   const supervision_stats& stats(std::uint32_t id) const;
+  const coding_stats& coding(std::uint32_t id) const;
   const arq_config& config() const { return config_; }
+
+  /// Overflow-safe exponential ladder value for a fallback streak:
+  /// min(backoff_base * 2^(streak-1), backoff_cap) without shift overflow.
+  std::size_t clamped_backoff(std::size_t streak) const;
 
  private:
   struct tag_record {
@@ -95,6 +148,9 @@ class link_supervisor {
     std::size_t success_streak = 0;
     tag::tag_rate_config pre_probe_rate;  ///< revert target while probing
     supervision_stats stats;
+    std::size_t erasure_streak = 0;    ///< consecutive erased coded symbols
+    std::size_t repair_rounds_used = 0;  ///< for the block in flight
+    coding_stats coding;
   };
 
   tag_record& record_of(std::uint32_t id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace backfi::mac {
@@ -189,7 +190,11 @@ void tag_scheduler::set_rate(std::uint32_t id,
 }
 
 void tag_scheduler::defer(std::uint32_t id, std::size_t opportunities) {
-  defer_until_[index_of(id)] = opportunity_ + opportunities;
+  // Saturating add: a pathological backoff request near SIZE_MAX must park
+  // the tag, not wrap the gate around to "pollable immediately".
+  const std::size_t limit = std::numeric_limits<std::size_t>::max();
+  defer_until_[index_of(id)] =
+      opportunities > limit - opportunity_ ? limit : opportunity_ + opportunities;
 }
 
 bool tag_scheduler::is_deferred(std::uint32_t id) const {

@@ -56,6 +56,63 @@ ap_trace generate_loaded_ap_trace(const trace_config& config) {
   return trace;
 }
 
+bool burst_schedule::on_at(double t_us) const {
+  for (const auto& p : on_periods) {
+    if (t_us < p.start_us) return false;
+    if (t_us < p.start_us + p.airtime_us) return true;
+  }
+  return false;
+}
+
+double burst_schedule::duty() const {
+  if (duration_us <= 0.0) return 0.0;
+  double on = 0.0;
+  for (const auto& p : on_periods) on += p.airtime_us;
+  return on / duration_us;
+}
+
+burst_schedule generate_burst_schedule(const burst_config& config,
+                                       double duration_us) {
+  burst_schedule schedule;
+  schedule.duration_us = std::max(duration_us, 0.0);
+  if (schedule.duration_us <= 0.0) return schedule;
+  if (config.duty_cycle >= 1.0) {
+    schedule.on_periods.push_back({0.0, schedule.duration_us});
+    return schedule;
+  }
+  assert(config.duty_cycle > 0.0 && config.mean_on_us > 0.0);
+  const double mean_off =
+      config.mean_on_us * (1.0 - config.duty_cycle) / config.duty_cycle;
+  dsp::rng gen(config.seed);
+  double t = 0.0;
+  while (t < schedule.duration_us) {
+    const double on = gen.exponential(config.mean_on_us);
+    schedule.on_periods.push_back(
+        {t, std::min(on, schedule.duration_us - t)});
+    t += on;
+    t += gen.exponential(mean_off);
+  }
+  return schedule;
+}
+
+ap_trace gate_trace(const ap_trace& trace, const burst_schedule& schedule) {
+  ap_trace gated;
+  gated.duration_us = trace.duration_us;
+  for (const auto& tx : trace.transmissions)
+    if (schedule.on_at(tx.start_us)) gated.transmissions.push_back(tx);
+  return gated;
+}
+
+std::vector<std::uint8_t> poll_availability(const burst_schedule& schedule,
+                                            std::size_t polls,
+                                            double poll_period_us) {
+  std::vector<std::uint8_t> available(polls, 0);
+  for (std::size_t p = 0; p < polls; ++p)
+    available[p] =
+        schedule.on_at(static_cast<double>(p) * poll_period_us) ? 1 : 0;
+  return available;
+}
+
 double replay_backscatter_throughput_bps(const ap_trace& trace,
                                          const replay_config& config) {
   if (trace.duration_us <= 0.0) return 0.0;

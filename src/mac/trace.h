@@ -65,4 +65,49 @@ struct replay_config {
 double replay_backscatter_throughput_bps(const ap_trace& trace,
                                          const replay_config& config);
 
+// --- Wild-traffic burst model (GuardRider-style on/off gating) -----------
+//
+// Ambient excitation in the wild is not merely noisy: it disappears
+// outright for stretches when the AP's queue drains or the channel is won
+// by stations the tag cannot hear. We model that as an alternating
+// renewal process of exponentially distributed ON (excitation present)
+// and OFF (air dark) periods, parameterised by duty cycle and mean ON
+// length so a sweep can walk duty from clean air down to starvation.
+
+struct burst_config {
+  /// Long-run fraction of time excitation is available, in (0, 1].
+  double duty_cycle = 0.8;
+  /// Mean length of one ON period [us]; OFF periods get
+  /// mean_on_us * (1 - duty) / duty so the long-run duty matches.
+  double mean_on_us = 4000.0;
+  std::uint64_t seed = 1;
+};
+
+/// Alternating ON/OFF schedule over a window; starts in an ON period.
+struct burst_schedule {
+  /// ON periods as [start_us, start_us + length_us), sorted, disjoint.
+  std::vector<tx_interval> on_periods;
+  double duration_us = 0.0;
+
+  /// Whether excitation is available at time t.
+  bool on_at(double t_us) const;
+  /// Realised ON fraction of the window.
+  double duty() const;
+};
+
+/// Draw an exponential ON/OFF schedule. duty_cycle >= 1 degenerates to a
+/// single ON period covering the whole window (clean air).
+burst_schedule generate_burst_schedule(const burst_config& config,
+                                       double duration_us);
+
+/// Gate an AP trace through a burst schedule: transmissions whose start
+/// falls in an OFF period are removed (the AP is silent / inaudible there).
+ap_trace gate_trace(const ap_trace& trace, const burst_schedule& schedule);
+
+/// Sample the schedule at poll boundaries: element p is 1 when the poll
+/// starting at p * poll_period_us begins inside an ON period.
+std::vector<std::uint8_t> poll_availability(const burst_schedule& schedule,
+                                            std::size_t polls,
+                                            double poll_period_us);
+
 }  // namespace backfi::mac

@@ -1,6 +1,8 @@
 #include "sim/fault_campaign.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "reader/excitation.h"
 #include "obs/collector.h"
@@ -10,9 +12,32 @@
 
 namespace backfi::sim {
 
+namespace {
+
+// Reject degenerate campaigns up front, on the caller's thread: the
+// payload override bypasses the scenario's own zero_payload check, zero
+// opportunities would divide goodput by zero, and an empty severity grid
+// silently returns an empty result a plot script then misreads as "no
+// regressions". Same message shape as validate_or_throw.
+void validate_campaign_or_throw(const campaign_config& config,
+                                const char* where) {
+  scenario_config effective = config.link;
+  effective.payload_bits = config.payload_bits;
+  validate_or_throw(effective, where);
+  const auto fail = [&](const char* what) {
+    throw std::invalid_argument(std::string(where) +
+                                ": invalid campaign_config (" + what + ")");
+  };
+  if (config.opportunities == 0) fail("zero_opportunities");
+  if (config.severities.empty()) fail("empty_severities");
+}
+
+}  // namespace
+
 campaign_run run_campaign_arm(const campaign_config& config,
                               impair::fault_class fault, double severity,
                               bool recovery) {
+  validate_campaign_or_throw(config, "run_campaign_arm");
   constexpr std::uint32_t kTagId = 1;
   campaign_run run;
   run.first_success_poll = config.opportunities;
@@ -97,7 +122,7 @@ campaign_run run_campaign_arm(const campaign_config& config,
 }
 
 campaign_result run_fault_campaign(const campaign_config& config) {
-  validate_or_throw(config.link, "run_fault_campaign");
+  validate_campaign_or_throw(config, "run_fault_campaign");
   campaign_result result;
   std::vector<impair::fault_class> faults = config.faults;
   if (faults.empty()) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 namespace backfi::mac {
@@ -121,6 +122,114 @@ TEST(LinkSupervisorTest, FallbackStopsAtTheRobustFloor) {
   const auto& rate = h.scheduler.descriptor(kTag).rate;
   tag::tag_rate_config floor_probe = rate;
   EXPECT_FALSE(fallback_rate(floor_probe));  // nothing more robust exists
+}
+
+TEST(LinkSupervisorTest, ClampedBackoffPinsTheLadder) {
+  arq_config cfg;
+  cfg.backoff_base = 2;
+  cfg.backoff_cap = 16;
+  harness h(cfg);
+  const std::size_t expected[] = {2, 4, 8, 16, 16, 16};
+  for (std::size_t streak = 1; streak <= 6; ++streak)
+    EXPECT_EQ(h.supervisor->clamped_backoff(streak), expected[streak - 1])
+        << streak;
+}
+
+TEST(LinkSupervisorTest, ClampedBackoffCannotOverflow) {
+  arq_config cfg;
+  // A base past SIZE_MAX >> 16 overflowed the old shift form and wrapped
+  // the ladder around to tiny delays; the clamp must saturate at the cap.
+  cfg.backoff_base = std::numeric_limits<std::size_t>::max() - 3;
+  cfg.backoff_cap = std::numeric_limits<std::size_t>::max();
+  harness h(cfg);
+  for (std::size_t streak : {std::size_t{1}, std::size_t{17}, std::size_t{1000},
+                             std::numeric_limits<std::size_t>::max()}) {
+    const std::size_t backoff = h.supervisor->clamped_backoff(streak);
+    EXPECT_GE(backoff, cfg.backoff_base) << streak;
+    EXPECT_LE(backoff, cfg.backoff_cap) << streak;
+  }
+  // Degenerate zeros behave as ones rather than dividing by zero or
+  // deferring forever on a zero ladder.
+  arq_config zero;
+  zero.backoff_base = 0;
+  zero.backoff_cap = 0;
+  harness hz(zero);
+  EXPECT_EQ(hz.supervisor->clamped_backoff(1), 1u);
+  EXPECT_EQ(hz.supervisor->clamped_backoff(9), 1u);
+}
+
+TEST(LinkSupervisorTest, SaturatedBackoffStillParksTheTag) {
+  // Drive the huge-base ladder through a real transaction failure: the
+  // defer must park the tag (saturating arithmetic end to end), not wrap
+  // around and poll it again immediately.
+  arq_config cfg;
+  cfg.max_retries = 0;
+  cfg.fallback_after = 1;
+  cfg.backoff_base = std::numeric_limits<std::size_t>::max() - 3;
+  cfg.backoff_cap = std::numeric_limits<std::size_t>::max();
+  harness h(cfg);
+  ASSERT_TRUE(h.step(false));  // fail -> fallback -> defer(~SIZE_MAX)
+  EXPECT_EQ(h.supervisor->state(kTag), link_state::backoff);
+  for (int i = 0; i < 32; ++i) EXPECT_FALSE(h.step(true));
+  EXPECT_GE(h.supervisor->stats(kTag).deferred_polls, 32u);
+}
+
+TEST(LinkSupervisorTest, ErasuresNeverStepTheRateDown) {
+  arq_config cfg;
+  cfg.erasure_backoff_after = 4;
+  cfg.erasure_backoff = 2;
+  harness h(cfg);
+  std::size_t polls = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto id = h.supervisor->next();
+    if (!id) continue;
+    ++polls;
+    h.supervisor->report_symbol_result(*id, false, 0.0);
+  }
+  // The rate is untouched and no retries/fallbacks were burned...
+  EXPECT_EQ(h.scheduler.descriptor(kTag).rate.symbol_rate_hz,
+            kStartRate.symbol_rate_hz);
+  EXPECT_EQ(h.supervisor->stats(kTag).retries, 0u);
+  EXPECT_EQ(h.supervisor->stats(kTag).fallbacks, 0u);
+  // ...but long erasure runs did defer polls in fixed-size steps.
+  const auto& coding = h.supervisor->coding(kTag);
+  EXPECT_EQ(coding.symbols_erased, polls);
+  EXPECT_GT(coding.erasure_backoffs, 0u);
+  EXPECT_LT(polls, 40u);
+  // A delivered symbol recovers the link immediately.
+  int guard = 0;
+  std::optional<std::uint32_t> id;
+  while (!(id = h.supervisor->next()) && guard < 16) ++guard;
+  ASSERT_TRUE(id.has_value());
+  h.supervisor->report_symbol_result(*id, true, 256.0);
+  EXPECT_EQ(h.supervisor->state(kTag), link_state::healthy);
+  EXPECT_EQ(h.supervisor->coding(kTag).symbols_delivered, 1u);
+}
+
+TEST(LinkSupervisorTest, BlockOutcomesFollowTheRepairBudget) {
+  arq_config cfg;
+  cfg.max_repair_rounds = 2;
+  harness h(cfg);
+  EXPECT_EQ(h.supervisor->report_block_outcome(kTag, phy::block_status::pending),
+            coded_directive::send_repair);
+  EXPECT_EQ(h.supervisor->report_block_outcome(kTag, phy::block_status::pending),
+            coded_directive::send_repair);
+  EXPECT_EQ(h.supervisor->report_block_outcome(kTag, phy::block_status::pending),
+            coded_directive::abandon_block);
+  const auto& coding = h.supervisor->coding(kTag);
+  EXPECT_EQ(coding.repair_rounds, 2u);
+  EXPECT_EQ(coding.blocks_abandoned, 1u);
+  // The budget resets per block: a decode clears it.
+  EXPECT_EQ(h.supervisor->report_block_outcome(kTag, phy::block_status::decoded),
+            coded_directive::continue_stream);
+  EXPECT_EQ(h.supervisor->report_block_outcome(kTag, phy::block_status::pending),
+            coded_directive::send_repair);
+  // An unrecoverable verdict abandons unconditionally.
+  EXPECT_EQ(h.supervisor->report_block_outcome(
+                kTag, phy::block_status::unrecoverable),
+            coded_directive::abandon_block);
+  EXPECT_EQ(h.supervisor->coding(kTag).blocks_decoded, 1u);
+  EXPECT_EQ(h.supervisor->coding(kTag).blocks_abandoned, 2u);
 }
 
 }  // namespace

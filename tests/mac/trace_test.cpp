@@ -81,5 +81,79 @@ TEST(TraceTest, EmptyTraceGivesZero) {
   EXPECT_DOUBLE_EQ(empty.busy_fraction(), 0.0);
 }
 
+TEST(BurstScheduleTest, DutyMatchesConfigOverLongWindows) {
+  for (double duty : {0.3, 0.5, 0.8}) {
+    const burst_schedule schedule = generate_burst_schedule(
+        {.duty_cycle = duty, .mean_on_us = 4000.0, .seed = 21}, 5e6);
+    EXPECT_NEAR(schedule.duty(), duty, 0.08) << duty;
+  }
+}
+
+TEST(BurstScheduleTest, FullDutyIsOneSolidOnPeriod) {
+  const burst_schedule schedule =
+      generate_burst_schedule({.duty_cycle = 1.0, .seed = 22}, 1e5);
+  ASSERT_EQ(schedule.on_periods.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.duty(), 1.0);
+  EXPECT_TRUE(schedule.on_at(0.0));
+  EXPECT_TRUE(schedule.on_at(99999.0));
+}
+
+TEST(BurstScheduleTest, DeterministicPerSeedAndStartsOn) {
+  const burst_config config{.duty_cycle = 0.6, .mean_on_us = 2000.0, .seed = 23};
+  const burst_schedule a = generate_burst_schedule(config, 1e6);
+  const burst_schedule b = generate_burst_schedule(config, 1e6);
+  ASSERT_EQ(a.on_periods.size(), b.on_periods.size());
+  for (std::size_t i = 0; i < a.on_periods.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.on_periods[i].start_us, b.on_periods[i].start_us);
+    EXPECT_DOUBLE_EQ(a.on_periods[i].airtime_us, b.on_periods[i].airtime_us);
+  }
+  EXPECT_DOUBLE_EQ(a.on_periods.front().start_us, 0.0);
+  EXPECT_TRUE(a.on_at(0.0));
+}
+
+TEST(BurstScheduleTest, OnAtTracksPeriodBoundaries) {
+  burst_schedule schedule;
+  schedule.duration_us = 100.0;
+  schedule.on_periods = {{0.0, 10.0}, {50.0, 20.0}};
+  EXPECT_TRUE(schedule.on_at(0.0));
+  EXPECT_TRUE(schedule.on_at(9.9));
+  EXPECT_FALSE(schedule.on_at(10.0));
+  EXPECT_FALSE(schedule.on_at(49.9));
+  EXPECT_TRUE(schedule.on_at(50.0));
+  EXPECT_FALSE(schedule.on_at(70.0));
+  EXPECT_DOUBLE_EQ(schedule.duty(), 0.3);
+}
+
+TEST(BurstScheduleTest, GatingDropsOffPeriodTransmissionsOnly) {
+  const ap_trace trace = generate_loaded_ap_trace({.seed = 24});
+  burst_schedule schedule;
+  schedule.duration_us = trace.duration_us;
+  // ON only in the first half of the window.
+  schedule.on_periods = {{0.0, trace.duration_us / 2.0}};
+  const ap_trace gated = gate_trace(trace, schedule);
+  ASSERT_GT(gated.transmissions.size(), 0u);
+  EXPECT_LT(gated.transmissions.size(), trace.transmissions.size());
+  for (const auto& tx : gated.transmissions)
+    EXPECT_LT(tx.start_us, trace.duration_us / 2.0);
+  EXPECT_LT(gated.busy_fraction(), trace.busy_fraction());
+}
+
+TEST(BurstScheduleTest, PollAvailabilitySamplesSchedule) {
+  burst_schedule schedule;
+  schedule.duration_us = 100.0;
+  schedule.on_periods = {{0.0, 25.0}, {60.0, 30.0}};
+  const auto available = poll_availability(schedule, 10, 10.0);
+  const std::vector<std::uint8_t> expected = {1, 1, 1, 0, 0, 0, 1, 1, 1, 0};
+  EXPECT_EQ(available, expected);
+}
+
+TEST(BurstScheduleTest, ZeroDurationIsEmpty) {
+  const burst_schedule schedule =
+      generate_burst_schedule({.duty_cycle = 0.5, .seed = 25}, 0.0);
+  EXPECT_TRUE(schedule.on_periods.empty());
+  EXPECT_DOUBLE_EQ(schedule.duty(), 0.0);
+  EXPECT_FALSE(schedule.on_at(0.0));
+}
+
 }  // namespace
 }  // namespace backfi::mac

@@ -1,0 +1,137 @@
+#include "tag/packet_coder.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+
+namespace backfi::tag {
+namespace {
+
+phy::erasure_spec make_spec(phy::erasure_scheme scheme) {
+  phy::erasure_spec spec;
+  spec.scheme = scheme;
+  spec.block_symbols = 4;
+  spec.symbol_bytes = 8;
+  spec.rs_repair_symbols = 2;
+  spec.fountain_overhead = 0.5;
+  spec.seed = 5;
+  return spec;
+}
+
+std::vector<std::uint8_t> block_bytes(const phy::erasure_spec& spec,
+                                      std::uint64_t seed) {
+  dsp::rng gen(seed);
+  std::vector<std::uint8_t> data(spec.block_symbols * spec.symbol_bytes);
+  for (auto& b : data) b = static_cast<std::uint8_t>(gen.uniform_int(256));
+  return data;
+}
+
+TEST(PacketCoderTest, RejectsDegenerateGeometry) {
+  phy::erasure_spec spec = make_spec(phy::erasure_scheme::reed_solomon);
+  spec.block_symbols = 0;
+  EXPECT_THROW(packet_coder{spec}, std::invalid_argument);
+  spec = make_spec(phy::erasure_scheme::reed_solomon);
+  spec.symbol_bytes = 0;
+  EXPECT_THROW(packet_coder{spec}, std::invalid_argument);
+  spec = make_spec(phy::erasure_scheme::reed_solomon);
+  spec.block_symbols = 250;
+  spec.rs_repair_symbols = 20;  // 270 > 255 field points
+  EXPECT_THROW(packet_coder{spec}, std::invalid_argument);
+  spec = make_spec(phy::erasure_scheme::fountain);
+  spec.soliton_delta = 1.5;
+  EXPECT_THROW(packet_coder{spec}, std::invalid_argument);
+}
+
+TEST(PacketCoderTest, SchedulesExactlyTheBudgetPerBlock) {
+  const phy::erasure_spec spec = make_spec(phy::erasure_scheme::reed_solomon);
+  packet_coder coder(spec);
+  coder.push_block(block_bytes(spec, 1));
+  std::size_t produced = 0;
+  while (coder.has_packet()) {
+    coder.next_packet();
+    ++produced;
+  }
+  EXPECT_EQ(produced, spec.scheduled_symbols());
+  EXPECT_EQ(coder.exhausted_block(), std::optional<std::uint32_t>{0});
+  EXPECT_THROW(coder.next_packet(), std::logic_error);
+}
+
+TEST(PacketCoderTest, StripesAcrossOpenBlocks) {
+  const phy::erasure_spec spec = make_spec(phy::erasure_scheme::fountain);
+  packet_coder coder(spec);
+  coder.push_block(block_bytes(spec, 1));
+  coder.push_block(block_bytes(spec, 2));
+  std::vector<std::uint32_t> order;
+  for (int i = 0; i < 6; ++i) order.push_back(coder.next_packet().block);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(PacketCoderTest, RepairGrantsRespectTheFieldLimit) {
+  phy::erasure_spec spec = make_spec(phy::erasure_scheme::reed_solomon);
+  spec.block_symbols = 250;
+  spec.rs_repair_symbols = 3;  // scheduled 253 of 255
+  packet_coder coder(spec);
+  coder.push_block(block_bytes(spec, 3));
+  EXPECT_EQ(coder.request_repair(0, 10), 2u);  // only 2 field points left
+  EXPECT_EQ(coder.request_repair(0, 10), 0u);
+  EXPECT_EQ(coder.stats().repair_symbols_granted, 2u);
+
+  const phy::erasure_spec lt = make_spec(phy::erasure_scheme::fountain);
+  packet_coder fountain(lt);
+  fountain.push_block(block_bytes(lt, 4));
+  EXPECT_EQ(fountain.request_repair(0, 1000), 1000u);  // rateless
+
+  const phy::erasure_spec plain = make_spec(phy::erasure_scheme::none);
+  packet_coder uncoded(plain);
+  uncoded.push_block(block_bytes(plain, 5));
+  EXPECT_EQ(uncoded.request_repair(0, 4), 0u);
+}
+
+TEST(PacketCoderTest, UncodedSchemeIsStopAndWait) {
+  const phy::erasure_spec spec = make_spec(phy::erasure_scheme::none);
+  packet_coder coder(spec);
+  coder.push_block(block_bytes(spec, 6));
+  // The same symbol repeats until acknowledged.
+  EXPECT_EQ(coder.next_packet().esi, 0u);
+  EXPECT_EQ(coder.next_packet().esi, 0u);
+  coder.ack_symbol(0, 0);
+  EXPECT_EQ(coder.next_packet().esi, 1u);
+  coder.ack_symbol(0, 1);
+  coder.ack_symbol(0, 2);
+  EXPECT_EQ(coder.next_packet().esi, 3u);
+  coder.ack_symbol(0, 3);
+  EXPECT_FALSE(coder.has_packet());
+  // Uncoded blocks never show up as exhausted (ARQ never gives up).
+  EXPECT_FALSE(coder.exhausted_block().has_value());
+}
+
+TEST(PacketCoderTest, CompleteAndAbandonCloseBlocks) {
+  const phy::erasure_spec spec = make_spec(phy::erasure_scheme::fountain);
+  packet_coder coder(spec);
+  coder.push_block(block_bytes(spec, 7));
+  coder.push_block(block_bytes(spec, 8));
+  EXPECT_EQ(coder.open_blocks(), 2u);
+  coder.complete_block(0);
+  EXPECT_EQ(coder.open_blocks(), 1u);
+  EXPECT_EQ(coder.next_packet().block, 1u);
+  coder.abandon_block(1);
+  EXPECT_EQ(coder.open_blocks(), 0u);
+  EXPECT_EQ(coder.stats().blocks_completed, 1u);
+  EXPECT_EQ(coder.stats().blocks_abandoned, 1u);
+}
+
+TEST(PacketCoderTest, PacketsCarryTheSpecLayout) {
+  const phy::erasure_spec spec = make_spec(phy::erasure_scheme::reed_solomon);
+  packet_coder coder(spec);
+  coder.push_block(block_bytes(spec, 9));
+  const phy::coded_packet packet = coder.next_packet();
+  EXPECT_EQ(packet.bits.size(), spec.packet_payload_bits());
+  std::uint32_t block = 0, esi = 0;
+  std::vector<std::uint8_t> symbol;
+  ASSERT_TRUE(phy::unpack_coded_packet(packet.bits, spec, block, esi, symbol));
+  EXPECT_EQ(block, packet.block);
+  EXPECT_EQ(esi, packet.esi);
+}
+
+}  // namespace
+}  // namespace backfi::tag
