@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "channel/awgn.h"
 #include "obs/collector.h"
+#include "reader/excitation.h"
 #include "obs/export.h"
 #include "sim/backscatter_sim.h"
 #include "sim/parallel.h"
@@ -170,6 +172,31 @@ int main(int argc, char** argv) {
   std::printf("workspace: reused=%.0f B  allocated=%.0f B  reuse=%.2f%%\n",
               reused, allocated, reuse_pct);
 
+  // Replay-cache effectiveness (process-wide, cumulative across the whole
+  // run): hit rates near 100% after warm-up are what buy the batched
+  // noise/excitation stage times below.
+  const auto noise_cache = channel::awgn_cache_stats();
+  const auto ex_cache = reader::excitation_cache_stats();
+  auto hit_pct = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? 100.0 * static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  };
+  std::printf("noise cache:      %llu hits / %llu misses (%.1f%%)  "
+              "%zu entries, %.1f MiB\n",
+              static_cast<unsigned long long>(noise_cache.hits),
+              static_cast<unsigned long long>(noise_cache.misses),
+              hit_pct(noise_cache.hits, noise_cache.misses),
+              noise_cache.entries,
+              static_cast<double>(noise_cache.bytes) / (1024.0 * 1024.0));
+  std::printf("excitation cache: %llu hits / %llu misses (%.1f%%)  "
+              "%zu entries, %.1f MiB\n",
+              static_cast<unsigned long long>(ex_cache.hits),
+              static_cast<unsigned long long>(ex_cache.misses),
+              hit_pct(ex_cache.hits, ex_cache.misses), ex_cache.entries,
+              static_cast<double>(ex_cache.bytes) / (1024.0 * 1024.0));
+
   // Stage coverage: the top-level stage spans partition sim.trial, so
   // their means must account for (nearly) all of the trial mean. A low
   // ratio means a pipeline stage lost its span — the probe-gap regression
@@ -226,6 +253,18 @@ int main(int argc, char** argv) {
   append_kv(json, "bytes_reused", reused);
   append_kv(json, "bytes_allocated", allocated);
   append_kv(json, "reuse_pct", reuse_pct, true);
+  json += "  },\n";
+  json += "  \"caches\": {\n";
+  append_kv(json, "noise_hits", static_cast<double>(noise_cache.hits));
+  append_kv(json, "noise_misses", static_cast<double>(noise_cache.misses));
+  append_kv(json, "noise_entries", static_cast<double>(noise_cache.entries));
+  append_kv(json, "noise_bytes", static_cast<double>(noise_cache.bytes));
+  append_kv(json, "excitation_hits", static_cast<double>(ex_cache.hits));
+  append_kv(json, "excitation_misses", static_cast<double>(ex_cache.misses));
+  append_kv(json, "excitation_entries",
+            static_cast<double>(ex_cache.entries));
+  append_kv(json, "excitation_bytes", static_cast<double>(ex_cache.bytes),
+            true);
   json += "  },\n";
   json += "  \"stage_means_us\": {\n";
   bool first = true;

@@ -18,6 +18,12 @@ Gates (exit 1 on failure, 2 on unusable input):
     any runner; it is skipped — with a notice — only when the current file
     predates the field or reports hardware_threads < 2 AND no efficiency
     field (old bench binary on a small box).
+  * per-stage means (stage_means_us.*): every stage named by --gate-stage
+    (repeatable; default sim.noise when the gate is armed) must not be more
+    than --stage-max-regression (fraction, default: no gate) slower than
+    the baseline. Stage means are microseconds, so *lower* is better and
+    the ceiling is baseline * (1 + fraction). A stage missing from either
+    file warns and skips — stage names may come and go between PRs.
 
 Key lookup is tolerant: metrics live at dotted paths ("serial.trials_per_sec")
 walked through nested objects, and a missing or renamed key in either file
@@ -70,7 +76,7 @@ def numeric(doc, dotted_path):
 
 
 def compare(baseline, current, max_regression, min_scaling_efficiency,
-            out=sys.stdout):
+            stage_max_regression=None, gate_stages=None, out=sys.stdout):
     """Core gate logic on two parsed documents. Returns the exit code."""
     status = 0
 
@@ -127,6 +133,40 @@ def compare(baseline, current, max_regression, min_scaling_efficiency,
         if eff < min_scaling_efficiency:
             status = 1
 
+    # --- per-stage regression gate ---------------------------------------
+    if stage_max_regression is not None:
+        def stage_mean(docu, stage):
+            # Stage names contain dots ("sim.noise"), so they are literal
+            # keys of stage_means_us, not dotted paths through it.
+            means, reason = lookup(docu, "stage_means_us")
+            if reason:
+                return None, reason
+            if not isinstance(means, dict) or stage not in means:
+                return None, f"missing stage '{stage}' in stage_means_us"
+            value = means[stage]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return None, f"stage '{stage}' is not a number"
+            return float(value), None
+
+        for stage in gate_stages or ["sim.noise"]:
+            b, b_err = stage_mean(baseline, stage)
+            c, c_err = stage_mean(current, stage)
+            if b_err or c_err:
+                warn(f"cannot gate stage '{stage}' "
+                     f"(baseline: {b_err or 'ok'}; current: {c_err or 'ok'}); "
+                     f"skipping")
+                continue
+            if b <= 0:
+                warn(f"baseline stage '{stage}' mean is {b}; "
+                     f"skipping the stage gate")
+                continue
+            ceiling = b * (1.0 + stage_max_regression)
+            verdict = "OK" if c <= ceiling else "REGRESSION"
+            print(f"stage {stage}: baseline {b:.1f} us -> current {c:.1f} us "
+                  f"(ceiling {ceiling:.1f} us): {verdict}", file=out)
+            if c > ceiling:
+                status = 1
+
     return status
 
 
@@ -139,6 +179,12 @@ def main(argv=None):
     parser.add_argument("--min-scaling-efficiency", type=float, default=None,
                         help="minimum threads_4.scaling_efficiency_4t of the "
                              "current file (default: no gate)")
+    parser.add_argument("--stage-max-regression", type=float, default=None,
+                        help="allowed fractional slowdown of each gated "
+                             "stage mean (default: no stage gate)")
+    parser.add_argument("--gate-stage", action="append", default=None,
+                        help="stage_means_us key to gate (repeatable; "
+                             "default sim.noise when the stage gate is armed)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the embedded unit tests and exit")
     args = parser.parse_args(argv)
@@ -158,7 +204,9 @@ def main(argv=None):
         return 2
 
     return compare(baseline, current, args.max_regression,
-                   args.min_scaling_efficiency)
+                   args.min_scaling_efficiency,
+                   stage_max_regression=args.stage_max_regression,
+                   gate_stages=args.gate_stage)
 
 
 # --- embedded self-test ----------------------------------------------------
@@ -207,7 +255,10 @@ def run_self_test():
         def run_compare(self, baseline, current, **kw):
             out = io.StringIO()
             code = compare(baseline, current, kw.pop("max_regression", 0.25),
-                           kw.pop("min_scaling_efficiency", None), out=out)
+                           kw.pop("min_scaling_efficiency", None),
+                           stage_max_regression=kw.pop(
+                               "stage_max_regression", None),
+                           gate_stages=kw.pop("gate_stages", None), out=out)
             return code, out.getvalue()
 
         def test_within_budget_passes(self):
@@ -250,6 +301,48 @@ def run_self_test():
                                           min_scaling_efficiency=0.6)
             self.assertEqual(code, 0)
             self.assertIn("skipping the scaling-efficiency gate", text)
+
+        def test_stage_gate_passes_fails_and_defaults_to_sim_noise(self):
+            base = doc(100.0, extra={"stage_means_us": {"sim.noise": 80.0}})
+            fast = doc(100.0, extra={"stage_means_us": {"sim.noise": 90.0}})
+            slow = doc(100.0, extra={"stage_means_us": {"sim.noise": 120.0}})
+            code, text = self.run_compare(base, fast,
+                                          stage_max_regression=0.25)
+            self.assertEqual(code, 0)
+            self.assertIn("stage sim.noise", text)
+            code, text = self.run_compare(base, slow,
+                                          stage_max_regression=0.25)
+            self.assertEqual(code, 1)
+            self.assertIn("REGRESSION", text)
+
+        def test_stage_gate_honors_explicit_stage_list(self):
+            base = doc(100.0, extra={"stage_means_us": {
+                "sim.noise": 80.0, "reader.decode": 100.0}})
+            cur = doc(100.0, extra={"stage_means_us": {
+                "sim.noise": 80.0, "reader.decode": 200.0}})
+            code, _ = self.run_compare(base, cur, stage_max_regression=0.25,
+                                       gate_stages=["sim.noise"])
+            self.assertEqual(code, 0)
+            code, text = self.run_compare(base, cur,
+                                          stage_max_regression=0.25,
+                                          gate_stages=["reader.decode"])
+            self.assertEqual(code, 1)
+            self.assertIn("stage reader.decode", text)
+
+        def test_stage_gate_skips_missing_stage_with_warning(self):
+            base = doc(100.0)  # baseline predates stage_means_us
+            cur = doc(100.0, extra={"stage_means_us": {"sim.noise": 50.0}})
+            code, text = self.run_compare(base, cur,
+                                          stage_max_regression=0.25)
+            self.assertEqual(code, 0)
+            self.assertIn("cannot gate stage 'sim.noise'", text)
+
+        def test_stage_gate_off_by_default(self):
+            base = doc(100.0, extra={"stage_means_us": {"sim.noise": 10.0}})
+            cur = doc(100.0, extra={"stage_means_us": {"sim.noise": 9999.0}})
+            code, text = self.run_compare(base, cur)
+            self.assertEqual(code, 0)
+            self.assertNotIn("stage sim.noise", text)
 
         def test_informational_fields_tolerate_old_baseline(self):
             new = doc(100.0, pool_tps=95.0, eff=0.9, hw=4,

@@ -38,4 +38,18 @@ inline double sinc(double x) {
 /// Unit phasor e^{j*angle}.
 inline cplx phasor(double angle) { return {std::cos(angle), std::sin(angle)}; }
 
+/// sin and cos of one angle through a single call where the libm provides
+/// one. glibc's sincos shares the argument reduction with sin/cos and
+/// returns bit-identical values, so phasor-rotation loops can use this for
+/// ~2x the trig throughput without moving a single pinned literal;
+/// elsewhere it falls back to exactly the two separate calls.
+inline void sin_cos(double angle, double& sn, double& cs) {
+#if defined(__GLIBC__)
+  ::sincos(angle, &sn, &cs);
+#else
+  sn = std::sin(angle);
+  cs = std::cos(angle);
+#endif
+}
+
 }  // namespace backfi::dsp

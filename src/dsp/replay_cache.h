@@ -1,0 +1,153 @@
+// Bounded, thread-safe replay cache for deterministic synthesis stages.
+//
+// The Monte-Carlo evaluators re-run the same (point, trial) grid many
+// times — perf reps, fig08/fig10 sweeps, wild-traffic arms — and several
+// expensive synthesis stages are pure functions of a small key (the RNG
+// state entering an AWGN pass; the payload seed of an excitation). A
+// replay_cache memoizes those stages under a hard byte budget so repeated
+// keys pay the synthesis exactly once.
+//
+// Bit-identity contract: a cache NEVER changes values — the caller stores
+// the exact buffer the non-cached path would have produced (plus whatever
+// side state, e.g. the RNG end position, is needed to leave the world as
+// the non-cached path would). Hit and miss paths are therefore bitwise
+// indistinguishable, which is what lets the trial evaluators keep their
+// pinned literals and thread-count determinism while sharing one
+// process-wide cache across lanes.
+//
+// Concurrency: lookups take a shared lock and bump an approximate-LRU
+// tick through std::atomic_ref (entries never move under a shared lock;
+// rehashes only happen under the unique lock inserts take). Inserts are
+// first-writer-wins — a racing duplicate insert is dropped, which is safe
+// precisely because duplicates are bit-identical by the contract above.
+//
+// Budgets come from environment variables (see cache_budget_bytes); a
+// budget of 0 disables the cache entirely, turning find/insert into
+// cheap no-ops so A/B runs can bisect cache effects.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace backfi::dsp {
+
+/// Byte budget for one cache: `env_name` in whole MiB (0 disables),
+/// falling back to `default_mb` when unset or unparsable.
+inline std::size_t cache_budget_bytes(const char* env_name,
+                                      std::size_t default_mb) {
+  const char* raw = std::getenv(env_name);
+  if (!raw || *raw == '\0') return default_mb << 20;
+  char* end = nullptr;
+  const unsigned long long mb = std::strtoull(raw, &end, 10);
+  if (end == raw) return default_mb << 20;
+  return static_cast<std::size_t>(mb) << 20;
+}
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class replay_cache {
+ public:
+  explicit replay_cache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  bool enabled() const { return max_bytes_ > 0; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Look up `key`; returns the stored value (shared, immutable) or null.
+  /// Counts a hit or a miss; with the cache disabled neither is counted
+  /// (stats then read all-zero, signalling "cache off" to the gauges).
+  std::shared_ptr<const Value> find(const Key& key) {
+    if (!enabled()) return nullptr;
+    std::shared_lock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    std::atomic_ref<std::uint64_t>(it->second.last_tick)
+        .store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.value;
+  }
+
+  /// Insert `key` -> `value` accounting `bytes` against the budget,
+  /// evicting approximate-LRU entries as needed. First writer wins; a
+  /// value larger than the whole budget is dropped.
+  void insert(const Key& key, std::shared_ptr<const Value> value,
+              std::size_t bytes) {
+    if (!enabled() || bytes > max_bytes_) return;
+    std::unique_lock lock(mutex_);
+    const auto [it, inserted] = map_.try_emplace(key);
+    if (!inserted) return;  // racing duplicate: bit-identical, keep first
+    it->second.value = std::move(value);
+    it->second.bytes = bytes;
+    it->second.last_tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    while (bytes_.load(std::memory_order_relaxed) > max_bytes_ &&
+           map_.size() > 1) {
+      auto oldest = map_.end();
+      for (auto e = map_.begin(); e != map_.end(); ++e) {
+        if (e == it) continue;  // never evict the entry just inserted
+        if (oldest == map_.end() || e->second.last_tick < oldest->second.last_tick)
+          oldest = e;
+      }
+      if (oldest == map_.end()) break;
+      bytes_.fetch_sub(oldest->second.bytes, std::memory_order_relaxed);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      map_.erase(oldest);
+    }
+  }
+
+  struct stats_snapshot {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  stats_snapshot stats() const {
+    std::shared_lock lock(mutex_);
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed),
+            evictions_.load(std::memory_order_relaxed), map_.size(),
+            bytes_.load(std::memory_order_relaxed)};
+  }
+
+  /// Drop every entry (tests; stats counters are kept).
+  void clear() {
+    std::unique_lock lock(mutex_);
+    map_.clear();
+    bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct entry {
+    std::shared_ptr<const Value> value;
+    std::size_t bytes = 0;
+    std::uint64_t last_tick = 0;  // via atomic_ref under the shared lock
+  };
+
+  const std::size_t max_bytes_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Key, entry, Hash> map_;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> bytes_{0};
+};
+
+/// splitmix64-style word mixer for composing cache-key hashes.
+inline std::uint64_t hash_mix_u64(std::uint64_t h, std::uint64_t word) {
+  h ^= word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace backfi::dsp

@@ -6,8 +6,6 @@ namespace backfi::dsp {
 
 namespace {
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 /// splitmix64 used for seeding so that nearby seeds give unrelated streams.
 std::uint64_t splitmix64(std::uint64_t& s) {
   s += 0x9e3779b97f4a7c15ULL;
@@ -22,23 +20,6 @@ std::uint64_t splitmix64(std::uint64_t& s) {
 rng::rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);
-}
-
-std::uint64_t rng::next_u64() {
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double rng::uniform() {
-  // 53 random mantissa bits -> uniform double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
 double rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }

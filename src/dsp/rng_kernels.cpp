@@ -1,0 +1,164 @@
+// Block draw kernels for dsp::rng — the per-TU optimized unit.
+//
+// This file is compiled with -O3 (and -mavx2 with contraction *off* when
+// the host supports it, see src/dsp/CMakeLists.txt) like fd/adc.cpp and
+// dsp/fir_kernels.cpp. Contraction must stay off: the combine passes below
+// perform the exact multiplies and adds the scalar draw methods perform,
+// and a fused multiply-add would change their rounding and break the
+// pinned trial literals.
+//
+// Strategy: the xoshiro256++ stream itself is inherently sequential, but
+// the expensive part of Gaussian synthesis is libm (log/sqrt/sincos), not
+// the bit generator. Each fill works in blocks of a few hundred draws
+// staged in stack arrays: one tight pass over the generator, one pass per
+// libm function (letting the CPU pipeline back-to-back calls instead of
+// interleaving them with state updates and complex arithmetic), and a
+// final combine pass the compiler can vectorize (sqrt and the
+// multiply/add combines are IEEE-exact under vectorization; the libm
+// passes stay scalar calls, which is what keeps results bit-identical —
+// libmvec's vectorized variants round differently and are never used).
+//
+// Equivalence with the scalar methods — including the Box-Muller u1 > 0
+// rejection, the spare carry-in/out, and stream positions — is pinned by
+// tests/dsp/rng_kernels_test.cpp.
+#include "dsp/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/vec_ops.h"
+
+namespace backfi::dsp {
+
+namespace {
+
+/// Staged draws per block: big enough to amortize the pass structure,
+/// small enough that the staging arrays (5 x 2 KB) stay L1-resident.
+constexpr std::size_t kBlockPairs = 256;
+
+}  // namespace
+
+void rng::fill_u64(std::span<std::uint64_t> out) {
+  for (std::uint64_t& w : out) w = next_u64();
+}
+
+void rng::fill_uniform(std::span<double> out) {
+  for (double& v : out) v = uniform();
+}
+
+void rng::fill_bits(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+  while (i < n) {
+    const std::uint64_t word = next_u64();
+    const std::size_t take = std::min<std::size_t>(64, n - i);
+    for (std::size_t b = 0; b < take; ++b)
+      out[i + b] = static_cast<std::uint8_t>((word >> b) & 1u);
+    i += take;
+  }
+}
+
+void rng::fill_gaussian(std::span<double> out) {
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  if (have_spare_gaussian_) {
+    out[i++] = spare_gaussian_;
+    have_spare_gaussian_ = false;
+  }
+
+  double u1[kBlockPairs], u2[kBlockPairs];
+  double rad[kBlockPairs], sn[kBlockPairs], cs[kBlockPairs];
+  while (i < n) {
+    const std::size_t remaining = n - i;
+    // Enough pairs to cover the remainder (the final odd value, if any,
+    // parks its partner in the spare — exactly the scalar behaviour).
+    const std::size_t pairs = std::min(kBlockPairs, (remaining + 1) / 2);
+
+    // Pass 1: the sequential bit generator, with the scalar rejection on
+    // u1 (redraws consume the stream exactly like gaussian() does).
+    for (std::size_t k = 0; k < pairs; ++k) {
+      double a;
+      do {
+        a = uniform();
+      } while (a <= 0.0);
+      u1[k] = a;
+      u2[k] = uniform();
+    }
+    // Pass 2: scalar libm log (pipelined back to back).
+    for (std::size_t k = 0; k < pairs; ++k) rad[k] = -2.0 * std::log(u1[k]);
+    // Pass 3: sqrt — IEEE-exact, so the compiler may vectorize it.
+    for (std::size_t k = 0; k < pairs; ++k) rad[k] = std::sqrt(rad[k]);
+    // Pass 4: scalar libm sin/cos. glibc's sincos computes both from one
+    // argument reduction and returns bit-identical values to the separate
+    // calls; elsewhere fall back to exactly the scalar method's calls.
+#if defined(__GLIBC__)
+    for (std::size_t k = 0; k < pairs; ++k)
+      ::sincos(two_pi * u2[k], &sn[k], &cs[k]);
+#else
+    for (std::size_t k = 0; k < pairs; ++k) {
+      sn[k] = std::sin(two_pi * u2[k]);
+      cs[k] = std::cos(two_pi * u2[k]);
+    }
+#endif
+    // Pass 5: combine in draw order — cos first, sin second (the scalar
+    // method returns radius*cos and parks radius*sin as the spare).
+    for (std::size_t k = 0; k < pairs; ++k) {
+      out[i++] = rad[k] * cs[k];
+      if (i < n) {
+        out[i++] = rad[k] * sn[k];
+      } else {
+        spare_gaussian_ = rad[k] * sn[k];
+        have_spare_gaussian_ = true;
+      }
+    }
+  }
+}
+
+void rng::fill_complex_gaussian(std::span<cplx> out) {
+  // Same per-axis scale as complex_gaussian(): independent N(0, 1/2).
+  constexpr double scale = 0.7071067811865476;  // 1/sqrt(2)
+  double g[2 * kBlockPairs];
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+  // std::complex<double> is layout-compatible with double[2]; the flat
+  // view lets the scale pass vectorize.
+  double* flat = reinterpret_cast<double*>(out.data());
+  while (i < n) {
+    const std::size_t m = std::min(kBlockPairs, n - i);
+    fill_gaussian(std::span<double>(g, 2 * m));
+    for (std::size_t j = 0; j < 2 * m; ++j) flat[2 * i + j] = scale * g[j];
+    i += m;
+  }
+}
+
+void rng::add_scaled_complex_gaussian(std::span<cplx> inout, double amp) {
+  // Scalar reference: v += amp * complex_gaussian(), i.e. per component
+  // v += amp * (scale * g) — two separate multiplies, never (amp*scale)*g,
+  // and never fused into the add (contraction is off in this TU).
+  constexpr double scale = 0.7071067811865476;  // 1/sqrt(2)
+  double g[2 * kBlockPairs];
+  std::size_t i = 0;
+  const std::size_t n = inout.size();
+  double* flat = reinterpret_cast<double*>(inout.data());
+  while (i < n) {
+    const std::size_t m = std::min(kBlockPairs, n - i);
+    fill_gaussian(std::span<double>(g, 2 * m));
+    for (std::size_t j = 0; j < 2 * m; ++j)
+      flat[2 * i + j] += amp * (scale * g[j]);
+    i += m;
+  }
+}
+
+// Declared in vec_ops.h; lives here so it picks up the AVX2 +
+// contraction-off flags of this TU (see the header comment for why the
+// rounding must match the scalar loop exactly).
+void add_scaled_in_place(std::span<cplx> y, std::span<const cplx> x,
+                         double s) {
+  const std::size_t n = y.size();
+  double* yd = reinterpret_cast<double*>(y.data());
+  const double* xd = reinterpret_cast<const double*>(x.data());
+  for (std::size_t i = 0; i < 2 * n; ++i) yd[i] += s * xd[i];
+}
+
+}  // namespace backfi::dsp

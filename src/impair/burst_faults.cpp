@@ -38,10 +38,12 @@ void apply_saturation_bursts(const saturation_burst_config& config,
   const double rms = dsp::rms(x);
   if (rms <= 0.0) return;
   const double amp = config.amplitude_over_rms * rms;
+  // Fused batch add over each burst range: same draws, same per-component
+  // multiply/add arithmetic as the per-sample scalar loop.
   for_each_burst(config.bursts_per_ms, config.mean_duration_us, x.size(), gen,
                  [&](std::size_t begin, std::size_t end) {
-                   for (std::size_t n = begin; n < end; ++n)
-                     x[n] += amp * gen.complex_gaussian();
+                   gen.add_scaled_complex_gaussian(
+                       x.subspan(begin, end - begin), amp);
                  });
 }
 
@@ -53,8 +55,8 @@ void apply_interferer(const interferer_config& config, std::span<cplx> x,
       mean * std::pow(10.0, config.power_db_over_signal / 10.0));
   for_each_burst(config.bursts_per_ms, config.mean_duration_us, x.size(), gen,
                  [&](std::size_t begin, std::size_t end) {
-                   for (std::size_t n = begin; n < end; ++n)
-                     x[n] += amp * gen.complex_gaussian();
+                   gen.add_scaled_complex_gaussian(
+                       x.subspan(begin, end - begin), amp);
                  });
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "dsp/replay_cache.h"
 #include "dsp/rng.h"
 #include "phy/prbs.h"
 #include "wifi/preamble.h"
@@ -73,16 +74,83 @@ const prefix_entry& prefix_for(const excitation_config& config) {
   return *raw;
 }
 
-}  // namespace
+// Full-synthesis replay cache on top of the prefix cache: an excitation is
+// a pure function of the whole excitation_config (the per-PPDU payload rng
+// is seeded from payload_seed + i and nothing else), so repeated-seed
+// sweeps — perf reps, fig08/fig10 grids, PER points, wild-traffic arms —
+// can replay the complete waveform instead of re-running payload
+// scrambling/coding/interleaving/IFFT per trial. The entry stores the
+// exact sample buffer (plus PPDU 0's metadata) the synthesis path
+// produced, so hits are bitwise identical to misses by construction.
+struct full_key {
+  std::uint32_t tag_id = 0;
+  std::size_t wake_bits = 0;
+  wifi::wifi_rate rate{};
+  std::size_t ppdu_bytes = 0;
+  std::uint64_t payload_seed = 0;
+  std::size_t n_ppdus = 0;
+  bool operator==(const full_key&) const = default;
+};
 
-excitation build_excitation(const excitation_config& config) {
-  excitation out;
-  build_excitation_into(config, out);
-  return out;
+struct full_key_hash {
+  std::size_t operator()(const full_key& k) const {
+    std::uint64_t h = dsp::hash_mix_u64(0, k.tag_id);
+    h = dsp::hash_mix_u64(h, k.wake_bits);
+    h = dsp::hash_mix_u64(h, static_cast<std::uint64_t>(k.rate));
+    h = dsp::hash_mix_u64(h, k.ppdu_bytes);
+    h = dsp::hash_mix_u64(h, k.payload_seed);
+    h = dsp::hash_mix_u64(h, k.n_ppdus);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct full_entry {
+  cvec samples;                 ///< the complete excitation waveform
+  std::size_t wake_end = 0;
+  std::size_t ppdu_start = 0;
+  phy::bitvec wake_preamble;
+  // PPDU 0 metadata (its samples are the [ppdu_start, ppdu_start +
+  // ppdu0_samples) segment of `samples` by construction).
+  std::size_t ppdu0_samples = 0;
+  std::size_t ppdu0_n_data_symbols = 0;
+  std::size_t ppdu0_data_start = 0;
+  std::vector<std::uint8_t> ppdu0_payload;
+};
+
+using full_cache_t = dsp::replay_cache<full_key, full_entry, full_key_hash>;
+
+full_cache_t& full_cache() {
+  static full_cache_t cache(
+      dsp::cache_budget_bytes("BACKFI_EXCITATION_CACHE_MB", 64));
+  return cache;
 }
 
-void build_excitation_into(const excitation_config& config, excitation& out,
-                           dsp::workspace_stats* stats) {
+full_key key_for(const excitation_config& config) {
+  return {config.tag_id,      config.wake_bits,
+          config.rate,        config.ppdu_bytes,
+          config.payload_seed, std::max<std::size_t>(config.n_ppdus, 1)};
+}
+
+void emit_from_entry(const full_entry& e, const excitation_config& config,
+                     excitation& out, dsp::workspace_stats* stats) {
+  out.wake_preamble = e.wake_preamble;
+  dsp::acquire(out.samples, e.samples.size(), stats);
+  std::copy(e.samples.begin(), e.samples.end(), out.samples.begin());
+  out.wake_end = e.wake_end;
+  out.ppdu_start = e.ppdu_start;
+  out.ppdu.rate = config.rate;
+  out.ppdu.psdu_bytes = config.ppdu_bytes;
+  out.ppdu.n_data_symbols = e.ppdu0_n_data_symbols;
+  out.ppdu.data_start = e.ppdu0_data_start;
+  out.ppdu.payload = e.ppdu0_payload;
+  out.ppdu.samples.assign(
+      e.samples.begin() + static_cast<std::ptrdiff_t>(e.ppdu_start),
+      e.samples.begin() +
+          static_cast<std::ptrdiff_t>(e.ppdu_start + e.ppdu0_samples));
+}
+
+void build_excitation_uncached(const excitation_config& config,
+                               excitation& out, dsp::workspace_stats* stats) {
   const prefix_entry& pre = prefix_for(config);
 
   out.wake_preamble = pre.wake_preamble;
@@ -112,6 +180,47 @@ void build_excitation_into(const excitation_config& config, excitation& out,
     offset += ppdu.samples.size();
   }
   assert(offset == out.samples.size());
+}
+
+}  // namespace
+
+excitation build_excitation(const excitation_config& config) {
+  excitation out;
+  build_excitation_into(config, out);
+  return out;
+}
+
+void build_excitation_into(const excitation_config& config, excitation& out,
+                           dsp::workspace_stats* stats) {
+  full_cache_t& cache = full_cache();
+  if (!cache.enabled()) {
+    build_excitation_uncached(config, out, stats);
+    return;
+  }
+  const full_key key = key_for(config);
+  if (const auto hit = cache.find(key)) {
+    emit_from_entry(*hit, config, out, stats);
+    return;
+  }
+  build_excitation_uncached(config, out, stats);
+  auto entry = std::make_shared<full_entry>();
+  entry->samples = out.samples;
+  entry->wake_end = out.wake_end;
+  entry->ppdu_start = out.ppdu_start;
+  entry->wake_preamble = out.wake_preamble;
+  entry->ppdu0_samples = out.ppdu.samples.size();
+  entry->ppdu0_n_data_symbols = out.ppdu.n_data_symbols;
+  entry->ppdu0_data_start = out.ppdu.data_start;
+  entry->ppdu0_payload = out.ppdu.payload;
+  const std::size_t bytes = entry->samples.size() * sizeof(cplx) +
+                            entry->ppdu0_payload.size() +
+                            entry->wake_preamble.size() + sizeof(full_entry);
+  cache.insert(key, std::move(entry), bytes);
+}
+
+excitation_cache_stats_snapshot excitation_cache_stats() {
+  const auto s = full_cache().stats();
+  return {s.hits, s.misses, s.evictions, s.entries, s.bytes};
 }
 
 std::size_t excitation_length(const excitation_config& config) {

@@ -34,10 +34,15 @@ struct excitation {
   phy::bitvec wake_preamble;
 };
 
-/// Build the excitation for one backscatter opportunity. The wake preamble
-/// and the per-shape WiFi preamble + SIGNAL prefix are served from a
-/// process-wide cache keyed on (tag_id, wake_bits, rate, ppdu_bytes); only
-/// the seed-dependent payload symbols are recomputed per call.
+/// Build the excitation for one backscatter opportunity. Two process-wide
+/// caches serve repeated shapes: the prefix cache (wake preamble + WiFi
+/// legacy preamble + SIGNAL, keyed on (tag_id, wake_bits, rate,
+/// ppdu_bytes)) and the full-synthesis replay cache (the complete
+/// waveform including the payload symbols, keyed additionally on
+/// (payload_seed, n_ppdus)), so repeated-seed sweeps pay payload synthesis
+/// once per key. Cache hits are bitwise identical to fresh synthesis;
+/// budget BACKFI_EXCITATION_CACHE_MB (MiB, default 64, 0 disables the
+/// full-synthesis cache — the prefix cache is always on).
 excitation build_excitation(const excitation_config& config);
 
 /// As build_excitation(), recycling the caller's excitation buffers across
@@ -48,5 +53,17 @@ void build_excitation_into(const excitation_config& config, excitation& out,
 
 /// Duration [samples] of an excitation with the given parameters.
 std::size_t excitation_length(const excitation_config& config);
+
+/// Hit/miss/size counters of the full-synthesis excitation cache
+/// (process-wide, cumulative). Exported as runtime.excitation_cache.*
+/// gauges by the trial runner; all-zero when the cache is disabled.
+struct excitation_cache_stats_snapshot {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+excitation_cache_stats_snapshot excitation_cache_stats();
 
 }  // namespace backfi::reader

@@ -87,7 +87,11 @@ double oracle_post_mrc_snr_db_ws(std::span<const cplx> x,
 }
 
 // Publish the workspace reuse counters (cumulative over the thread's
-// trials; reuse_pct converges to ~100 once every buffer has warmed up).
+// trials; reuse_pct converges to ~100 once every buffer has warmed up)
+// plus the process-wide synthesis replay-cache counters. All of these are
+// execution-dependent (cache state outlives trials and is shared across
+// lanes), so they live under runtime.* — excluded from the deterministic
+// export profile alongside timing.*.
 void report_workspace_gauges(obs::collector* c, const dsp::workspace_stats& s) {
   if (!c) return;
   c->set_gauge("runtime.workspace.bytes_reused",
@@ -95,6 +99,22 @@ void report_workspace_gauges(obs::collector* c, const dsp::workspace_stats& s) {
   c->set_gauge("runtime.workspace.bytes_allocated",
                static_cast<double>(s.bytes_allocated));
   c->set_gauge("runtime.workspace.reuse_pct", 100.0 * s.reuse_fraction());
+  const channel::noise_cache_stats noise = channel::awgn_cache_stats();
+  c->set_gauge("runtime.noise_cache.hits", static_cast<double>(noise.hits));
+  c->set_gauge("runtime.noise_cache.misses",
+               static_cast<double>(noise.misses));
+  c->set_gauge("runtime.noise_cache.entries",
+               static_cast<double>(noise.entries));
+  c->set_gauge("runtime.noise_cache.bytes", static_cast<double>(noise.bytes));
+  const reader::excitation_cache_stats_snapshot ex =
+      reader::excitation_cache_stats();
+  c->set_gauge("runtime.excitation_cache.hits", static_cast<double>(ex.hits));
+  c->set_gauge("runtime.excitation_cache.misses",
+               static_cast<double>(ex.misses));
+  c->set_gauge("runtime.excitation_cache.entries",
+               static_cast<double>(ex.entries));
+  c->set_gauge("runtime.excitation_cache.bytes",
+               static_cast<double>(ex.bytes));
 }
 
 }  // namespace
@@ -113,6 +133,11 @@ double oracle_post_mrc_snr_db(std::span<const cplx> x,
 trial_workspace& local_trial_workspace() {
   thread_local trial_workspace workspace;
   return workspace;
+}
+
+trial_batch& local_trial_batch() {
+  thread_local trial_batch batch;
+  return batch;
 }
 
 trial_result run_backscatter_trial(const scenario_config& config) {
@@ -326,13 +351,19 @@ double packet_error_rate(const scenario_config& config, int trials) {
   const std::size_t n = static_cast<std::size_t>(trials);
   obs::collector_fork fork(config.collector, n);
   std::vector<std::uint8_t> failed(n, 0);
-  const sweep_stats stats = sweep_for(n, [&](std::size_t t) {
-    scenario_config c = config;
-    c.seed = derive_trial_seed(config.seed, t);
-    c.collector = fork.child(t);
-    const trial_result r = run_backscatter_trial(c);
-    failed[t] = (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
-  });
+  const sweep_stats stats =
+      sweep_for_ranges(n, [&](std::size_t begin, std::size_t end) {
+        // trial_batch: one scenario copy per claimed chunk; only the
+        // per-trial seed and collector change between trials.
+        scenario_config& c = local_trial_batch().scratch;
+        c = config;
+        for (std::size_t t = begin; t < end; ++t) {
+          c.seed = derive_trial_seed(config.seed, t);
+          c.collector = fork.child(t);
+          const trial_result r = run_backscatter_trial(c);
+          failed[t] = (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
+        }
+      });
   fork.join();
   report_sweep_stats(config.collector, stats);
   int failures = 0;
@@ -384,15 +415,27 @@ std::vector<per_estimate> packet_error_rates_adaptive(
     if (round.empty()) break;
     obs::collector_fork fork(collector, round.size());
     failed.assign(round.size(), 0);
-    const sweep_stats stats = sweep_for(round.size(), [&](std::size_t k) {
-      const round_task task = round[k];
-      scenario_config c = configs[task.point];
-      c.seed = derive_trial_seed(configs[task.point].seed,
-                                 static_cast<std::uint64_t>(task.trial));
-      c.collector = fork.child(k);
-      const trial_result r = run_backscatter_trial(c);
-      failed[k] = (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
-    });
+    const sweep_stats stats = sweep_for_ranges(
+        round.size(), [&](std::size_t begin, std::size_t end) {
+          // Rounds are laid out point-major, so a chunk is almost always
+          // same-point trials: the batch re-copies the scenario only at
+          // point boundaries and mutates seed/collector in between.
+          trial_batch& batch = local_trial_batch();
+          batch.point = static_cast<std::size_t>(-1);
+          for (std::size_t k = begin; k < end; ++k) {
+            const round_task task = round[k];
+            if (task.point != batch.point) {
+              batch.scratch = configs[task.point];
+              batch.point = task.point;
+            }
+            scenario_config& c = batch.scratch;
+            c.seed = derive_trial_seed(configs[task.point].seed,
+                                       static_cast<std::uint64_t>(task.trial));
+            c.collector = fork.child(k);
+            const trial_result r = run_backscatter_trial(c);
+            failed[k] = (!r.crc_ok || r.bit_errors != 0) ? 1 : 0;
+          }
+        });
     fork.join();
     report_sweep_stats(collector, stats);
     // Commit the round in (point, trial) order, then apply the stopping

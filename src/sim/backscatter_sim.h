@@ -126,6 +126,22 @@ struct trial_workspace {
 /// run_backscatter_trial overload uses).
 trial_workspace& local_trial_workspace();
 
+/// Per-chunk batch state of the flattened trial evaluators: the scheduler
+/// delivers same-point trials in contiguous chunks (sweep_for_ranges), and
+/// the chunk body reuses one scenario copy — re-copied only when the chunk
+/// crosses into a new sweep point — mutating just the per-trial seed and
+/// collector between trials. Seeds stay derive_trial_seed(point seed, t)
+/// verbatim and every trial still writes only its own slot, so batched
+/// execution is bit-identical to the per-index path at any BACKFI_THREADS.
+struct trial_batch {
+  scenario_config scratch;
+  /// Sweep point `scratch` was copied from (-1: not yet loaded).
+  std::size_t point = static_cast<std::size_t>(-1);
+};
+
+/// The calling thread's trial batch (reused across chunks and sweeps).
+trial_batch& local_trial_batch();
+
 /// Run one complete backscatter exchange (on the calling thread's
 /// workspace; results are independent of workspace history).
 trial_result run_backscatter_trial(const scenario_config& config);

@@ -40,7 +40,8 @@ class sweep_pool {
     return pool;
   }
 
-  sweep_stats run(std::size_t n, const std::function<void(std::size_t)>& body,
+  sweep_stats run(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t chunk, std::size_t threads);
 
  private:
@@ -88,7 +89,7 @@ class sweep_pool {
   // teardown never races a late worker.
   std::unique_ptr<lane_state[]> lanes_;
   std::size_t lanes_capacity_ = 0;
-  const std::function<void(std::size_t)>* body_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
   std::size_t chunk_ = 1;
   std::size_t lane_count_ = 0;
   std::atomic<std::size_t> worker_slot_{0};
@@ -175,7 +176,9 @@ void sweep_pool::participate(std::size_t my_lane) {
     const clock::time_point t0 = clock::now();
     std::exception_ptr error;
     try {
-      for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      // One call per claimed chunk: range bodies batch their per-chunk
+      // setup here; index bodies arrive pre-wrapped by sweep_for.
+      (*body)(begin, end);
     } catch (...) {
       error = std::current_exception();
     }
@@ -198,9 +201,9 @@ void sweep_pool::participate(std::size_t my_lane) {
   }
 }
 
-sweep_stats sweep_pool::run(std::size_t n,
-                            const std::function<void(std::size_t)>& body,
-                            std::size_t chunk, std::size_t threads) {
+sweep_stats sweep_pool::run(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t chunk, std::size_t threads) {
   std::lock_guard<std::mutex> job_lock(job_mutex_);
   sweep_stats stats;
   stats.tasks = n;
@@ -277,6 +280,17 @@ std::size_t sweep_chunk_size(std::size_t n, std::size_t chunk_option) {
 sweep_stats sweep_for(std::size_t n,
                       const std::function<void(std::size_t)>& body,
                       std::size_t chunk) {
+  return sweep_for_ranges(
+      n,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      chunk);
+}
+
+sweep_stats sweep_for_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t chunk) {
   sweep_stats stats;
   stats.chunk = sweep_chunk_size(n, chunk);
   stats.tasks = n;
@@ -288,7 +302,7 @@ sweep_stats sweep_for(std::size_t n,
   const std::size_t threads = std::min(thread_count(), stats.chunks);
   if (threads <= 1 || tl_in_sweep) {
     const clock::time_point t0 = clock::now();
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    body(0, n);
     stats.wall_seconds =
         std::chrono::duration<double>(clock::now() - t0).count();
     stats.busy_seconds.assign(1, stats.wall_seconds);

@@ -82,6 +82,20 @@ sweep_stats sweep_for(std::size_t n,
                       const std::function<void(std::size_t)>& body,
                       std::size_t chunk = 0);
 
+/// Range variant: each claimed chunk is delivered to the body as one
+/// contiguous [begin, end) range instead of per-index calls, so the body
+/// can batch per-chunk setup (a shared scenario copy, one pass through
+/// the vectorized synthesis kernels) across the trials of the chunk. The
+/// chunk layout is identical to sweep_for's (pure function of n, never of
+/// the thread count) and bodies must keep per-index results a function of
+/// the index alone, so everything the determinism contract pins —
+/// results, collector merges, sim.scheduler.* counters — is unchanged.
+/// Serial fallback delivers the single range [0, n).
+sweep_stats sweep_for_ranges(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t chunk = 0);
+
 /// Export one sweep's telemetry to `c` (null-safe no-op):
 ///   sim.scheduler.sweeps / .tasks / .chunks   counters, deterministic
 ///   runtime.scheduler.*                       gauges, execution-dependent

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "dsp/math_util.h"
 #include "dsp/vec_ops.h"
 
@@ -20,6 +22,72 @@ TEST(AwgnTest, ZeroPowerIsNoOp) {
   cvec x(100, cplx{1.0, 1.0});
   add_awgn(x, 0.0, gen);
   for (const auto& v : x) EXPECT_EQ(v, cplx(1.0, 1.0));
+}
+
+// Pins the stream-position contract from awgn.h: noise_power <= 0 returns
+// without consuming a single draw, so later draws from the generator are
+// exactly what they would be had add_awgn never been called. Silence-gap
+// simulation relies on this to keep trial streams aligned.
+TEST(AwgnTest, ZeroOrNegativePowerLeavesStreamUntouched) {
+  dsp::rng touched(7);
+  dsp::rng untouched(7);
+  cvec x(64, cplx{1.0, -1.0});
+  add_awgn(x, 0.0, touched);
+  add_awgn(x, -1.0, touched);
+  cvec empty;
+  add_awgn(empty, 0.25, touched);  // empty span: also zero draws
+  EXPECT_TRUE(touched.save() == untouched.save());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(touched.next_u64(), untouched.next_u64());
+  }
+  EXPECT_EQ(touched.gaussian(), untouched.gaussian());
+}
+
+// A replay-cache hit must be bitwise identical to the miss that populated
+// it: same added samples, same generator end state. Distinct seeds make the
+// first call a guaranteed miss (the key covers the full RNG state).
+TEST(AwgnTest, CacheHitMatchesMissBitwise) {
+  const auto before = awgn_cache_stats();
+  dsp::rng gen_a(0xA31Fu), gen_b(0xA31Fu);
+  cvec miss(257, cplx{0.5, -0.25});
+  cvec hit = miss;
+  add_awgn(miss, 0.04, gen_a);
+  add_awgn(hit, 0.04, gen_b);
+  for (std::size_t i = 0; i < miss.size(); ++i) {
+    EXPECT_EQ(miss[i].real(), hit[i].real()) << "sample " << i;
+    EXPECT_EQ(miss[i].imag(), hit[i].imag()) << "sample " << i;
+  }
+  EXPECT_TRUE(gen_a.save() == gen_b.save());
+  EXPECT_EQ(gen_a.uniform(), gen_b.uniform());
+  const auto after = awgn_cache_stats();
+  if (after.hits == before.hits) {
+    // Cache disabled in this environment (BACKFI_NOISE_CACHE_MB=0): both
+    // calls took the generate path, which the comparisons above still pin.
+    EXPECT_EQ(after.entries, 0u);
+  } else {
+    EXPECT_GE(after.hits, before.hits + 1);
+  }
+}
+
+// The noise amplitude is applied outside the cached unit-power samples, so
+// a hit at a different noise power is still bitwise identical to scalar
+// synthesis at that power: x[i] += sqrt(p) * gen.complex_gaussian().
+TEST(AwgnTest, CacheHitAtDifferentPowerMatchesScalarSynthesis) {
+  dsp::rng warm(0xB442u);
+  cvec x(123, cplx{0.0, 0.0});
+  add_awgn(x, 0.04, warm);  // populate (or just exercise) the cache key
+
+  dsp::rng gen(0xB442u), ref_gen(0xB442u);
+  cvec y(123, cplx{1.0, 2.0});
+  cvec ref = y;
+  add_awgn(y, 0.09, gen);
+  const double amp = std::sqrt(0.09);
+  for (auto& v : ref) v += amp * ref_gen.complex_gaussian();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(y[i].real(), ref[i].real()) << "sample " << i;
+    EXPECT_EQ(y[i].imag(), ref[i].imag()) << "sample " << i;
+  }
+  EXPECT_TRUE(gen.save() == ref_gen.save());
 }
 
 TEST(AwgnTest, NoiseIsAdditive) {

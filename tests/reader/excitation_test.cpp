@@ -130,5 +130,44 @@ TEST(ExcitationTest, PrefixCacheRespondsToEveryKeyField) {
     ASSERT_EQ(again.samples[i], ref.samples[i]) << i;
 }
 
+TEST(ExcitationTest, FullSynthesisCacheHitIsBitwiseIdentical) {
+  // A key this test alone uses: the first build is a guaranteed miss, the
+  // second a guaranteed hit, and the hit must reproduce the miss bitwise —
+  // samples, layout, and every field of the embedded PPDU.
+  excitation_config cfg;
+  cfg.tag_id = 11;
+  cfg.ppdu_bytes = 321;
+  cfg.n_ppdus = 2;
+  cfg.payload_seed = 0xFEED5EEDu;
+
+  const auto before = excitation_cache_stats();
+  const excitation miss = build_excitation(cfg);
+  const excitation hit = build_excitation(cfg);
+  const auto after = excitation_cache_stats();
+
+  ASSERT_EQ(hit.samples.size(), miss.samples.size());
+  for (std::size_t i = 0; i < miss.samples.size(); ++i)
+    ASSERT_EQ(hit.samples[i], miss.samples[i]) << i;
+  EXPECT_EQ(hit.wake_end, miss.wake_end);
+  EXPECT_EQ(hit.ppdu_start, miss.ppdu_start);
+  EXPECT_EQ(hit.wake_preamble, miss.wake_preamble);
+  EXPECT_EQ(hit.ppdu.rate, miss.ppdu.rate);
+  EXPECT_EQ(hit.ppdu.psdu_bytes, miss.ppdu.psdu_bytes);
+  EXPECT_EQ(hit.ppdu.n_data_symbols, miss.ppdu.n_data_symbols);
+  EXPECT_EQ(hit.ppdu.data_start, miss.ppdu.data_start);
+  EXPECT_EQ(hit.ppdu.payload, miss.ppdu.payload);
+  ASSERT_EQ(hit.ppdu.samples.size(), miss.ppdu.samples.size());
+  for (std::size_t i = 0; i < miss.ppdu.samples.size(); ++i)
+    ASSERT_EQ(hit.ppdu.samples[i], miss.ppdu.samples[i]) << i;
+
+  if (after.misses > before.misses) {
+    EXPECT_GE(after.hits, before.hits + 1);
+  } else {
+    // BACKFI_EXCITATION_CACHE_MB=0: both builds synthesized fresh, which
+    // the bitwise comparison above still pins.
+    EXPECT_EQ(after.entries, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace backfi::reader

@@ -147,6 +147,70 @@ TEST(SchedulerTest, ReportSplitsCountersFromRuntimeGauges) {
   report_sweep_runtime(nullptr, stats);
 }
 
+TEST(SchedulerTest, RangesCoverEveryIndexExactlyOnceAtEveryThreadCount) {
+  const std::size_t n = 1337;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    scoped_thread_count guard(threads);
+    std::vector<std::atomic<int>> counts(n);
+    for (auto& c : counts) c.store(0);
+    const sweep_stats stats =
+        sweep_for_ranges(n, [&](std::size_t begin, std::size_t end) {
+          ASSERT_LT(begin, end);
+          ASSERT_LE(end, n);
+          for (std::size_t i = begin; i < end; ++i)
+            counts[i].fetch_add(1, std::memory_order_relaxed);
+        });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(counts[i].load(), 1) << "threads=" << threads << " i=" << i;
+    EXPECT_EQ(stats.tasks, n);
+    // Same chunk layout as the per-index API: a delivered range never
+    // exceeds one chunk.
+    EXPECT_EQ(stats.chunk, sweep_chunk_size(n, 0));
+  }
+}
+
+TEST(SchedulerTest, RangeBodiesNeverReceiveMoreThanOneChunk) {
+  scoped_thread_count guard(4);
+  const std::size_t n = 1000, chunk = 16;
+  sweep_for_ranges(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        EXPECT_LE(end - begin, chunk);
+      },
+      chunk);
+  // Serial fallback (threads=1) delivers the whole pool as one range.
+  scoped_thread_count serial(1);
+  std::size_t calls = 0, covered = 0;
+  sweep_for_ranges(n, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    covered += end - begin;
+    EXPECT_EQ(begin, 0u);
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(covered, n);
+}
+
+TEST(SchedulerTest, RangeResultsIdenticalAcrossThreadCounts) {
+  // The trial batchers ride on this: a range body whose per-index value is
+  // a function of the index alone fills identical slot vectors at any
+  // thread count, no matter how the chunks were distributed.
+  const std::size_t n = 513;
+  std::vector<std::uint64_t> reference(n);
+  for (std::size_t i = 0; i < n; ++i)
+    reference[i] = derive_trial_seed(42, i) * 0x2545F4914F6CDD1DULL;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    scoped_thread_count guard(threads);
+    std::vector<std::uint64_t> out(n, 0);
+    sweep_for_ranges(n, [&](std::size_t begin, std::size_t end) {
+      // Per-chunk state (mirrors trial_batch): accumulation order inside a
+      // chunk is fixed, and slots depend only on their own index.
+      for (std::size_t i = begin; i < end; ++i)
+        out[i] = derive_trial_seed(42, i) * 0x2545F4914F6CDD1DULL;
+    });
+    EXPECT_EQ(out, reference) << "threads=" << threads;
+  }
+}
+
 TEST(SchedulerTest, ResultsIdenticalAcrossThreadCountsForSeededBodies) {
   // The determinism contract end to end: a body that derives its value
   // from (seed, index) alone produces the same slot vector at any thread
