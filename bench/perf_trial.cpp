@@ -31,6 +31,7 @@
 #include "sim/backscatter_sim.h"
 #include "sim/parallel.h"
 #include "sim/scheduler.h"
+#include "sim/stream_sim.h"
 
 namespace {
 
@@ -220,6 +221,65 @@ int main(int argc, char** argv) {
   std::printf("stages:    sum %.1f us of trial %.1f us  (coverage %.1f%%)\n",
               stage_sum * 1e6, trial_mean * 1e6, stage_coverage * 100.0);
 
+  // Streaming pipeline: one continuous 32-packet capture with inter-packet
+  // channel/LO drift through reader::stream_session, at 1 and 2 threads.
+  // Uses its own collector so the reader.stream.* stage spans stay out of
+  // the batch-trial stage-coverage math above; the decoded bit-stream must
+  // be identical across topologies (streaming determinism contract).
+  obs::collector stream_collector;
+  sim::stream_scenario_config stream_cfg;
+  stream_cfg.scenario = fig08_mid();
+  stream_cfg.scenario.seed = 1;
+  stream_cfg.scenario.collector = &stream_collector;
+  stream_cfg.n_packets = 32;
+  stream_cfg.forward_drift.coherence_packets = 16.0;
+  stream_cfg.lo_drift.step_std_rad = 0.02;
+  stream_cfg.feed_chunk_samples = 1u << 14;
+
+  auto stream_rep = [&](std::size_t threads, std::vector<double>& walls,
+                        int reps) {
+    stream_cfg.threads = threads;
+    sim::stream_trial_result last;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      last = sim::run_stream_trial(stream_cfg);
+      walls.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    return last;
+  };
+  std::vector<double> stream_walls_1t;
+  std::vector<double> stream_walls_2t;
+  stream_rep(1, stream_walls_1t, 1);  // warm-up (capture caches, buffers)
+  stream_walls_1t.clear();
+  const sim::stream_trial_result stream_1t =
+      stream_rep(1, stream_walls_1t, kReps);
+  const sim::stream_trial_result stream_2t =
+      stream_rep(2, stream_walls_2t, kReps);
+  const double stream_wall_1t = bench::median(stream_walls_1t);
+  const double stream_wall_2t = bench::median(stream_walls_2t);
+  const double stream_pps_1t = stream_cfg.n_packets / stream_wall_1t;
+  const double stream_pps_2t = stream_cfg.n_packets / stream_wall_2t;
+  bool stream_identical =
+      stream_1t.crc_ok == stream_2t.crc_ok &&
+      stream_1t.packets.size() == stream_2t.packets.size();
+  if (stream_identical) {
+    for (std::size_t i = 0; i < stream_1t.packets.size(); ++i)
+      if (stream_1t.packets[i].payload != stream_2t.packets[i].payload)
+        stream_identical = false;
+  }
+  const sim::stream_trial_result& sr = stream_2t;
+  std::printf("stream:    %5.1f pkt/sec 1t  %5.1f pkt/sec 2t  (32-pkt "
+              "drifting capture, crc %zu/32, bit-identical: %s)\n",
+              stream_pps_1t, stream_pps_2t, sr.crc_ok,
+              stream_identical ? "yes" : "NO — DETERMINISM BUG");
+  std::printf("stream 2t: cancel %.0f us/pkt  decode %.0f us/pkt  latency "
+              "max %.0f us  queue high-water %zu\n",
+              sr.stats.cancel_us_total / stream_cfg.n_packets,
+              sr.stats.decode_us_total / stream_cfg.n_packets,
+              sr.stats.latency_us_max, sr.stats.queue_high_water);
+
   std::string json;
   json += "{\n";
   json += "  \"backfi_bench_trial\": 1,\n";
@@ -266,6 +326,20 @@ int main(int argc, char** argv) {
   append_kv(json, "excitation_bytes", static_cast<double>(ex_cache.bytes),
             true);
   json += "  },\n";
+  json += "  \"stream\": {\n";
+  append_kv(json, "packets", static_cast<double>(stream_cfg.n_packets));
+  append_kv(json, "packets_per_sec_1t", stream_pps_1t);
+  append_kv(json, "packets_per_sec_2t", stream_pps_2t);
+  append_kv(json, "crc_ok", static_cast<double>(sr.crc_ok));
+  append_kv(json, "cancel_us_per_packet",
+            sr.stats.cancel_us_total / stream_cfg.n_packets);
+  append_kv(json, "decode_us_per_packet",
+            sr.stats.decode_us_total / stream_cfg.n_packets);
+  append_kv(json, "latency_us_max", sr.stats.latency_us_max);
+  append_kv(json, "queue_high_water",
+            static_cast<double>(sr.stats.queue_high_water));
+  json += std::string("    \"identical\": ") +
+          (stream_identical ? "true" : "false") + "\n  },\n";
   json += "  \"stage_means_us\": {\n";
   bool first = true;
   for (const auto& [name, h] : reg.histograms()) {
@@ -277,9 +351,20 @@ int main(int argc, char** argv) {
                   h.mean() * 1e6);
     json += buf;
   }
+  // The streaming stage spans live on their own collector (see above);
+  // record the reader.stream.* means alongside the batch stages.
+  for (const auto& [name, h] : stream_collector.registry().histograms()) {
+    if (name.rfind("timing.reader.stream.", 0) != 0 || h.count == 0) continue;
+    if (!first) json += ",\n";
+    first = false;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "    \"%s\": %.17g", name.c_str() + 7,
+                  h.mean() * 1e6);
+    json += buf;
+  }
   json += "\n  }\n}\n";
 
   const bool wrote = obs::write_file(out_path, json);
   std::printf("%s %s\n", wrote ? "wrote" : "FAILED to write", out_path.c_str());
-  return (identical && wrote) ? 0 : 1;
+  return (identical && stream_identical && wrote) ? 0 : 1;
 }

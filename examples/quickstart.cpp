@@ -53,14 +53,15 @@ int main() {
   if (!result.woke) return 1;
   std::printf("[stage 2] self-interference . . . %.1f dB cancelled "
               "(residue %.1f dB over thermal)\n",
-              result.total_depth_db, result.residual_si_over_noise_db);
+              result.link.total_depth_db,
+              result.link.residual_si_over_noise_db);
   std::printf("[stage 3] sync + channel  . . . . %s\n",
               result.sync_found ? "combined channel estimated, symbol timing locked"
                                 : "sync failed");
   if (!result.sync_found) return 1;
   std::printf("[stage 4] MRC decoding  . . . . . post-MRC SNR %.1f dB "
               "(oracle predicts %.1f dB)\n",
-              result.measured_snr_db, result.expected_snr_db);
+              result.link.post_mrc_snr_db, result.link.expected_snr_db);
   std::printf("[stage 5] Viterbi + CRC . . . . . %s, %zu bit errors\n",
               result.crc_ok ? "CRC OK" : "CRC FAILED", result.bit_errors);
 

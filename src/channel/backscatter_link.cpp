@@ -3,21 +3,11 @@
 #include <cmath>
 
 #include "channel/awgn.h"
+#include "channel/drift.h"
 #include "channel/pathloss.h"
 #include "dsp/math_util.h"
 
 namespace backfi::channel {
-
-namespace {
-
-/// Multipath statistics of the short-range reader<->tag links: strong LoS,
-/// 50-80 ns delay spread (paper Section 4.3.2).
-multipath_profile tag_link_profile(double gain_db) {
-  return {.n_taps = 3, .delay_spread_ns = 60.0, .rician_k_db = 10.0,
-          .total_gain_db = gain_db};
-}
-
-}  // namespace
 
 backscatter_channels draw_backscatter_channels(const link_budget& budget,
                                                double tag_distance_m,
@@ -36,10 +26,7 @@ backscatter_channels draw_backscatter_channels(const link_budget& budget,
 
   // One-way gain includes path loss and the tag's antenna gain (the reader
   // antenna is the 0 dBi reference).
-  const double one_way_db =
-      -log_distance_path_loss_db(tag_distance_m, budget.frequency_hz,
-                                 budget.path_loss_exponent) +
-      budget.tag_antenna_gain_dbi;
+  const double one_way_db = one_way_gain_db(budget, tag_distance_m);
   out.h_f = draw_multipath(tag_link_profile(one_way_db), gen);
   out.h_b = draw_multipath(tag_link_profile(one_way_db), gen);
 

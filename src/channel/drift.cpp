@@ -1,0 +1,40 @@
+#include "channel/drift.h"
+
+#include <cmath>
+
+#include "channel/pathloss.h"
+
+namespace backfi::channel {
+
+double drift_config::rho() const {
+  if (coherence_packets <= 0.0) return 1.0;
+  return std::exp(-1.0 / coherence_packets);
+}
+
+void evolve_multipath(cvec& taps, const multipath_profile& profile,
+                      const drift_config& config, dsp::rng& gen) {
+  if (!config.enabled() || taps.empty()) return;
+  const double rho = config.rho();
+  const double innovation_scale = std::sqrt(1.0 - rho * rho);
+  // The innovation must be a full realization of the same profile so the
+  // per-tap second moments (Rician LoS weight, PDP decay, normalization)
+  // are preserved exactly along the stream.
+  const cvec g = draw_multipath(profile, gen);
+  const std::size_t n = taps.size() < g.size() ? taps.size() : g.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    taps[k] = rho * taps[k] + innovation_scale * g[k];
+  }
+}
+
+multipath_profile tag_link_profile(double gain_db) {
+  return {.n_taps = 3, .delay_spread_ns = 60.0, .rician_k_db = 10.0,
+          .total_gain_db = gain_db};
+}
+
+double one_way_gain_db(const link_budget& budget, double tag_distance_m) {
+  return -log_distance_path_loss_db(tag_distance_m, budget.frequency_hz,
+                                    budget.path_loss_exponent) +
+         budget.tag_antenna_gain_dbi;
+}
+
+}  // namespace backfi::channel

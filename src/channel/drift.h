@@ -1,0 +1,71 @@
+// Inter-packet channel evolution for the streaming reader.
+//
+// The batch simulator draws one channel realization per trial; a
+// continuously running reader instead sees the forward channel *drift*
+// between packets as people and objects move. This module models that as a
+// first-order Gauss-Markov (AR(1)) process per tap:
+//
+//   h_f[k] = rho * h_f[k-1] + sqrt(1 - rho^2) * g[k],
+//   rho    = exp(-1 / coherence_packets),
+//
+// where g[k] is a fresh independent realization drawn from the SAME
+// multipath profile as the initial channel. Because the mixing weights
+// satisfy rho^2 + (1 - rho^2) = 1, the per-tap second moments — and
+// therefore the expected link budget — are invariant along the stream: a
+// drifting stream is statistically the same link at every packet, just
+// decorrelating with lag (correlation rho^|lag| between packets).
+//
+// Seeded evolution contract (pinned by tests/channel/drift_test.cpp):
+//  - evolution consumes draws from the caller's generator strictly in
+//    packet order: packet k's innovation is drawn before packet k+1's;
+//  - per packet, exactly one draw_multipath(profile, gen) realization is
+//    consumed (its internal draw order is draw_multipath's own), so the
+//    stream position after k steps depends only on (seed, k, profile);
+//  - coherence_packets <= 0 disables drift (taps held exactly, zero draws);
+//  - the same (initial taps, profile, seed, k) always yields bit-identical
+//    taps at packet k, on any thread and at any chunking of the stream.
+//
+// Only the forward (reader -> tag) channel drifts: the backward channel
+// rides the same physical paths, and the reader re-estimates the combined
+// h_f * h_b channel per packet anyway, so drifting one factor already
+// decorrelates every per-packet estimate. The self-interference channel
+// h_env is re-adapted per packet by the cancellation chain and is held
+// static between packets.
+#pragma once
+
+#include "channel/backscatter_link.h"
+#include "channel/multipath.h"
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace backfi::channel {
+
+struct drift_config {
+  /// AR(1) coherence length in packets; <= 0 disables drift entirely.
+  /// rho = exp(-1 / coherence_packets): 64 packets means adjacent packets
+  /// correlate at ~0.984 and decorrelate to 1/e after 64.
+  double coherence_packets = 0.0;
+
+  bool enabled() const { return coherence_packets > 0.0; }
+  /// The AR(1) mixing coefficient.
+  double rho() const;
+};
+
+/// Advance `taps` by one packet step of the AR(1) evolution, drawing the
+/// innovation realization from `profile` via `gen` (see the contract
+/// above). No-op (zero draws) when drift is disabled or `taps` is empty.
+void evolve_multipath(cvec& taps, const multipath_profile& profile,
+                      const drift_config& config, dsp::rng& gen);
+
+/// The multipath profile the reader<->tag links are drawn from in
+/// draw_backscatter_channels (strong LoS, 60 ns delay spread) at one-way
+/// gain `gain_db` — exposed so drift innovations can be drawn from the
+/// exact distribution of the initial realization.
+multipath_profile tag_link_profile(double gain_db);
+
+/// One-way reader->tag gain [dB] of the link budget at `tag_distance_m`
+/// (path loss plus tag antenna gain), i.e. the `total_gain_db` of the
+/// profile h_f was originally drawn from.
+double one_way_gain_db(const link_budget& budget, double tag_distance_m);
+
+}  // namespace backfi::channel

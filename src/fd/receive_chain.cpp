@@ -2,30 +2,60 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "dsp/vec_ops.h"
 #include "obs/collector.h"
 
 namespace backfi::fd {
 
-receive_chain_result run_receive_chain(std::span<const cplx> tx,
-                                       std::span<const cplx> rx,
-                                       std::size_t silent_begin,
-                                       std::size_t silent_end,
-                                       const receive_chain_config& config) {
-  receive_chain_scratch scratch;
-  receive_chain_result result =
-      run_receive_chain_into(tx, rx, silent_begin, silent_end, config, scratch);
-  result.cleaned = std::move(scratch.cleaned);
-  return result;
+const char* to_string(config_error error) {
+  switch (error) {
+    case config_error::none: return "none";
+    case config_error::zero_analog_taps: return "zero_analog_taps";
+    case config_error::zero_coefficient_bits: return "zero_coefficient_bits";
+    case config_error::zero_digital_taps: return "zero_digital_taps";
+    case config_error::bad_ridge: return "bad_ridge";
+    case config_error::bad_adc_bits: return "bad_adc_bits";
+    case config_error::bad_agc_headroom: return "bad_agc_headroom";
+    case config_error::zero_gain_block: return "zero_gain_block";
+  }
+  return "unknown";
 }
 
-receive_chain_result run_receive_chain_into(std::span<const cplx> tx,
-                                            std::span<const cplx> rx,
-                                            std::size_t silent_begin,
-                                            std::size_t silent_end,
-                                            const receive_chain_config& config,
-                                            receive_chain_scratch& scratch) {
+config_error receive_chain_config::validate() const {
+  if (analog.n_taps == 0) return config_error::zero_analog_taps;
+  if (analog.coefficient_bits == 0) return config_error::zero_coefficient_bits;
+  if (digital.n_taps == 0) return config_error::zero_digital_taps;
+  if (!std::isfinite(digital.ridge) || digital.ridge < 0.0)
+    return config_error::bad_ridge;
+  if (adc.bits == 0 || adc.bits > 32) return config_error::bad_adc_bits;
+  if (!std::isfinite(agc_headroom) || agc_headroom <= 0.0)
+    return config_error::bad_agc_headroom;
+  if (track_residual_gain && gain_block == 0)
+    return config_error::zero_gain_block;
+  return config_error::none;
+}
+
+void validate_or_throw(const receive_chain_config& config, const char* where) {
+  const config_error error = config.validate();
+  if (error == config_error::none) return;
+  std::string message = where;
+  message += ": invalid receive_chain_config (";
+  message += to_string(error);
+  message += ")";
+  throw std::invalid_argument(message);
+}
+
+namespace {
+
+receive_chain_result run_chain_core(std::span<const cplx> tx,
+                                    std::span<const cplx> rx,
+                                    std::size_t silent_begin,
+                                    std::size_t silent_end,
+                                    const receive_chain_config& config,
+                                    receive_chain_scratch& scratch) {
   receive_chain_result result;
   cvec& after_analog = scratch.after_analog;
   cvec& digitized = scratch.digitized;
@@ -193,6 +223,34 @@ receive_chain_result run_receive_chain_into(std::span<const cplx> tx,
   obs::observe(config.collector, obs::probe::total_depth_db,
                result.total_depth_db);
   return result;
+}
+
+}  // namespace
+
+receive_chain_result run_receive_chain(std::span<const cplx> tx,
+                                       std::span<const cplx> rx,
+                                       std::size_t silent_begin,
+                                       std::size_t silent_end,
+                                       const receive_chain_config& config,
+                                       receive_chain_scratch* scratch) {
+  validate_or_throw(config, "run_receive_chain");
+  if (scratch != nullptr) {
+    return run_chain_core(tx, rx, silent_begin, silent_end, config, *scratch);
+  }
+  receive_chain_scratch local;
+  receive_chain_result result =
+      run_chain_core(tx, rx, silent_begin, silent_end, config, local);
+  result.cleaned = std::move(local.cleaned);
+  return result;
+}
+
+receive_chain_result run_receive_chain_into(std::span<const cplx> tx,
+                                            std::span<const cplx> rx,
+                                            std::size_t silent_begin,
+                                            std::size_t silent_end,
+                                            const receive_chain_config& config,
+                                            receive_chain_scratch& scratch) {
+  return run_receive_chain(tx, rx, silent_begin, silent_end, config, &scratch);
 }
 
 }  // namespace backfi::fd

@@ -3,6 +3,7 @@
 // the packet (paper Fig. 5).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 
@@ -14,6 +15,24 @@ class collector;
 }  // namespace backfi::obs
 
 namespace backfi::fd {
+
+/// Why a receive_chain_config is unusable (the sim::config_error pattern:
+/// a typed first-violation reason so sweep drivers can name the knob that
+/// went out of range). Checked by validate(); run_receive_chain rejects
+/// invalid configs up front.
+enum class config_error : std::uint8_t {
+  none,
+  zero_analog_taps,       ///< analog.n_taps == 0
+  zero_coefficient_bits,  ///< analog.coefficient_bits == 0
+  zero_digital_taps,      ///< digital.n_taps == 0
+  bad_ridge,              ///< digital.ridge negative or non-finite
+  bad_adc_bits,           ///< adc.bits outside [1, 32]
+  bad_agc_headroom,       ///< agc_headroom not finite-positive
+  zero_gain_block,        ///< track_residual_gain with gain_block == 0
+};
+
+/// Display name, e.g. "bad_adc_bits".
+const char* to_string(config_error error);
 
 struct receive_chain_config {
   analog_canceller_config analog;
@@ -43,7 +62,16 @@ struct receive_chain_config {
   /// ADC saturation / bypass events and per-stage timing spans through it.
   /// Null (the default) compiles to no-ops on the hot path.
   obs::collector* collector = nullptr;
+
+  /// First violated constraint, or config_error::none when usable. Bypassed
+  /// stages are still validated: a sweep that zeroes a knob is broken even
+  /// when the stage happens to be disabled at that point.
+  config_error validate() const;
 };
+
+/// Throw std::invalid_argument naming `where` and the violated constraint
+/// when the config is invalid (called by run_receive_chain itself).
+void validate_or_throw(const receive_chain_config& config, const char* where);
 
 /// Result of running the chain over a full packet.
 struct receive_chain_result {
@@ -58,9 +86,9 @@ struct receive_chain_result {
   bool cancellation_bypassed = false;
 };
 
-/// Reusable buffers for repeated run_receive_chain_into calls (one per
-/// worker thread). `stats`, when non-null, accumulates reuse-vs-allocation
-/// bytes across the chain's buffer acquisitions.
+/// Reusable buffers for repeated run_receive_chain calls (one per worker
+/// thread). `stats`, when non-null, accumulates reuse-vs-allocation bytes
+/// across the chain's buffer acquisitions.
 struct receive_chain_scratch {
   cvec after_analog;
   cvec digitized;
@@ -72,16 +100,22 @@ struct receive_chain_scratch {
 /// clean the entire rx buffer. tx and rx must be time-aligned and equally
 /// long; a degenerate silent window or misaligned buffers return a flagged
 /// pass-through result instead of adapting on garbage.
+///
+/// With `scratch == nullptr` the cleaned waveform is returned in
+/// result.cleaned. With a scratch, every intermediate waveform lives in it
+/// and the cleaned output is produced in scratch->cleaned — result.cleaned
+/// is left empty so a reusing caller performs no capture-length
+/// allocations. All computed values are bit-identical either way.
 receive_chain_result run_receive_chain(std::span<const cplx> tx,
                                        std::span<const cplx> rx,
                                        std::size_t silent_begin,
                                        std::size_t silent_end,
-                                       const receive_chain_config& config = {});
+                                       const receive_chain_config& config = {},
+                                       receive_chain_scratch* scratch = nullptr);
 
-/// As run_receive_chain(), but all intermediate waveforms live in `scratch`
-/// and the cleaned output is produced in scratch.cleaned — result.cleaned is
-/// left empty so a reusing caller performs no capture-length allocations.
-/// All computed values are bit-identical to run_receive_chain().
+/// Transitional alias for the scratch-reference spelling; call
+/// run_receive_chain(..., &scratch) instead. Removed next PR.
+[[deprecated("use run_receive_chain(..., &scratch)")]]
 receive_chain_result run_receive_chain_into(std::span<const cplx> tx,
                                             std::span<const cplx> rx,
                                             std::size_t silent_begin,

@@ -71,6 +71,19 @@ void apply_iq_imbalance(const iq_imbalance_config& config, std::span<cplx> x) {
   }
 }
 
+double lo_drift_state::step(const lo_drift_config& config, dsp::rng& gen) {
+  if (config.enabled()) phase_rad += config.step_std_rad * gen.gaussian();
+  return phase_rad;
+}
+
+void apply_constant_phase(std::span<cplx> x, double phase_rad) {
+  if (phase_rad == 0.0) return;
+  double sn, cs;
+  dsp::sin_cos(phase_rad, sn, cs);
+  const cplx rot{cs, sn};
+  for (cplx& v : x) v *= rot;
+}
+
 void apply_sampling_offset(const sampling_offset_config& config,
                            std::span<cplx> x) {
   if (config.ppm == 0.0 || x.size() < 2) return;

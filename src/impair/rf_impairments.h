@@ -53,6 +53,34 @@ struct iq_imbalance_config {
 
 void apply_iq_imbalance(const iq_imbalance_config& config, std::span<cplx> x);
 
+/// Slow LO phase drift *between packets* along a continuous capture: the
+/// residual phase offset between the reader's LO and the tag's reflection
+/// performs a random walk from packet to packet (thermal drift far below
+/// the per-sample phase-noise linewidth). The streaming reader re-estimates
+/// the combined channel per packet, so this models the inter-packet
+/// decorrelation that batch one-shot trials cannot express.
+///
+/// Seeded evolution contract (pinned by tests): when enabled, step()
+/// consumes exactly one gen.gaussian() draw per packet in stream order —
+/// theta_k = theta_{k-1} + step_std_rad * g_k — and zero draws when
+/// disabled, so the phase at packet k depends only on (seed, k).
+struct lo_drift_config {
+  double step_std_rad = 0.0;  ///< per-packet random-walk step; <= 0 disables
+
+  bool enabled() const { return step_std_rad > 0.0; }
+};
+
+struct lo_drift_state {
+  double phase_rad = 0.0;
+
+  /// Advance one packet step and return the new accumulated phase.
+  double step(const lo_drift_config& config, dsp::rng& gen);
+};
+
+/// Rotate every sample by the constant phasor e^{j*phase_rad} (the frozen
+/// per-packet LO offset applied to the backscatter component).
+void apply_constant_phase(std::span<cplx> x, double phase_rad);
+
 /// Sampling clock offset between reader TX and RX converters: the RX
 /// stream is resampled by (1 + ppm*1e-6) with linear interpolation, so a
 /// packet's tail slides by ppm*1e-6*N samples against the TX timeline.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "dsp/fir.h"
 #include "dsp/linalg.h"
@@ -69,9 +71,48 @@ const char* to_string(decode_failure failure) {
   return "unknown";
 }
 
+const char* to_string(config_error error) {
+  switch (error) {
+    case config_error::none: return "none";
+    case config_error::zero_channel_taps: return "zero_channel_taps";
+    case config_error::bad_sync_threshold: return "bad_sync_threshold";
+    case config_error::bad_timing_search: return "bad_timing_search";
+    case config_error::bad_ridge: return "bad_ridge";
+    case config_error::bad_retry_scale: return "bad_retry_scale";
+    case config_error::bad_tracking_gain: return "bad_tracking_gain";
+  }
+  return "unknown";
+}
+
+config_error decoder_config::validate() const {
+  if (fb_taps == 0) return config_error::zero_channel_taps;
+  if (!(sync_threshold > 0.0) || sync_threshold > 1.0)
+    return config_error::bad_sync_threshold;
+  if (timing_search < 0) return config_error::bad_timing_search;
+  if (!std::isfinite(ridge) || ridge < 0.0) return config_error::bad_ridge;
+  if (!std::isfinite(retry_search_scale) || retry_search_scale < 1.0)
+    return config_error::bad_retry_scale;
+  if (!std::isfinite(phase_tracking_gain) || phase_tracking_gain < 0.0 ||
+      phase_tracking_gain > 1.0)
+    return config_error::bad_tracking_gain;
+  return config_error::none;
+}
+
+void validate_or_throw(const decoder_config& config, const char* where) {
+  const config_error error = config.validate();
+  if (error == config_error::none) return;
+  std::string message = where;
+  message += ": invalid decoder_config (";
+  message += to_string(error);
+  message += ")";
+  throw std::invalid_argument(message);
+}
+
 backfi_decoder::backfi_decoder(const tag::tag_config& tag_config,
                                const decoder_config& config)
-    : tag_config_(tag_config), config_(config) {}
+    : tag_config_(tag_config), config_(config) {
+  validate_or_throw(config_, "backfi_decoder");
+}
 
 cvec backfi_decoder::estimate_combined_channel(std::span<const cplx> x,
                                                std::span<const cplx> y,
@@ -94,9 +135,13 @@ cvec backfi_decoder::estimate_combined_channel(std::span<const cplx> x,
 decode_result backfi_decoder::decode(std::span<const cplx> x,
                                      std::span<const cplx> y,
                                      std::size_t nominal_origin,
-                                     std::size_t payload_bits) const {
-  decoder_scratch scratch;
-  return decode(x, y, nominal_origin, payload_bits, scratch);
+                                     std::size_t payload_bits,
+                                     decoder_scratch* scratch) const {
+  if (scratch == nullptr) {
+    decoder_scratch local;
+    return decode_with_scratch(x, y, nominal_origin, payload_bits, local);
+  }
+  return decode_with_scratch(x, y, nominal_origin, payload_bits, *scratch);
 }
 
 decode_result backfi_decoder::decode(std::span<const cplx> x,
@@ -104,6 +149,13 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
                                      std::size_t nominal_origin,
                                      std::size_t payload_bits,
                                      decoder_scratch& scratch) const {
+  return decode_with_scratch(x, y, nominal_origin, payload_bits, scratch);
+}
+
+decode_result backfi_decoder::decode_with_scratch(
+    std::span<const cplx> x, std::span<const cplx> y,
+    std::size_t nominal_origin, std::size_t payload_bits,
+    decoder_scratch& scratch) const {
   decode_result result;
   obs::timing_span decode_span(config_.collector, "reader.decode");
   // --- Input validation: malformed captures return a typed failure ---

@@ -48,6 +48,23 @@ enum class decode_failure : std::uint8_t {
 /// Display name, e.g. "sync_not_found".
 const char* to_string(decode_failure failure);
 
+/// Why a decoder_config is unusable (the sim::config_error pattern: typed
+/// first-violation reason). Checked by validate(); the backfi_decoder
+/// constructor rejects invalid configs up front — unlike decode_failure,
+/// which reports malformed *input*, this reports a malformed *setup*.
+enum class config_error : std::uint8_t {
+  none,
+  zero_channel_taps,   ///< fb_taps == 0
+  bad_sync_threshold,  ///< sync_threshold outside (0, 1]
+  bad_timing_search,   ///< timing_search < 0
+  bad_ridge,           ///< ridge negative or non-finite
+  bad_retry_scale,     ///< retry_search_scale < 1 or non-finite
+  bad_tracking_gain,   ///< phase_tracking_gain outside [0, 1] or non-finite
+};
+
+/// Display name, e.g. "bad_sync_threshold".
+const char* to_string(config_error error);
+
 struct decoder_config {
   /// Taps of the combined forward-backward channel estimate. The paper's
   /// short indoor channels make L+M about 4-6 at 50 ns spacing.
@@ -77,7 +94,14 @@ struct decoder_config {
   /// failure counters and stage timing spans through it. Null (the
   /// default) compiles to no-ops on the hot path.
   obs::collector* collector = nullptr;
+
+  /// First violated constraint, or config_error::none when usable.
+  config_error validate() const;
 };
+
+/// Throw std::invalid_argument naming `where` and the violated constraint
+/// when the config is invalid (called by the backfi_decoder constructor).
+void validate_or_throw(const decoder_config& config, const char* where);
 
 struct decode_result {
   bool sync_found = false;   ///< sync word located above threshold
@@ -115,12 +139,16 @@ class backfi_decoder {
   ///  y               the receive samples after SI cancellation
   ///  nominal_origin  the reader's estimate of the tag's wake instant
   ///  payload_bits    expected payload size (link-layer agreed)
+  ///  scratch         optional reusable buffers so a warmed-up worker runs
+  ///                  the sync scan and MRC allocation-free; results are
+  ///                  bit-identical with or without one
   decode_result decode(std::span<const cplx> x, std::span<const cplx> y,
-                       std::size_t nominal_origin, std::size_t payload_bits) const;
+                       std::size_t nominal_origin, std::size_t payload_bits,
+                       decoder_scratch* scratch = nullptr) const;
 
-  /// As decode(), reusing the caller's scratch buffers so a warmed-up
-  /// worker runs the sync scan and MRC allocation-free. Results are
-  /// bit-identical to the scratch-less overload.
+  /// Transitional alias for the scratch-reference spelling; call
+  /// decode(..., &scratch) instead. Removed next PR.
+  [[deprecated("use decode(..., &scratch)")]]
   decode_result decode(std::span<const cplx> x, std::span<const cplx> y,
                        std::size_t nominal_origin, std::size_t payload_bits,
                        decoder_scratch& scratch) const;
@@ -142,6 +170,13 @@ class backfi_decoder {
   const decoder_config& config() const { return config_; }
 
  private:
+  /// The actual decode body; both public spellings land here.
+  decode_result decode_with_scratch(std::span<const cplx> x,
+                                    std::span<const cplx> y,
+                                    std::size_t nominal_origin,
+                                    std::size_t payload_bits,
+                                    decoder_scratch& scratch) const;
+
   /// Shared demap/Viterbi/CRC tail used by decode() and decode_from_symbols;
   /// takes the constellation and its label->point-index table so neither
   /// caller rebuilds them.

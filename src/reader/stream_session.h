@@ -1,0 +1,195 @@
+// Streaming receive pipeline: a continuously running reader session that
+// consumes a capture through bounded SPSC ring buffers between stages
+// instead of one batch call per packet (the BackFi AP is an always-on
+// device; ROADMAP "streaming reader" item).
+//
+// Stage diagram (DESIGN.md "Streaming architecture"):
+//
+//   caller (capture)                    session pipeline
+//   ----------------                    ----------------------------------
+//   feed(chunk) --> [capture ring] -->  cancellation (run_receive_chain,
+//       |            bounded SPSC       adapt on the packet's own silent
+//       |            backpressure       window) + segmentation
+//       v            boundary               |
+//   block / drop                            v
+//   when full                          [segment ring] --> decode (sync
+//                                       bounded SPSC      scan, MRC, PSK
+//                                                         demap, Viterbi,
+//                                                         CRC)
+//
+// With `threads == 1` every stage runs inline on the caller's thread (the
+// rings still carry the hand-offs, so wraparound/backpressure behave
+// identically); with `threads == 2` the cancellation+decode stages run on
+// one worker thread and the capture ring is the cross-thread boundary. The
+// decoded bit-stream is bit-identical at 1 and 2 threads and to the batch
+// per-packet path (pinned by tests/sim/stream_test.cpp): segments are
+// decoded strictly in schedule order through the exact same
+// run_receive_chain / backfi_decoder::decode calls on identical subspans.
+//
+// Probe confinement: obs::collector is not thread-safe, so in 2-thread
+// mode the chain/decoder probes go to a session-private worker collector
+// that finish() merges into the caller's after the join.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "dsp/ring_buffer.h"
+#include "fd/receive_chain.h"
+#include "obs/collector.h"
+#include "reader/decoder.h"
+#include "tag/tag_device.h"
+
+namespace backfi::reader {
+
+/// One packet's position on the continuous capture timeline. All indices
+/// are absolute sample offsets into the session's (x, y) spans and must
+/// satisfy begin <= wake_end <= silent_end and wake_end <= end <= capture
+/// length. A degenerate silent window (empty, or past the segment end)
+/// flows through to run_receive_chain's own bypass handling, exactly as
+/// in the batch path.
+struct stream_packet {
+  std::size_t begin = 0;       ///< first sample of the packet's segment
+  std::size_t end = 0;         ///< one past the last sample
+  std::size_t wake_end = 0;    ///< nominal tag origin = silent-window start
+  std::size_t silent_end = 0;  ///< end of the cancellation training window
+  std::size_t payload_bits = 0;
+};
+
+/// What to do when the capture ring is full (2-thread mode: the decoder
+/// fell behind the capture).
+enum class stream_overflow : std::uint8_t {
+  block,  ///< stall the producer until a slot frees (lossless, default)
+  drop,   ///< drop the packet and count it (bounded-latency mode)
+};
+
+struct stream_config {
+  tag::tag_config tag;
+  decoder_config decoder;
+  fd::receive_chain_config chain;
+  /// 1 = all stages inline on the caller's thread; 2 = pipeline stages on
+  /// a dedicated worker thread behind the capture ring.
+  std::size_t threads = 1;
+  /// Capacity of each inter-stage ring [packets] (rounded up to a power
+  /// of two). This bounds queue depth and therefore in-flight latency.
+  std::size_t queue_capacity = 8;
+  stream_overflow overflow = stream_overflow::block;
+  /// Applied to the cleaned segment between cancellation and decode
+  /// (arguments: aligned tx segment, cleaned segment, silent-window end
+  /// relative to the segment). The simulator injects post-cancellation
+  /// faults here.
+  std::function<void(std::span<const cplx>, std::span<cplx>, std::size_t)>
+      post_cancel_hook;
+  /// Observability sink (nullable), see probe confinement note above.
+  obs::collector* collector = nullptr;
+  /// Emit the session's own reader.stream.* / runtime.stream.* metrics and
+  /// per-stage timing spans in finish(). The one-shot batch wrapper turns
+  /// this off so a wrapped trial's export stays byte-identical to the
+  /// direct-call path; chain/decoder probes pass through regardless.
+  bool emit_stream_metrics = true;
+  /// Optional external scratch (one per session; in 2-thread mode the
+  /// worker owns them for the session's lifetime). The batch wrapper
+  /// passes the trial workspace's arenas so the hot path stays
+  /// allocation-free; null means session-owned scratch.
+  fd::receive_chain_scratch* chain_scratch = nullptr;
+  decoder_scratch* decode_scratch = nullptr;
+};
+
+/// Per-packet outcome, in schedule order.
+struct stream_packet_result {
+  std::size_t index = 0;  ///< position in the session's schedule
+  bool dropped = false;   ///< overflowed the capture ring (drop policy)
+  fd::receive_chain_result chain;  ///< cleaned empty (scratch semantics)
+  decode_result decoded;
+};
+
+/// Session accounting (valid after finish()). Latency numbers are wall
+/// clock and therefore execution-dependent; counts are deterministic under
+/// the block overflow policy.
+struct stream_stats {
+  std::size_t packets_in = 0;       ///< schedule entries fed
+  std::size_t packets_decoded = 0;  ///< segments that reached the decoder
+  std::size_t packets_dropped = 0;  ///< overflow drops (drop policy only)
+  std::size_t crc_ok = 0;
+  std::size_t queue_high_water = 0;  ///< max capture-ring depth observed
+  double cancel_us_total = 0.0;      ///< cancellation-stage wall time
+  double decode_us_total = 0.0;      ///< decode-stage wall time
+  double latency_us_max = 0.0;       ///< max feed->decoded packet latency
+  double latency_us_total = 0.0;
+};
+
+/// A streaming decode session over one continuous capture. x is the
+/// reader's transmit timeline, y the receive capture (equal length, both
+/// alive for the session's lifetime), `schedule` the packet layout in
+/// ascending begin order. Feed the capture in chunks of any size —
+/// processing fires whenever a packet's last sample becomes available, so
+/// results are invariant to the chunking.
+class stream_session {
+ public:
+  stream_session(std::span<const cplx> x, std::span<const cplx> y,
+                 std::span<const stream_packet> schedule,
+                 const stream_config& config);
+  ~stream_session();
+  stream_session(const stream_session&) = delete;
+  stream_session& operator=(const stream_session&) = delete;
+
+  /// Advance the capture watermark by n samples (clamped to the capture
+  /// length); every schedule entry now fully captured is pushed through
+  /// the pipeline.
+  void feed(std::size_t n_samples);
+
+  /// Feed any remaining capture, drain the pipeline, join the worker and
+  /// emit the session metrics. Idempotent; results()/stats() are valid
+  /// (and stable) afterwards.
+  void finish();
+
+  /// Per-packet results in schedule order (after finish()).
+  const std::vector<stream_packet_result>& results() const { return results_; }
+  const stream_stats& stats() const { return stats_; }
+
+ private:
+  struct segment;  // cancelled packet in flight between the stages
+
+  void push_ready_packets();
+  void produce(std::size_t index);        // capture -> cancellation stage
+  void cancel_segment(std::size_t index); // cancellation + segmentation
+  void drain_decode_ring();               // decode stage
+  void worker_loop();
+
+  std::span<const cplx> x_;
+  std::span<const cplx> y_;
+  std::vector<stream_packet> schedule_;
+  stream_config config_;
+
+  std::unique_ptr<dsp::spsc_ring<std::size_t>> capture_ring_;
+  std::unique_ptr<dsp::spsc_ring<segment>> decode_ring_;
+  std::vector<segment> free_segments_;  ///< consumer-stage buffer recycling
+
+  fd::receive_chain_scratch own_chain_scratch_;
+  decoder_scratch own_decode_scratch_;
+  fd::receive_chain_scratch* chain_scratch_ = nullptr;
+  decoder_scratch* decode_scratch_ = nullptr;
+
+  std::unique_ptr<backfi_decoder> decoder_;
+  std::unique_ptr<obs::collector> worker_collector_;
+  obs::collector* stage_collector_ = nullptr;  ///< what the stages report to
+
+  std::size_t watermark_ = 0;    ///< samples fed so far
+  std::size_t next_packet_ = 0;  ///< first schedule entry not yet pushed
+  bool finished_ = false;
+
+  std::vector<stream_packet_result> results_;
+  stream_stats stats_;          ///< producer-side fields until finish()
+  stream_stats worker_stats_;   ///< stage-side fields, folded in finish()
+
+  std::thread worker_;
+  std::atomic<bool> producer_done_{false};
+};
+
+}  // namespace backfi::reader

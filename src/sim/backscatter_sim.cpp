@@ -10,6 +10,7 @@
 #include "dsp/math_util.h"
 #include "dsp/vec_ops.h"
 #include "phy/constellation.h"
+#include "reader/stream_session.h"
 #include "sim/parallel.h"
 #include "sim/scheduler.h"
 #include "tag/wake_detector.h"
@@ -30,6 +31,12 @@ const char* to_string(config_error error) {
     case config_error::bad_sync_threshold: return "bad_sync_threshold";
     case config_error::empty_excitation: return "empty_excitation";
     case config_error::bad_bandwidth: return "bad_bandwidth";
+    case config_error::bad_decoder_config: return "bad_decoder_config";
+    case config_error::bad_chain_config: return "bad_chain_config";
+    case config_error::zero_stream_packets: return "zero_stream_packets";
+    case config_error::bad_stream_threads: return "bad_stream_threads";
+    case config_error::bad_stream_queue: return "bad_stream_queue";
+    case config_error::bad_drift: return "bad_drift";
   }
   return "unknown";
 }
@@ -42,9 +49,18 @@ config_error scenario_config::validate() const {
       tag.rate.symbol_rate_hz <= 0.0 ||
       tag.rate.symbol_rate_hz > sample_rate_hz / 2.0)
     return config_error::bad_symbol_rate;
-  if (decoder.fb_taps == 0) return config_error::zero_channel_taps;
-  if (!(decoder.sync_threshold > 0.0) || decoder.sync_threshold > 1.0)
-    return config_error::bad_sync_threshold;
+  // Delegate the sub-config checks to their own validators; the two
+  // decoder violations this enum predates keep their original values.
+  switch (decoder.validate()) {
+    case reader::config_error::none: break;
+    case reader::config_error::zero_channel_taps:
+      return config_error::zero_channel_taps;
+    case reader::config_error::bad_sync_threshold:
+      return config_error::bad_sync_threshold;
+    default: return config_error::bad_decoder_config;
+  }
+  if (chain.validate() != fd::config_error::none)
+    return config_error::bad_chain_config;
   if (excitation.n_ppdus == 0) return config_error::empty_excitation;
   if (!(budget.bandwidth_hz > 0.0)) return config_error::bad_bandwidth;
   return config_error::none;
@@ -246,9 +262,35 @@ trial_result run_backscatter_trial(const scenario_config& config,
       faults.apply_front_end(samples);
     };
   }
-  auto chain = fd::run_receive_chain_into(ex.samples, rx, silent_begin,
-                                          silent_end, chain_cfg, ws.chain);
-  faults.apply_post_cancellation(ex.samples, ws.chain.cleaned, silent_end);
+  // The batch trial is a thin wrapper over a one-packet streaming session
+  // (threads = 1, stream metrics off): bit-identical to direct chain+decode
+  // calls by the streaming contract, with the trial workspace arenas passed
+  // through as the session scratch so the hot path stays allocation-free.
+  reader::stream_config stream_cfg;
+  stream_cfg.tag = config.tag;
+  stream_cfg.decoder = config.decoder;
+  stream_cfg.chain = std::move(chain_cfg);
+  stream_cfg.threads = 1;
+  stream_cfg.queue_capacity = 1;
+  stream_cfg.collector = c;
+  stream_cfg.emit_stream_metrics = false;
+  stream_cfg.chain_scratch = &ws.chain;
+  stream_cfg.decode_scratch = &ws.decoder;
+  stream_cfg.post_cancel_hook = [&faults](std::span<const cplx> tx,
+                                          std::span<cplx> cleaned,
+                                          std::size_t window_end) {
+    faults.apply_post_cancellation(tx, cleaned, window_end);
+  };
+  const reader::stream_packet packet{.begin = 0,
+                                     .end = rx.size(),
+                                     .wake_end = ex.wake_end,
+                                     .silent_end = silent_end,
+                                     .payload_bits = config.payload_bits};
+  reader::stream_session session(ex.samples, rx, std::span(&packet, 1),
+                                 stream_cfg);
+  session.finish();
+  const reader::stream_packet_result& packet_result = session.results().front();
+  const fd::receive_chain_result& chain = packet_result.chain;
   result.cancellation_bypassed = chain.cancellation_bypassed;
   result.link.analog_depth_db = chain.analog_depth_db;
   result.link.total_depth_db = chain.total_depth_db;
@@ -258,12 +300,8 @@ trial_result run_backscatter_trial(const scenario_config& config,
   obs::observe(c, obs::probe::residual_si_over_noise_db,
                result.link.residual_si_over_noise_db);
 
-  // --- BackFi decoding ---
-  reader::decoder_config dec_cfg = config.decoder;
-  dec_cfg.collector = c;
-  const reader::backfi_decoder decoder(config.tag, dec_cfg);
-  const auto decoded = decoder.decode(ex.samples, ws.chain.cleaned, ex.wake_end,
-                                      config.payload_bits, ws.decoder);
+  // --- BackFi decoding (ran inside the stream session) ---
+  const reader::decode_result& decoded = packet_result.decoded;
   result.sync_found = decoded.sync_found;
   result.decoded = decoded.decoded;
   result.crc_ok = decoded.crc_ok;
@@ -328,13 +366,6 @@ trial_result run_backscatter_trial(const scenario_config& config,
                  result.effective_throughput_bps);
   }
 
-  // Single production point of the deprecated aliases: mirror `link` here
-  // (the early returns above leave both at their identical zero defaults).
-  result.measured_snr_db = result.link.post_mrc_snr_db;
-  result.expected_snr_db = result.link.expected_snr_db;
-  result.residual_si_over_noise_db = result.link.residual_si_over_noise_db;
-  result.analog_depth_db = result.link.analog_depth_db;
-  result.total_depth_db = result.link.total_depth_db;
   report_workspace_gauges(c, ws.stats);
   return result;
 }

@@ -31,6 +31,15 @@ enum class config_error : std::uint8_t {
   bad_sync_threshold,     ///< decoder.sync_threshold outside (0, 1]
   empty_excitation,       ///< excitation.n_ppdus == 0
   bad_bandwidth,          ///< budget.bandwidth_hz <= 0
+  // Appended (enum values are append-only): delegated sub-config
+  // validation beyond the two decoder knobs named above.
+  bad_decoder_config,     ///< decoder.validate() failed (other knob)
+  bad_chain_config,       ///< chain.validate() failed
+  // Streaming-scenario constraints (sim/stream_sim.h).
+  zero_stream_packets,    ///< stream n_packets == 0
+  bad_stream_threads,     ///< stream threads outside {1, 2}
+  bad_stream_queue,       ///< stream queue_capacity == 0
+  bad_drift,              ///< non-finite drift coherence / bad LO step
 };
 
 /// Display name, e.g. "bad_symbol_rate".
@@ -78,16 +87,9 @@ struct trial_result {
 
   /// Link-quality report (the quantities the paper's figures plot). Units
   /// follow the probe catalogue: dB for ratios and depths, bps for rates,
-  /// pJ for energy.
+  /// pJ for energy. (The PR 3 top-level alias mirrors of these fields are
+  /// gone; read `r.link.*`.)
   obs::link_report link;
-
-  // Deprecated aliases of `link` fields, mirrored at the end of
-  // run_backscatter_trial while callers migrate to `r.link.*`.
-  double measured_snr_db = 0.0;            ///< = link.post_mrc_snr_db
-  double expected_snr_db = 0.0;            ///< = link.expected_snr_db
-  double residual_si_over_noise_db = 0.0;  ///< = link.residual_si_over_noise_db
-  double analog_depth_db = 0.0;            ///< = link.analog_depth_db
-  double total_depth_db = 0.0;             ///< = link.total_depth_db
 
   // Link accounting.
   std::size_t payload_symbols = 0;

@@ -1,0 +1,222 @@
+#include "sim/stream_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "channel/awgn.h"
+#include "dsp/vec_ops.h"
+#include "tag/wake_detector.h"
+
+namespace backfi::sim {
+
+namespace {
+constexpr std::size_t samples_per_us = 20;
+}  // namespace
+
+config_error stream_scenario_config::validate() const {
+  const config_error base = scenario.validate();
+  if (base != config_error::none) return base;
+  if (n_packets == 0) return config_error::zero_stream_packets;
+  if (threads < 1 || threads > 2) return config_error::bad_stream_threads;
+  if (queue_capacity == 0) return config_error::bad_stream_queue;
+  if (!std::isfinite(forward_drift.coherence_packets) ||
+      !std::isfinite(lo_drift.step_std_rad) || lo_drift.step_std_rad < 0.0)
+    return config_error::bad_drift;
+  return config_error::none;
+}
+
+void validate_or_throw(const stream_scenario_config& config,
+                       const char* where) {
+  const config_error error = config.validate();
+  if (error == config_error::none) return;
+  std::string message = where;
+  message += ": invalid stream_scenario_config (";
+  message += to_string(error);
+  message += ")";
+  throw std::invalid_argument(message);
+}
+
+stream_capture build_stream_capture(const stream_scenario_config& config) {
+  validate_or_throw(config, "build_stream_capture");
+  const scenario_config& sc = config.scenario;
+  dsp::rng gen(sc.seed);
+
+  stream_capture cap;
+  const auto channels =
+      channel::draw_backscatter_channels(sc.budget, sc.tag_distance_m, gen);
+  cvec h_f = channels.h_f;
+  // Drift innovations come from the exact distribution h_f was drawn from,
+  // so the stream stays statistically the same link at every packet.
+  const channel::multipath_profile drift_profile = channel::tag_link_profile(
+      channel::one_way_gain_db(sc.budget, sc.tag_distance_m));
+  impair::lo_drift_state lo;
+
+  reader::excitation_config ex_cfg = sc.excitation;
+  ex_cfg.tag_id = sc.tag.id;
+  const std::size_t ex_len = reader::excitation_length(ex_cfg);
+  const std::size_t gap = config.gap_us * samples_per_us;
+  const std::size_t total = config.n_packets * (ex_len + gap);
+  cap.x.assign(total, cplx{0.0, 0.0});
+  cap.y.assign(total, cplx{0.0, 0.0});
+  cap.schedule.reserve(config.n_packets);
+  cap.payloads.resize(config.n_packets);
+  cap.woke.assign(config.n_packets, 0);
+
+  const tag::tag_device device(sc.tag);
+  const double incident_dbm =
+      channel::incident_power_at_tag_dbm(sc.budget, sc.tag_distance_m);
+
+  reader::excitation ex;
+  cvec incident;
+  cvec si;
+  cvec reflected;
+  cvec backscatter;
+  tag::tag_transmission tag_tx;
+
+  std::size_t offset = 0;
+  for (std::size_t k = 0; k < config.n_packets; ++k, offset += ex_len + gap) {
+    // Per-packet draw order (header contract): payload seed, drift
+    // innovation, LO step, wake jitter, payload bits, noise.
+    ex_cfg.payload_seed = gen.next_u64();
+    if (k > 0)
+      channel::evolve_multipath(h_f, drift_profile, config.forward_drift, gen);
+    const double theta = lo.step(config.lo_drift, gen);
+
+    reader::build_excitation_into(ex_cfg, ex);
+    std::copy(ex.samples.begin(), ex.samples.end(), cap.x.begin() + offset);
+
+    channel::apply_channel_into(ex.samples, h_f, incident, nullptr);
+    const std::size_t wake_window = std::min<std::size_t>(
+        (ex_cfg.wake_bits + 4) * samples_per_us, incident.size());
+    const auto wake =
+        tag::detect_wake(std::span<const cplx>(incident).first(wake_window),
+                         ex.wake_preamble, incident_dbm);
+
+    // Self-interference rides every packet whether or not the tag answers.
+    channel::apply_channel_into(ex.samples, channels.h_env, si, nullptr);
+    auto y_pkt = std::span<cplx>(cap.y).subspan(offset, ex_len);
+    std::copy(si.begin(), si.end(), y_pkt.begin());
+
+    if (wake.woke) {
+      cap.woke[k] = 1;
+      const std::size_t jitter =
+          sc.tag_jitter_samples > 0 ? gen.uniform_int(sc.tag_jitter_samples + 1)
+                                    : 0;
+      const std::size_t tag_origin = wake.preamble_end_sample + jitter;
+      cap.payloads[k] = gen.random_bits(sc.payload_bits);
+      device.backscatter_into(cap.payloads[k], ex.samples.size(), tag_origin,
+                              tag_tx, nullptr);
+      dsp::hadamard_into(incident, tag_tx.reflection, reflected, nullptr);
+      channel::apply_channel_into(reflected, channels.h_b, backscatter,
+                                  nullptr);
+      // The walked LO phase rotates only the backscatter component: the
+      // self-interference is generated and received by the same LO.
+      impair::apply_constant_phase(backscatter, theta);
+      dsp::add_in_place(y_pkt, backscatter);
+    }
+
+    channel::add_awgn(std::span<cplx>(cap.y).subspan(offset, ex_len + gap),
+                      channels.noise_power, gen);
+
+    cap.schedule.push_back(reader::stream_packet{
+        .begin = offset,
+        .end = offset + ex_len,
+        .wake_end = offset + ex.wake_end,
+        .silent_end = offset + ex.wake_end + sc.tag.silent_us * samples_per_us,
+        .payload_bits = sc.payload_bits});
+  }
+  cap.final_h_f = std::move(h_f);
+  cap.final_lo_phase_rad = lo.phase_rad;
+  return cap;
+}
+
+namespace {
+
+stream_trial_result collect_outcomes(
+    const stream_capture& cap,
+    const std::vector<reader::stream_packet_result>& results) {
+  stream_trial_result out;
+  out.packets.resize(cap.schedule.size());
+  for (std::size_t i = 0; i < cap.schedule.size(); ++i) {
+    stream_packet_outcome& o = out.packets[i];
+    const reader::stream_packet_result& r = results[i];
+    o.woke = cap.woke[i] != 0;
+    o.dropped = r.dropped;
+    o.sync_found = r.decoded.sync_found;
+    o.decoded = r.decoded.decoded;
+    o.crc_ok = r.decoded.crc_ok;
+    if (o.decoded) {
+      o.payload = r.decoded.payload;
+      if (o.woke)
+        o.bit_errors = phy::hamming_distance(o.payload, cap.payloads[i]);
+    }
+    if (o.dropped) ++out.packets_dropped;
+    if (o.decoded) ++out.packets_decoded;
+    if (o.crc_ok) ++out.crc_ok;
+    out.bit_errors_total += o.bit_errors;
+  }
+  return out;
+}
+
+}  // namespace
+
+stream_trial_result run_stream_trial(const stream_scenario_config& config) {
+  validate_or_throw(config, "run_stream_trial");
+  const stream_capture cap = build_stream_capture(config);
+  const scenario_config& sc = config.scenario;
+
+  reader::stream_config scfg;
+  scfg.tag = sc.tag;
+  scfg.decoder = sc.decoder;
+  scfg.chain = sc.chain;
+  scfg.threads = config.threads;
+  scfg.queue_capacity = config.queue_capacity;
+  scfg.overflow = config.overflow;
+  scfg.collector = sc.collector;
+
+  reader::stream_session session(cap.x, cap.y, cap.schedule, scfg);
+  const std::size_t chunk =
+      config.feed_chunk_samples > 0 ? config.feed_chunk_samples : cap.y.size();
+  for (std::size_t fed = 0; fed < cap.y.size(); fed += chunk)
+    session.feed(std::min(chunk, cap.y.size() - fed));
+  session.finish();
+
+  stream_trial_result out = collect_outcomes(cap, session.results());
+  out.stats = session.stats();
+  return out;
+}
+
+stream_trial_result run_stream_batch_reference(
+    const stream_scenario_config& config) {
+  validate_or_throw(config, "run_stream_batch_reference");
+  const stream_capture cap = build_stream_capture(config);
+  const scenario_config& sc = config.scenario;
+
+  fd::receive_chain_config chain_cfg = sc.chain;
+  chain_cfg.collector = sc.collector;
+  reader::decoder_config dec_cfg = sc.decoder;
+  dec_cfg.collector = sc.collector;
+  const reader::backfi_decoder decoder(sc.tag, dec_cfg);
+  fd::receive_chain_scratch chain_scratch;
+  reader::decoder_scratch decode_scratch;
+
+  std::vector<reader::stream_packet_result> results(cap.schedule.size());
+  for (std::size_t i = 0; i < cap.schedule.size(); ++i) {
+    const reader::stream_packet& p = cap.schedule[i];
+    const std::size_t len = p.end - p.begin;
+    const auto xseg = std::span<const cplx>(cap.x).subspan(p.begin, len);
+    const auto yseg = std::span<const cplx>(cap.y).subspan(p.begin, len);
+    results[i].index = i;
+    results[i].chain =
+        fd::run_receive_chain(xseg, yseg, p.wake_end - p.begin,
+                              p.silent_end - p.begin, chain_cfg, &chain_scratch);
+    results[i].decoded = decoder.decode(
+        xseg, std::span<const cplx>(chain_scratch.cleaned), p.wake_end - p.begin,
+        p.payload_bits, &decode_scratch);
+  }
+  return collect_outcomes(cap, results);
+}
+
+}  // namespace backfi::sim

@@ -1,0 +1,132 @@
+#include "channel/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/multipath.h"
+#include "dsp/rng.h"
+
+namespace backfi::channel {
+namespace {
+
+multipath_profile test_profile() { return tag_link_profile(-40.0); }
+
+cvec initial_taps(std::uint64_t seed) {
+  dsp::rng gen(seed);
+  return draw_multipath(test_profile(), gen);
+}
+
+TEST(Drift, RhoFollowsCoherenceFormula) {
+  drift_config off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_DOUBLE_EQ(off.rho(), 1.0);
+
+  drift_config cfg{.coherence_packets = 64.0};
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_DOUBLE_EQ(cfg.rho(), std::exp(-1.0 / 64.0));
+}
+
+TEST(Drift, DisabledConsumesZeroDrawsAndHoldsTapsExactly) {
+  cvec taps = initial_taps(5);
+  const cvec before = taps;
+  dsp::rng gen(99);
+  dsp::rng twin(99);
+
+  evolve_multipath(taps, test_profile(), drift_config{}, gen);
+
+  for (std::size_t k = 0; k < taps.size(); ++k) EXPECT_EQ(taps[k], before[k]);
+  EXPECT_EQ(gen.next_u64(), twin.next_u64());  // stream untouched
+}
+
+TEST(Drift, OneStepConsumesExactlyOneMultipathRealization) {
+  cvec taps = initial_taps(5);
+  const drift_config cfg{.coherence_packets = 16.0};
+  dsp::rng gen(1234);
+  dsp::rng twin(1234);
+
+  evolve_multipath(taps, test_profile(), cfg, gen);
+  (void)draw_multipath(test_profile(), twin);  // the one innovation draw
+
+  EXPECT_EQ(gen.next_u64(), twin.next_u64());
+}
+
+TEST(Drift, EvolutionIsDeterministicGivenSeed) {
+  const drift_config cfg{.coherence_packets = 8.0};
+  cvec a = initial_taps(7);
+  cvec b = a;
+  dsp::rng gen_a(42);
+  dsp::rng gen_b(42);
+  for (int k = 0; k < 20; ++k) {
+    evolve_multipath(a, test_profile(), cfg, gen_a);
+    evolve_multipath(b, test_profile(), cfg, gen_b);
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+}
+
+TEST(Drift, StepMixesInitialAndInnovationWithAr1Weights) {
+  // One step must equal rho*old + sqrt(1-rho^2)*g with g the realization a
+  // twin generator draws — the AR(1) recurrence verbatim.
+  const drift_config cfg{.coherence_packets = 4.0};
+  cvec taps = initial_taps(11);
+  const cvec old = taps;
+  dsp::rng gen(77);
+  dsp::rng twin(77);
+  evolve_multipath(taps, test_profile(), cfg, gen);
+  const cvec g = draw_multipath(test_profile(), twin);
+
+  const double rho = cfg.rho();
+  const double mix = std::sqrt(1.0 - rho * rho);
+  ASSERT_EQ(taps.size(), old.size());
+  for (std::size_t k = 0; k < taps.size(); ++k)
+    EXPECT_EQ(taps[k], rho * old[k] + mix * g[k]);
+}
+
+TEST(Drift, MarginalPowerIsPreservedAlongTheStream) {
+  // rho^2 + (1 - rho^2) = 1, so the expected tap power is invariant: a
+  // long drifted stream averages to the profile's power, not to zero or
+  // infinity. Statistical bound, generous tolerance.
+  const multipath_profile profile = test_profile();
+  const drift_config cfg{.coherence_packets = 4.0};
+  const int streams = 64;
+  const int steps = 50;
+  double drifted_power = 0.0;
+  double fresh_power = 0.0;
+  dsp::rng gen(2026);
+  for (int s = 0; s < streams; ++s) {
+    cvec taps = draw_multipath(profile, gen);
+    fresh_power += tap_power(taps);
+    for (int k = 0; k < steps; ++k) evolve_multipath(taps, profile, cfg, gen);
+    drifted_power += tap_power(taps);
+  }
+  drifted_power /= streams;
+  fresh_power /= streams;
+  EXPECT_GT(drifted_power, 0.2 * fresh_power);
+  EXPECT_LT(drifted_power, 5.0 * fresh_power);
+}
+
+TEST(Drift, AdjacentStepsDecorrelateGradually) {
+  // With a long coherence the channel after one step stays close to where
+  // it was; with a tiny coherence it jumps to a nearly fresh realization.
+  const multipath_profile profile = test_profile();
+  auto step_distance = [&](double coherence) {
+    cvec taps = initial_taps(3);
+    const cvec before = taps;
+    dsp::rng gen(404);
+    evolve_multipath(taps, profile, drift_config{.coherence_packets = coherence},
+                     gen);
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      num += std::norm(taps[k] - before[k]);
+      den += std::norm(before[k]);
+    }
+    return num / den;
+  };
+  EXPECT_LT(step_distance(1000.0), step_distance(0.5));
+  EXPECT_LT(step_distance(1000.0), 0.01);  // ~static over one packet
+}
+
+}  // namespace
+}  // namespace backfi::channel

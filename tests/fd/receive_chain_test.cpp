@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "channel/awgn.h"
 #include "channel/backscatter_link.h"
@@ -82,7 +84,7 @@ TEST(ReceiveChainTest, DegenerateSilentWindowBypassesCancellation) {
   const chain_scenario s = make_scenario(6);
   // Empty, reversed and past-the-end windows must all flag a bypass and
   // pass the input through untouched instead of adapting on garbage.
-  for (const auto [begin, end] :
+  for (const auto& [begin, end] :
        {std::pair<std::size_t, std::size_t>{100, 100},
         {320, 100},
         {0, s.rx.size() + 1}}) {
@@ -148,9 +150,9 @@ TEST(ReceiveChainTest, ScratchPathBitIdenticalToAllocatingPath) {
     dsp::workspace_stats stats;
     scratch.stats = &stats;
     const chain_scenario other = make_scenario(12);
-    run_receive_chain_into(other.tx, other.rx, 0, 320, cfg, scratch);
+    run_receive_chain(other.tx, other.rx, 0, 320, cfg, &scratch);
 
-    const auto ws = run_receive_chain_into(s.tx, s.rx, 0, 320, cfg, scratch);
+    const auto ws = run_receive_chain(s.tx, s.rx, 0, 320, cfg, &scratch);
     EXPECT_TRUE(ws.cleaned.empty());  // output lives in scratch.cleaned
     ASSERT_EQ(scratch.cleaned.size(), plain.cleaned.size());
     for (std::size_t i = 0; i < plain.cleaned.size(); ++i)
@@ -163,9 +165,67 @@ TEST(ReceiveChainTest, ScratchPathBitIdenticalToAllocatingPath) {
 
     // A warm same-size re-run performs no further tracked allocations.
     const std::uint64_t allocated = stats.bytes_allocated;
-    run_receive_chain_into(s.tx, s.rx, 0, 320, cfg, scratch);
+    run_receive_chain(s.tx, s.rx, 0, 320, cfg, &scratch);
     EXPECT_EQ(stats.bytes_allocated, allocated);
     EXPECT_GT(stats.bytes_reused, 0u);
+  }
+}
+
+TEST(ReceiveChainValidate, FirstViolationIsTypedAndNamed) {
+  EXPECT_EQ(receive_chain_config{}.validate(), config_error::none);
+  {
+    receive_chain_config cfg;
+    cfg.analog.n_taps = 0;
+    EXPECT_EQ(cfg.validate(), config_error::zero_analog_taps);
+  }
+  {
+    receive_chain_config cfg;
+    cfg.analog.coefficient_bits = 0;
+    EXPECT_EQ(cfg.validate(), config_error::zero_coefficient_bits);
+  }
+  {
+    receive_chain_config cfg;
+    cfg.digital.n_taps = 0;
+    EXPECT_EQ(cfg.validate(), config_error::zero_digital_taps);
+  }
+  {
+    receive_chain_config cfg;
+    cfg.digital.ridge = -1e-9;
+    EXPECT_EQ(cfg.validate(), config_error::bad_ridge);
+  }
+  {
+    receive_chain_config cfg;
+    cfg.adc.bits = 0;
+    EXPECT_EQ(cfg.validate(), config_error::bad_adc_bits);
+    cfg.adc.bits = 48;
+    EXPECT_EQ(cfg.validate(), config_error::bad_adc_bits);
+  }
+  {
+    receive_chain_config cfg;
+    cfg.agc_headroom = 0.0;
+    EXPECT_EQ(cfg.validate(), config_error::bad_agc_headroom);
+  }
+  {
+    receive_chain_config cfg;
+    cfg.track_residual_gain = true;
+    cfg.gain_block = 0;
+    EXPECT_EQ(cfg.validate(), config_error::zero_gain_block);
+  }
+  EXPECT_STREQ(to_string(config_error::bad_adc_bits), "bad_adc_bits");
+  EXPECT_STREQ(to_string(config_error::none), "none");
+}
+
+TEST(ReceiveChainValidate, EntryPointThrowsWithCallSiteAndReason) {
+  const chain_scenario s = make_scenario(3);
+  receive_chain_config cfg;
+  cfg.adc.bits = 0;
+  try {
+    (void)run_receive_chain(s.tx, s.rx, 0, 320, cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("run_receive_chain"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad_adc_bits"), std::string::npos) << what;
   }
 }
 

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "dsp/math_util.h"
+#include "dsp/rng.h"
 #include "dsp/vec_ops.h"
 #include "impair/plan.h"
+#include "impair/rf_impairments.h"
 
 namespace backfi::impair {
 namespace {
@@ -231,6 +233,48 @@ TEST(PlanTest, SeverityOneActivatesEveryClass) {
     const impairment_plan plan = plan_for(fault, 1.0, 1);
     EXPECT_TRUE(plan.any()) << fault_class_name(fault);
   }
+}
+
+TEST(LoDriftTest, DisabledStepConsumesZeroDrawsAndHoldsPhase) {
+  lo_drift_state state;
+  dsp::rng gen(11);
+  dsp::rng twin(11);
+  EXPECT_DOUBLE_EQ(state.step(lo_drift_config{}, gen), 0.0);
+  EXPECT_DOUBLE_EQ(state.phase_rad, 0.0);
+  EXPECT_EQ(gen.next_u64(), twin.next_u64());  // stream untouched
+}
+
+TEST(LoDriftTest, EnabledStepWalksByExactlyOneGaussianDraw) {
+  const lo_drift_config cfg{.step_std_rad = 0.25};
+  ASSERT_TRUE(cfg.enabled());
+  lo_drift_state state;
+  dsp::rng gen(21);
+  dsp::rng twin(21);
+  double expected = 0.0;
+  for (int k = 0; k < 5; ++k) {
+    const double phase = state.step(cfg, gen);
+    expected += 0.25 * twin.gaussian();  // one draw per packet, in order
+    EXPECT_DOUBLE_EQ(phase, expected);
+    EXPECT_DOUBLE_EQ(state.phase_rad, expected);
+  }
+  EXPECT_EQ(gen.next_u64(), twin.next_u64());
+}
+
+TEST(LoDriftTest, ApplyConstantPhaseRotatesEverySample) {
+  cvec x = {cplx{1.0, 0.0}, cplx{0.0, 2.0}, cplx{-1.5, 0.5}};
+  const cvec before = x;
+  const double theta = 0.7;
+  apply_constant_phase(x, theta);
+  const cplx rot{std::cos(theta), std::sin(theta)};
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(x[k].real(), (before[k] * rot).real(), 1e-12);
+    EXPECT_NEAR(x[k].imag(), (before[k] * rot).imag(), 1e-12);
+  }
+
+  // Zero phase is an exact no-op (early return, no rounding).
+  cvec y = before;
+  apply_constant_phase(y, 0.0);
+  for (std::size_t k = 0; k < y.size(); ++k) EXPECT_EQ(y[k], before[k]);
 }
 
 }  // namespace

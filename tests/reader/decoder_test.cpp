@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include <limits>
 
@@ -286,9 +288,9 @@ TEST(DecoderTest, ScratchDecodeBitIdenticalToAllocatingDecode) {
   dsp::workspace_stats stats;
   scratch.stats = &stats;
   const auto other = make_exchange(default_tag(), 200, -110.0, 3, 25);
-  decoder.decode(other.x, other.y, other.nominal, 200, scratch);
+  decoder.decode(other.x, other.y, other.nominal, 200, &scratch);
 
-  const auto ws = decoder.decode(ex.x, ex.y, ex.nominal, 300, scratch);
+  const auto ws = decoder.decode(ex.x, ex.y, ex.nominal, 300, &scratch);
   EXPECT_EQ(ws.crc_ok, plain.crc_ok);
   EXPECT_EQ(ws.failure, plain.failure);
   EXPECT_EQ(ws.payload, plain.payload);
@@ -306,9 +308,57 @@ TEST(DecoderTest, ScratchDecodeBitIdenticalToAllocatingDecode) {
 
   // Warm same-capture re-decode performs no further tracked allocations.
   const std::uint64_t allocated = stats.bytes_allocated;
-  decoder.decode(ex.x, ex.y, ex.nominal, 300, scratch);
+  decoder.decode(ex.x, ex.y, ex.nominal, 300, &scratch);
   EXPECT_EQ(stats.bytes_allocated, allocated);
   EXPECT_GT(stats.bytes_reused, 0u);
+}
+
+TEST(DecoderValidate, FirstViolationIsTypedAndCtorThrows) {
+  EXPECT_EQ(decoder_config{}.validate(), config_error::none);
+  {
+    decoder_config cfg;
+    cfg.fb_taps = 0;
+    EXPECT_EQ(cfg.validate(), config_error::zero_channel_taps);
+  }
+  {
+    decoder_config cfg;
+    cfg.sync_threshold = 1.5;
+    EXPECT_EQ(cfg.validate(), config_error::bad_sync_threshold);
+    cfg.sync_threshold = 0.0;
+    EXPECT_EQ(cfg.validate(), config_error::bad_sync_threshold);
+  }
+  {
+    decoder_config cfg;
+    cfg.timing_search = -1;
+    EXPECT_EQ(cfg.validate(), config_error::bad_timing_search);
+  }
+  {
+    decoder_config cfg;
+    cfg.ridge = -1.0;
+    EXPECT_EQ(cfg.validate(), config_error::bad_ridge);
+  }
+  {
+    decoder_config cfg;
+    cfg.retry_search_scale = 0.5;
+    EXPECT_EQ(cfg.validate(), config_error::bad_retry_scale);
+  }
+  {
+    decoder_config cfg;
+    cfg.phase_tracking_gain = 1.5;
+    EXPECT_EQ(cfg.validate(), config_error::bad_tracking_gain);
+  }
+  EXPECT_STREQ(to_string(config_error::bad_retry_scale), "bad_retry_scale");
+
+  decoder_config bad;
+  bad.fb_taps = 0;
+  try {
+    const backfi_decoder decoder(default_tag(), bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("backfi_decoder"), std::string::npos) << what;
+    EXPECT_NE(what.find("zero_channel_taps"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

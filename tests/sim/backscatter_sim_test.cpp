@@ -29,8 +29,8 @@ TEST(BackscatterSimTest, DeterministicPerSeed) {
   const auto a = run_backscatter_trial(fast_scenario());
   const auto b = run_backscatter_trial(fast_scenario());
   EXPECT_EQ(a.crc_ok, b.crc_ok);
-  EXPECT_DOUBLE_EQ(a.measured_snr_db, b.measured_snr_db);
-  EXPECT_DOUBLE_EQ(a.expected_snr_db, b.expected_snr_db);
+  EXPECT_DOUBLE_EQ(a.link.post_mrc_snr_db, b.link.post_mrc_snr_db);
+  EXPECT_DOUBLE_EQ(a.link.expected_snr_db, b.link.expected_snr_db);
 }
 
 TEST(BackscatterSimTest, MeasuredSnrBelowButNearOracle) {
@@ -43,7 +43,7 @@ TEST(BackscatterSimTest, MeasuredSnrBelowButNearOracle) {
     cfg.seed = 100 + t;
     const auto r = run_backscatter_trial(cfg);
     if (!r.sync_found) continue;
-    total_gap += r.expected_snr_db - r.measured_snr_db;
+    total_gap += r.link.expected_snr_db - r.link.post_mrc_snr_db;
     ++n;
   }
   ASSERT_GT(n, 4);
@@ -58,8 +58,8 @@ TEST(BackscatterSimTest, ResidualSiWithinFewDbOfNoise) {
   const auto r = run_backscatter_trial(cfg);
   ASSERT_TRUE(r.woke);
   // Paper: ~1.7 dB residue after cancellation.
-  EXPECT_LT(r.residual_si_over_noise_db, 4.0);
-  EXPECT_GT(r.total_depth_db, 50.0);
+  EXPECT_LT(r.link.residual_si_over_noise_db, 4.0);
+  EXPECT_GT(r.link.total_depth_db, 50.0);
 }
 
 TEST(BackscatterSimTest, SnrFallsWithDistance) {
@@ -68,9 +68,9 @@ TEST(BackscatterSimTest, SnrFallsWithDistance) {
     scenario_config cfg = fast_scenario();
     cfg.seed = 300 + t;
     cfg.tag_distance_m = 1.0;
-    near_snr += run_backscatter_trial(cfg).measured_snr_db;
+    near_snr += run_backscatter_trial(cfg).link.post_mrc_snr_db;
     cfg.tag_distance_m = 4.0;
-    far_snr += run_backscatter_trial(cfg).measured_snr_db;
+    far_snr += run_backscatter_trial(cfg).link.post_mrc_snr_db;
   }
   EXPECT_GT(near_snr, far_snr + 4 * 10.0);  // >10 dB/trial difference
 }
@@ -93,7 +93,7 @@ TEST(BackscatterSimTest, FailureInjectionNoSilentAdaptation) {
   const auto r_with = run_backscatter_trial(with);
   const auto r_without = run_backscatter_trial(without);
   ASSERT_TRUE(r_with.crc_ok);
-  EXPECT_GT(r_with.measured_snr_db, r_without.measured_snr_db + 3.0);
+  EXPECT_GT(r_with.link.post_mrc_snr_db, r_without.link.post_mrc_snr_db + 3.0);
 }
 
 TEST(BackscatterSimTest, PacketErrorRateBoundsAndMonotonicity) {
@@ -117,7 +117,7 @@ TEST(BackscatterSimTest, OracleSnrScalesWithSymbolLength) {
   ASSERT_TRUE(r_slow.woke);
   // Same seed -> same channels; the guard subtraction makes it not exactly
   // 3 dB, allow slack.
-  EXPECT_NEAR(r_slow.expected_snr_db - r_fast.expected_snr_db, 3.0, 1.5);
+  EXPECT_NEAR(r_slow.link.expected_snr_db - r_fast.link.expected_snr_db, 3.0, 1.5);
 }
 
 }  // namespace

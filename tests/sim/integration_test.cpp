@@ -98,8 +98,8 @@ TEST(IntegrationTest, FullyDeterministicAcrossRuns) {
   EXPECT_EQ(a.crc_ok, b.crc_ok);
   EXPECT_EQ(a.bit_errors, b.bit_errors);
   EXPECT_EQ(a.raw_symbol_errors, b.raw_symbol_errors);
-  EXPECT_DOUBLE_EQ(a.measured_snr_db, b.measured_snr_db);
-  EXPECT_DOUBLE_EQ(a.total_depth_db, b.total_depth_db);
+  EXPECT_DOUBLE_EQ(a.link.post_mrc_snr_db, b.link.post_mrc_snr_db);
+  EXPECT_DOUBLE_EQ(a.link.total_depth_db, b.link.total_depth_db);
   EXPECT_DOUBLE_EQ(a.tag_energy_pj, b.tag_energy_pj);
 
   coexistence_config cc;
@@ -123,8 +123,8 @@ TEST_P(DistanceSweepTest, MeasuredSnrWithinFewDbOfOracle) {
     const auto r = run_backscatter_trial(cfg);
     if (!r.sync_found) continue;
     ++synced;
-    EXPECT_LT(r.measured_snr_db, r.expected_snr_db + 2.0) << GetParam();
-    EXPECT_GT(r.measured_snr_db, r.expected_snr_db - 12.0) << GetParam();
+    EXPECT_LT(r.link.post_mrc_snr_db, r.link.expected_snr_db + 2.0) << GetParam();
+    EXPECT_GT(r.link.post_mrc_snr_db, r.link.expected_snr_db - 12.0) << GetParam();
   }
   if (GetParam() <= 3.0) {
     EXPECT_GE(synced, 4);

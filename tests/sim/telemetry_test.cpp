@@ -166,15 +166,23 @@ TEST(TelemetryDeterminism, PacketErrorRateAnchorUnchangedWithCollector) {
   EXPECT_EQ(packet_error_rate(c, 24), 0.375);
 }
 
-// --- Deprecated alias mirror ----------------------------------------------
+// --- Delegated sub-config validation --------------------------------------
 
-TEST(LinkReportAliases, MirrorNestedReportExactly) {
-  const trial_result r = run_backscatter_trial(cheap_scenario());
-  EXPECT_EQ(r.measured_snr_db, r.link.post_mrc_snr_db);
-  EXPECT_EQ(r.expected_snr_db, r.link.expected_snr_db);
-  EXPECT_EQ(r.residual_si_over_noise_db, r.link.residual_si_over_noise_db);
-  EXPECT_EQ(r.analog_depth_db, r.link.analog_depth_db);
-  EXPECT_EQ(r.total_depth_db, r.link.total_depth_db);
+TEST(ScenarioValidate, DelegatesToSubConfigValidators) {
+  {
+    scenario_config c = cheap_scenario();
+    c.decoder.ridge = -1.0;  // not one of the two legacy decoder values
+    EXPECT_EQ(c.validate(), config_error::bad_decoder_config);
+  }
+  {
+    scenario_config c = cheap_scenario();
+    c.chain.adc.bits = 0;
+    EXPECT_EQ(c.validate(), config_error::bad_chain_config);
+    EXPECT_THROW((void)run_backscatter_trial(c), std::invalid_argument);
+  }
+  EXPECT_STREQ(to_string(config_error::bad_decoder_config),
+               "bad_decoder_config");
+  EXPECT_STREQ(to_string(config_error::bad_chain_config), "bad_chain_config");
 }
 
 // --- parallel API additions -----------------------------------------------
