@@ -81,12 +81,25 @@ stream_session::stream_session(std::span<const cplx> x,
 
   results_.resize(schedule_.size());
   for (std::size_t i = 0; i < results_.size(); ++i) results_[i].index = i;
+  t_feed_ns_.resize(schedule_.size(), 0);
 
   if (config_.threads == 2)
     worker_ = std::thread(&stream_session::worker_loop, this);
 }
 
-stream_session::~stream_session() { finish(); }
+stream_session::~stream_session() {
+  try {
+    finish();
+  } catch (...) {
+    // A throwing drain (e.g. std::bad_alloc mid-decode) must not escape a
+    // destructor. The worker may still be running if finish() threw before
+    // its join; release and join it so ~thread doesn't terminate. Explicit
+    // finish() calls keep the full throwing behavior.
+    producer_done_.store(true, std::memory_order_release);
+    if (worker_.joinable()) worker_.join();
+    finished_ = true;
+  }
+}
 
 void stream_session::feed(std::size_t n_samples) {
   if (finished_) return;
@@ -104,6 +117,10 @@ void stream_session::push_ready_packets() {
 
 void stream_session::produce(std::size_t index) {
   ++stats_.packets_in;
+  // Feed->decoded latency starts here, so time spent blocked on a full
+  // ring and queued in the capture ring is counted. The ring push's
+  // release store publishes the stamp to the worker's acquiring pop.
+  if (config_.emit_stream_metrics) t_feed_ns_[index] = now_ns();
   if (config_.threads == 1) {
     // Inline mode: the rings still carry every hand-off (identical
     // wraparound behavior), drained depth-first on this thread.
@@ -145,7 +162,7 @@ void stream_session::cancel_segment(std::size_t index) {
     free_segments_.pop_back();
   }
   seg.index = index;
-  seg.t_feed_ns = t0;
+  seg.t_feed_ns = t_feed_ns_[index];
 
   seg.chain = fd::run_receive_chain(xseg, yseg, p.wake_end - p.begin,
                                     p.silent_end - p.begin, config_.chain,
@@ -214,6 +231,14 @@ void stream_session::worker_loop() {
       cancel_segment(index);
       drain_decode_ring();
     } else if (producer_done_.load(std::memory_order_acquire)) {
+      // finish() pushes the schedule tail *before* its release store on
+      // producer_done_, so this acquire guarantees the drain below sees
+      // every prior push. Without it, a packet landing between the failed
+      // pop above and the flag check would be silently lost.
+      while (capture_ring_->try_pop(index)) {
+        cancel_segment(index);
+        drain_decode_ring();
+      }
       break;
     } else {
       std::this_thread::yield();

@@ -120,7 +120,10 @@ struct stream_stats {
   std::size_t queue_high_water = 0;  ///< max capture-ring depth observed
   double cancel_us_total = 0.0;      ///< cancellation-stage wall time
   double decode_us_total = 0.0;      ///< decode-stage wall time
-  double latency_us_max = 0.0;       ///< max feed->decoded packet latency
+  /// Max feed->decoded packet latency, stamped when produce() pushes the
+  /// packet, so ring-queueing (the dominant term under backpressure) and
+  /// block-policy stalls are included.
+  double latency_us_max = 0.0;
   double latency_us_total = 0.0;
 };
 
@@ -183,6 +186,11 @@ class stream_session {
   std::size_t watermark_ = 0;    ///< samples fed so far
   std::size_t next_packet_ = 0;  ///< first schedule entry not yet pushed
   bool finished_ = false;
+
+  /// Feed-time stamp per packet, written by the producer in produce()
+  /// before the ring push (whose release store publishes it to the
+  /// worker), so reported latency includes capture-ring queueing.
+  std::vector<std::uint64_t> t_feed_ns_;
 
   std::vector<stream_packet_result> results_;
   stream_stats stats_;          ///< producer-side fields until finish()

@@ -177,6 +177,47 @@ TEST(StreamSession, DropPolicyPreservesPacketAccounting) {
   EXPECT_EQ(dropped_flags, r.stats.packets_dropped);
 }
 
+// Regression for a shutdown race: finish() pushes the final packets and
+// only then release-stores producer_done_; a worker whose try_pop failed
+// just before those pushes must re-drain the capture ring after observing
+// the flag instead of exiting with packets still queued (which left their
+// results default-constructed under the lossless block policy). The lost
+// interleaving needs the worker preempted between its failed pop and the
+// flag check, so no test can force it deterministically — this pins the
+// shutdown-drain behavior by pushing every packet from finish() itself
+// against an idle-spinning worker, repeatedly (TSan and the acquire/
+// release pairing cover the ordering argument).
+TEST(StreamSession, FinishDrainsPacketsPushedAtShutdown) {
+  stream_scenario_config cfg = fast_stream_scenario(11, 2);
+  const stream_capture cap = build_stream_capture(cfg);
+  const stream_trial_result ref = run_stream_trial(cfg);  // inline reference
+
+  reader::stream_config scfg;
+  scfg.tag = cfg.scenario.tag;
+  scfg.decoder = cfg.scenario.decoder;
+  scfg.chain = cfg.scenario.chain;
+  scfg.threads = 2;
+  scfg.queue_capacity = 4;
+  scfg.emit_stream_metrics = false;
+
+  for (int rep = 0; rep < 100; ++rep) {
+    reader::stream_session session(cap.x, cap.y, cap.schedule, scfg);
+    session.finish();  // pushes every packet, then signals the worker
+    EXPECT_EQ(session.stats().packets_decoded, cap.schedule.size());
+    ASSERT_EQ(session.results().size(), ref.packets.size());
+    for (std::size_t i = 0; i < ref.packets.size(); ++i) {
+      const reader::stream_packet_result& r = session.results()[i];
+      EXPECT_FALSE(r.dropped) << "rep " << rep << " packet " << i;
+      EXPECT_EQ(r.decoded.decoded, ref.packets[i].decoded)
+          << "rep " << rep << " packet " << i;
+      EXPECT_EQ(r.decoded.crc_ok, ref.packets[i].crc_ok)
+          << "rep " << rep << " packet " << i;
+      ASSERT_EQ(r.decoded.payload, ref.packets[i].payload)
+          << "rep " << rep << " packet " << i;
+    }
+  }
+}
+
 TEST(StreamSession, MalformedScheduleThrows) {
   const cvec x(64, cplx{0.0, 0.0});
   const cvec y(64, cplx{0.0, 0.0});
