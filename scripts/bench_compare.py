@@ -8,10 +8,12 @@ Usage:
     scripts/bench_compare.py --self-test
 
 Gates (exit 1 on failure, 2 on unusable input):
-  * serial trials/sec must not be more than --max-regression (fraction,
-    default 0.25) below the baseline. Faster always passes; CI artifacts
-    carry the new file so an intentional speedup can be committed as the
-    next baseline.
+  * throughput (serial trials/sec and streaming packets/sec at 1 and 2
+    threads) must not be more than --max-regression (fraction, default
+    0.25) below the baseline. Faster always passes; CI artifacts carry the
+    new file so an intentional speedup can be committed as the next
+    baseline. A throughput key absent from either file (a baseline that
+    predates the stream section) warns and skips that one gate.
   * threads_4.scaling_efficiency_4t in the *current* file must be at least
     --min-scaling-efficiency (default: no gate). The efficiency is already
     normalized by min(4, hardware_threads), so the gate is meaningful on
@@ -83,24 +85,29 @@ def compare(baseline, current, max_regression, min_scaling_efficiency,
     def warn(msg):
         print(f"bench_compare: warning: {msg}", file=out)
 
-    # --- serial throughput regression gate -------------------------------
-    base_tps, base_err = numeric(baseline, "serial.trials_per_sec")
-    cur_tps, cur_err = numeric(current, "serial.trials_per_sec")
-    if base_err or cur_err:
-        warn(f"cannot compare serial trials/sec "
-             f"(baseline: {base_err or 'ok'}; current: {cur_err or 'ok'}); "
-             f"skipping the regression gate")
-    elif base_tps <= 0:
-        warn(f"baseline trials/sec is {base_tps}; skipping the regression gate")
-    else:
-        ratio = cur_tps / base_tps
-        floor = 1.0 - max_regression
-        verdict = "OK" if ratio >= floor else "REGRESSION"
-        print(f"serial trials/sec: baseline {base_tps:.1f} -> current "
-              f"{cur_tps:.1f} ({ratio:.2f}x, floor {floor:.2f}x): {verdict}",
-              file=out)
-        if ratio < floor:
-            status = 1
+    # --- throughput regression gates (higher is better) ------------------
+    # The stream keys joined the schema with the streaming pipeline; a
+    # baseline that predates them warns and skips those gates only.
+    for path in ("serial.trials_per_sec", "stream.packets_per_sec_1t",
+                 "stream.packets_per_sec_2t"):
+        base_tps, base_err = numeric(baseline, path)
+        cur_tps, cur_err = numeric(current, path)
+        if base_err or cur_err:
+            warn(f"cannot compare {path} "
+                 f"(baseline: {base_err or 'ok'}; current: {cur_err or 'ok'}); "
+                 f"skipping the regression gate")
+        elif base_tps <= 0:
+            warn(f"baseline {path} is {base_tps}; "
+                 f"skipping the regression gate")
+        else:
+            ratio = cur_tps / base_tps
+            floor = 1.0 - max_regression
+            verdict = "OK" if ratio >= floor else "REGRESSION"
+            print(f"{path}: baseline {base_tps:.1f} -> current "
+                  f"{cur_tps:.1f} ({ratio:.2f}x, floor {floor:.2f}x): "
+                  f"{verdict}", file=out)
+            if ratio < floor:
+                status = 1
 
     # --- informational deltas (never gate, warn when missing) ------------
     for path in ("threads_4.trials_per_sec", "stage_coverage.coverage",
@@ -215,7 +222,8 @@ def run_self_test():
     import io
     import unittest
 
-    def doc(serial_tps=100.0, pool_tps=None, eff=None, hw=None, extra=None):
+    def doc(serial_tps=100.0, pool_tps=None, eff=None, hw=None,
+            stream_pps=None, extra=None):
         d = {"backfi_bench_trial": 1,
              "serial": {"trials_per_sec": serial_tps}}
         if pool_tps is not None or eff is not None:
@@ -226,6 +234,9 @@ def run_self_test():
                 d["threads_4"]["scaling_efficiency_4t"] = eff
         if hw is not None:
             d["hardware_threads"] = hw
+        if stream_pps is not None:  # (pps_1t, pps_2t)
+            d["stream"] = {"packets_per_sec_1t": stream_pps[0],
+                           "packets_per_sec_2t": stream_pps[1]}
         if extra:
             d.update(extra)
         return d
@@ -294,6 +305,33 @@ def run_self_test():
                                           min_scaling_efficiency=0.6)
             self.assertEqual(code, 1)
             self.assertIn("TOO LOW", text)
+
+        def test_stream_throughput_within_budget_passes(self):
+            base = doc(100.0, stream_pps=(50.0, 80.0))
+            cur = doc(100.0, stream_pps=(45.0, 90.0))
+            code, text = self.run_compare(base, cur)
+            self.assertEqual(code, 0)
+            self.assertIn("stream.packets_per_sec_1t", text)
+            self.assertIn("stream.packets_per_sec_2t", text)
+
+        def test_stream_throughput_regression_fails(self):
+            base = doc(100.0, stream_pps=(50.0, 80.0))
+            slow_2t = doc(100.0, stream_pps=(50.0, 40.0))
+            code, text = self.run_compare(base, slow_2t)
+            self.assertEqual(code, 1)
+            self.assertIn("stream.packets_per_sec_2t", text)
+            self.assertIn("REGRESSION", text)
+
+        def test_stream_keys_absent_from_old_baseline_warn_and_skip(self):
+            old = doc(100.0)  # pre-streaming baseline: no stream section
+            new = doc(100.0, stream_pps=(50.0, 80.0))
+            code, text = self.run_compare(old, new)
+            self.assertEqual(code, 0)
+            self.assertIn("cannot compare stream.packets_per_sec_1t", text)
+            # ...and the reverse direction (stream section removed) skips
+            # rather than crashing, too.
+            code, _ = self.run_compare(new, old)
+            self.assertEqual(code, 0)
 
         def test_scaling_gate_skipped_when_field_absent(self):
             old = doc(100.0, pool_tps=95.0)  # pre-PR-5 bench output

@@ -1,46 +1,174 @@
 #include "dsp/linalg.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/linalg_kernels.h"
+
 namespace backfi::dsp {
+
+namespace {
+
+std::atomic<std::uint64_t> g_fir_ls_scalar{0};
+std::atomic<std::uint64_t> g_fir_ls_vectorized{0};
+std::atomic<std::uint64_t> g_fir_ls_correlation{0};
+
+void note_dispatch(fir_ls_path path) {
+  switch (path) {
+    case fir_ls_path::scalar:
+      g_fir_ls_scalar.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case fir_ls_path::vectorized:
+      g_fir_ls_vectorized.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case fir_ls_path::correlation:
+      g_fir_ls_correlation.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+// The seed Gram/RHS build, verbatim modulo writing into the raw workspace
+// buffers: this is the accumulation order every pinned anchor was produced
+// with, and the reference the kernel paths are tested against.
+void fir_normal_equations_scalar(const cplx* x, std::size_t n, const cplx* y,
+                                 std::size_t n_taps, cplx* gram, cplx* rhs,
+                                 double* col_energy) {
+  const std::size_t m = n - (n_taps - 1);
+  double acc_energy = 0.0;
+  for (std::size_t r = 0; r < m; ++r) acc_energy += std::norm(x[r + n_taps - 1]);
+  *col_energy = acc_energy;
+  for (std::size_t i = 0; i < n_taps; ++i) {
+    for (std::size_t j = i; j < n_taps; ++j) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t r = 0; r < m; ++r) {
+        const std::size_t row_time = r + n_taps - 1;
+        acc += std::conj(x[row_time - i]) * x[row_time - j];
+      }
+      gram[j * n_taps + i] = acc;
+      gram[i * n_taps + j] = std::conj(acc);
+    }
+  }
+  for (std::size_t i = 0; i < n_taps; ++i) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t row_time = r + n_taps - 1;
+      acc += std::conj(x[row_time - i]) * y[row_time];
+    }
+    rhs[i] = acc;
+  }
+}
+
+fir_ls_path select_path(std::size_t n_taps, std::size_t m) {
+  if (n_taps >= fir_ls_correlation_min_taps &&
+      m >= fir_ls_correlation_min_window)
+    return fir_ls_path::correlation;
+  if (m >= fir_ls_vector_min_window) return fir_ls_path::vectorized;
+  return fir_ls_path::scalar;
+}
+
+void build_with_path(std::span<const cplx> x, std::span<const cplx> y,
+                     std::size_t n_taps, fir_ls_path path, fir_ls_workspace& w,
+                     workspace_stats* stats) {
+  assert(n_taps > 0);
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < n_taps) throw std::invalid_argument("estimate_fir: too few samples");
+  acquire(w.gram, n_taps * n_taps, stats);
+  acquire(w.rhs, n_taps, stats);
+  w.n_taps = n_taps;
+  w.factored = false;
+  switch (path) {
+    case fir_ls_path::scalar:
+      fir_normal_equations_scalar(x.data(), n, y.data(), n_taps, w.gram.data(),
+                                  w.rhs.data(), &w.col_energy);
+      return;
+    case fir_ls_path::vectorized:
+      detail::fir_normal_equations_vectorized(x.data(), n, y.data(), n_taps,
+                                              w.gram.data(), w.rhs.data());
+      break;
+    case fir_ls_path::correlation:
+      detail::fir_normal_equations_correlation(x.data(), n, y.data(), n_taps,
+                                               w.gram.data(), w.rhs.data());
+      break;
+  }
+  // Both kernel builds accumulate gram(0, 0) with the same products and
+  // order as the scalar column-energy sweep, so the ridge scale comes for
+  // free from the lag-0 entry.
+  w.col_energy = w.gram[0].real();
+}
+
+}  // namespace
+
+fir_ls_counts fir_ls_dispatch_counts() {
+  return {g_fir_ls_scalar.load(std::memory_order_relaxed),
+          g_fir_ls_vectorized.load(std::memory_order_relaxed),
+          g_fir_ls_correlation.load(std::memory_order_relaxed)};
+}
+
+void reset_fir_ls_dispatch_counts() {
+  g_fir_ls_scalar.store(0, std::memory_order_relaxed);
+  g_fir_ls_vectorized.store(0, std::memory_order_relaxed);
+  g_fir_ls_correlation.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void cholesky_factor_in_place(cplx* a, std::size_t n) {
+  // Column-by-column Cholesky; l(i, j) overwrites a(i, j) only after every
+  // read of that entry, so the in-place form reproduces the out-of-place
+  // seed factorization bit for bit.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j].real();
+    for (std::size_t k = 0; k < j; ++k) diag -= std::norm(a[k * n + j]);
+    if (diag <= 0.0) throw std::runtime_error("solve_hpd: matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      cplx acc = a[j * n + i];
+      for (std::size_t k = 0; k < j; ++k)
+        acc -= a[k * n + i] * std::conj(a[k * n + j]);
+      a[j * n + i] = acc / ljj;
+    }
+  }
+}
+
+void cholesky_solve_in_place(const cplx* a, std::size_t n, cplx* b) {
+  // Forward substitution L z = b, z over b.
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= a[k * n + i] * b[k];
+    b[i] = acc / a[i * n + i];
+  }
+  // Backward substitution L^H x = z, x over b.
+  for (std::size_t ii = n; ii-- > 0;) {
+    cplx acc = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k)
+      acc -= std::conj(a[ii * n + k]) * b[k];
+    b[ii] = acc / a[ii * n + ii];
+  }
+}
+
+void estimate_fir_least_squares_with_path(std::span<const cplx> x,
+                                          std::span<const cplx> y,
+                                          std::size_t n_taps, double ridge,
+                                          fir_ls_path path, cvec& taps,
+                                          fir_ls_workspace& w) {
+  build_with_path(x, y, n_taps, path, w, nullptr);
+  fir_ls_factor(w, ridge);
+  fir_ls_solve(w, taps);
+}
+
+}  // namespace detail
 
 cvec solve_hermitian_positive_definite(const cmatrix& a, std::span<const cplx> b) {
   const std::size_t n = a.rows();
   if (a.cols() != n || b.size() != n)
     throw std::invalid_argument("solve_hpd: dimension mismatch");
-
-  // Cholesky A = L L^H (L lower triangular).
-  cmatrix l(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j).real();
-    for (std::size_t k = 0; k < j; ++k) diag -= std::norm(l(j, k));
-    if (diag <= 0.0) throw std::runtime_error("solve_hpd: matrix not positive definite");
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      cplx acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * std::conj(l(j, k));
-      l(i, j) = acc / ljj;
-    }
-  }
-
-  // Forward substitution: L z = b.
-  cvec z(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    cplx acc = b[i];
-    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * z[k];
-    z[i] = acc / l(i, i);
-  }
-
-  // Backward substitution: L^H x = z.
-  cvec x(n);
-  for (std::size_t ii = n; ii-- > 0;) {
-    cplx acc = z[ii];
-    for (std::size_t k = ii + 1; k < n; ++k) acc -= std::conj(l(k, ii)) * x[k];
-    x[ii] = acc / l(ii, ii);
-  }
+  cmatrix l = a;
+  cvec x(b.begin(), b.end());
+  detail::cholesky_factor_in_place(l.data(), n);
+  detail::cholesky_solve_in_place(l.data(), n, x.data());
   return x;
 }
 
@@ -67,47 +195,90 @@ cvec least_squares(const cmatrix& a, std::span<const cplx> b, double ridge) {
   return solve_hermitian_positive_definite(gram, rhs);
 }
 
+void fir_ls_build(std::span<const cplx> x, std::span<const cplx> y,
+                  std::size_t n_taps, fir_ls_workspace& w,
+                  workspace_stats* stats) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < n_taps) throw std::invalid_argument("estimate_fir: too few samples");
+  const fir_ls_path path = select_path(n_taps, n - (n_taps - 1));
+  note_dispatch(path);
+  build_with_path(x, y, n_taps, path, w, stats);
+}
+
+void fir_ls_build_rhs(std::span<const cplx> x, std::span<const cplx> y,
+                      fir_ls_workspace& w) {
+  const std::size_t n_taps = w.n_taps;
+  assert(n_taps > 0 && w.rhs.size() == n_taps);
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < n_taps) throw std::invalid_argument("estimate_fir: too few samples");
+  detail::fir_rhs_vectorized(x.data(), n, y.data(), n_taps, w.rhs.data());
+}
+
+void fir_ls_derive_conj(std::span<const cplx> x, std::size_t edge,
+                        const fir_ls_workspace& lin, fir_ls_workspace& w,
+                        workspace_stats* stats) {
+  const std::size_t n_taps = lin.n_taps;
+  assert(n_taps > 0 && !lin.factored);
+  const std::size_t n = x.size();
+  if (n < edge + n_taps)
+    throw std::invalid_argument("fir_ls_derive_conj: too few samples");
+  acquire(w.gram, n_taps * n_taps, stats);
+  acquire(w.rhs, n_taps, stats);
+  w.n_taps = n_taps;
+  w.factored = false;
+  const std::size_t t0 = n_taps - 1;
+  // gram_conj(i, j) over rows t in [edge + t0, n) of conj(x) equals
+  // conj(gram_lin(i, j) minus the `edge` leading row terms of x).
+  for (std::size_t i = 0; i < n_taps; ++i) {
+    for (std::size_t j = i; j < n_taps; ++j) {
+      cplx acc = lin.gram[j * n_taps + i];
+      for (std::size_t t = t0; t < t0 + edge; ++t)
+        acc -= std::conj(x[t - i]) * x[t - j];
+      w.gram[j * n_taps + i] = std::conj(acc);
+      w.gram[i * n_taps + j] = acc;
+    }
+  }
+  double energy = lin.col_energy;
+  for (std::size_t t = t0; t < t0 + edge; ++t) energy -= std::norm(x[t]);
+  w.col_energy = energy;
+}
+
+void fir_ls_factor(fir_ls_workspace& w, double ridge) {
+  assert(!w.factored && w.n_taps > 0);
+  // Scale ridge with excitation energy so regularization strength is
+  // independent of the absolute signal level.
+  const double scaled_ridge = ridge * std::max(w.col_energy, 1e-30);
+  for (std::size_t i = 0; i < w.n_taps; ++i)
+    w.gram[i * w.n_taps + i] += scaled_ridge;
+  detail::cholesky_factor_in_place(w.gram.data(), w.n_taps);
+  w.factored = true;
+}
+
+void fir_ls_solve(const fir_ls_workspace& w, cvec& taps,
+                  workspace_stats* stats) {
+  assert(w.factored);
+  acquire(taps, w.n_taps, stats);
+  std::copy(w.rhs.begin(), w.rhs.end(), taps.begin());
+  detail::cholesky_solve_in_place(w.gram.data(), w.n_taps, taps.data());
+}
+
+void estimate_fir_least_squares_into(std::span<const cplx> x,
+                                     std::span<const cplx> y,
+                                     std::size_t n_taps, double ridge,
+                                     cvec& taps, fir_ls_workspace& w,
+                                     workspace_stats* stats) {
+  fir_ls_build(x, y, n_taps, w, stats);
+  fir_ls_factor(w, ridge);
+  fir_ls_solve(w, taps, stats);
+}
+
 cvec estimate_fir_least_squares(std::span<const cplx> x, std::span<const cplx> y,
                                 std::size_t n_taps, double ridge) {
   assert(n_taps > 0);
-  const std::size_t n = std::min(x.size(), y.size());
-  if (n < n_taps) throw std::invalid_argument("estimate_fir: too few samples");
-
-  // Rows r in [0, m) correspond to times row_time = r + n_taps - 1 where the
-  // full filter memory is available; the (virtual) design matrix entry is
-  // a(r, k) = x[row_time - k]. Build the normal equations
-  // (A^H A + ridge' I) h = A^H y directly from the spans — same accumulation
-  // order as materializing A and calling least_squares, without the
-  // O(m * n_taps) intermediate.
-  const std::size_t m = n - (n_taps - 1);
-  cmatrix gram(n_taps, n_taps);
-  cvec rhs(n_taps, cplx{0.0, 0.0});
-  // Scale ridge with excitation energy so regularization strength is
-  // independent of the absolute signal level.
-  const double col_energy = [&] {
-    double acc = 0.0;
-    for (std::size_t r = 0; r < m; ++r) acc += std::norm(x[r + n_taps - 1]);
-    return acc;
-  }();
-  const double scaled_ridge = ridge * std::max(col_energy, 1e-30);
-  for (std::size_t i = 0; i < n_taps; ++i) {
-    for (std::size_t j = i; j < n_taps; ++j) {
-      cplx acc{0.0, 0.0};
-      for (std::size_t r = 0; r < m; ++r) {
-        const std::size_t row_time = r + n_taps - 1;
-        acc += std::conj(x[row_time - i]) * x[row_time - j];
-      }
-      gram(i, j) = acc;
-      gram(j, i) = std::conj(acc);
-    }
-    gram(i, i) += scaled_ridge;
-  }
-  for (std::size_t i = 0; i < n_taps; ++i)
-    for (std::size_t r = 0; r < m; ++r) {
-      const std::size_t row_time = r + n_taps - 1;
-      rhs[i] += std::conj(x[row_time - i]) * y[row_time];
-    }
-  return solve_hermitian_positive_definite(gram, rhs);
+  fir_ls_workspace w;
+  cvec taps;
+  estimate_fir_least_squares_into(x, y, n_taps, ridge, taps, w);
+  return taps;
 }
 
 }  // namespace backfi::dsp

@@ -1,11 +1,22 @@
 // Small dense complex linear algebra: just enough to solve the regularized
 // least-squares problems of channel estimation (system sizes <= a few tens).
+//
+// estimate_fir_least_squares is size-dispatched across three Gram/RHS
+// builders (see dsp/linalg_kernels.h): a scalar compat path that preserves
+// the seed accumulation order bit-exactly, a vectorized compat path that is
+// bit-identical to it (lanes run across matrix entries, never across time),
+// and a correlation-form path for wide filters that rebuilds the Toeplitz
+// Gram from base-row lags plus O(1) shift corrections per entry
+// (tolerance-equivalent; pinned anchors never reach it at in-simulation
+// tap counts).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace backfi::dsp {
 
@@ -24,6 +35,9 @@ class cmatrix {
     return data_[c * rows_ + r];
   }
 
+  cplx* data() { return data_.data(); }
+  const cplx* data() const { return data_.data(); }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -39,11 +53,109 @@ cvec solve_hermitian_positive_definite(const cmatrix& a, std::span<const cplx> b
 /// (e.g. a narrowband excitation exciting few delay taps).
 cvec least_squares(const cmatrix& a, std::span<const cplx> b, double ridge = 0.0);
 
+/// Below this many usable rows the scalar build wins (kernel-call and
+/// broadcast overhead dominate) and estimate_fir_least_squares stays on the
+/// legacy loop.
+inline constexpr std::size_t fir_ls_vector_min_window = 32;
+/// The correlation-form build pays an O(n_taps^2) recurrence to drop the
+/// per-entry window sweeps; it only wins — and only reassociates — for wide
+/// filters over long windows. Every in-simulation fit (5-8 taps) stays on
+/// the bit-exact paths.
+inline constexpr std::size_t fir_ls_correlation_min_taps = 12;
+inline constexpr std::size_t fir_ls_correlation_min_window = 192;
+
+/// Which normal-equations builder a fit dispatched to.
+enum class fir_ls_path : std::uint8_t { scalar, vectorized, correlation };
+
+/// Process-wide dispatch counters (relaxed; perf_trial prints them so a
+/// size-dispatch regression is visible in the bench JSON).
+struct fir_ls_counts {
+  std::uint64_t scalar = 0;
+  std::uint64_t vectorized = 0;
+  std::uint64_t correlation = 0;
+};
+fir_ls_counts fir_ls_dispatch_counts();
+void reset_fir_ls_dispatch_counts();
+
+/// Reusable state for FIR least-squares fits. gram holds the n_taps x
+/// n_taps column-major normal matrix after fir_ls_build, and its Cholesky
+/// factor L (lower triangle) after fir_ls_factor. The widely-linear
+/// canceller's alternating refits change only the target y, never the
+/// excitation, so they rebuild the RHS and reuse the factor.
+struct fir_ls_workspace {
+  cvec gram;
+  cvec rhs;
+  double col_energy = 0.0;  ///< pre-ridge gram(0,0).real(): ridge scaling
+  std::size_t n_taps = 0;
+  bool factored = false;
+};
+
+/// Build the pre-ridge normal equations for y[t] = sum_k h[k] x[t-k] over
+/// the rows with full filter memory (the size-dispatched hot path; bumps
+/// the dispatch counters). Requires min(|x|, |y|) >= n_taps >= 1.
+void fir_ls_build(std::span<const cplx> x, std::span<const cplx> y,
+                  std::size_t n_taps, fir_ls_workspace& w,
+                  workspace_stats* stats = nullptr);
+
+/// Rebuild only the RHS against a new target y (same x and n_taps as the
+/// preceding fir_ls_build; the Gram/factor are untouched).
+void fir_ls_build_rhs(std::span<const cplx> x, std::span<const cplx> y,
+                      fir_ls_workspace& w);
+
+/// Derive the normal equations of the conjugated, head-trimmed problem —
+/// excitation conj(x)[edge:], same tap count — from an already-built linear
+/// workspace: the Gram of conj(x) is the elementwise conjugate of the Gram
+/// of x, and trimming `edge` leading rows subtracts `edge` head terms per
+/// entry. O(edge * n_taps^2) instead of a fresh O(n_taps * window) build.
+/// `lin` must be built over x and not yet factored. The RHS is NOT set;
+/// call fir_ls_build_rhs with the conjugated spans.
+void fir_ls_derive_conj(std::span<const cplx> x, std::size_t edge,
+                        const fir_ls_workspace& lin, fir_ls_workspace& w,
+                        workspace_stats* stats = nullptr);
+
+/// Add the energy-scaled ridge to the diagonal and Cholesky-factor the
+/// Gram in place. Throws std::runtime_error if not positive definite.
+void fir_ls_factor(fir_ls_workspace& w, double ridge);
+
+/// taps := (A^H A + ridge' I)^{-1} rhs using the stored factor.
+void fir_ls_solve(const fir_ls_workspace& w, cvec& taps,
+                  workspace_stats* stats = nullptr);
+
 /// Least squares for the convolution model y[n] = sum_k h[k] x[n-k]:
 /// builds the Toeplitz normal equations from the known input x and the
 /// observed output y and returns the length-`n_taps` channel estimate.
 /// Only rows where the full filter memory is available are used.
 cvec estimate_fir_least_squares(std::span<const cplx> x, std::span<const cplx> y,
                                 std::size_t n_taps, double ridge = 1e-9);
+
+/// As estimate_fir_least_squares, into a reusable taps buffer with reusable
+/// fit state — the zero-alloc spelling for per-packet adaptation loops.
+/// Bit-identical to the allocating form.
+void estimate_fir_least_squares_into(std::span<const cplx> x,
+                                     std::span<const cplx> y,
+                                     std::size_t n_taps, double ridge,
+                                     cvec& taps, fir_ls_workspace& w,
+                                     workspace_stats* stats = nullptr);
+
+namespace detail {
+
+/// Test hook: run the fit on a forced builder path, bypassing the size
+/// dispatch (the equivalence suite pins vectorized == scalar bitwise and
+/// correlation ~= scalar to tolerance at every tap count).
+void estimate_fir_least_squares_with_path(std::span<const cplx> x,
+                                          std::span<const cplx> y,
+                                          std::size_t n_taps, double ridge,
+                                          fir_ls_path path, cvec& taps,
+                                          fir_ls_workspace& w);
+
+/// In-place Cholesky A = L L^H on an n x n column-major buffer (lower
+/// triangle overwritten with L; upper triangle untouched). Same operation
+/// order as the seed implementation — bit-identical factors.
+void cholesky_factor_in_place(cplx* a, std::size_t n);
+
+/// Solve L L^H x = b in place over b, given the factored lower triangle.
+void cholesky_solve_in_place(const cplx* a, std::size_t n, cplx* b);
+
+}  // namespace detail
 
 }  // namespace backfi::dsp

@@ -28,8 +28,35 @@ cvec quantize(std::span<const cplx> x, const adc_config& config);
 void quantize_into(std::span<const cplx> x, const adc_config& config,
                    cvec& out, dsp::workspace_stats* stats = nullptr);
 
+/// As quantize_into(), additionally reporting whether any input sample
+/// exceeded full scale on either axis (the receive chain's ADC saturation
+/// flag), fused into the same sweep so the input is read once. `saturated`
+/// and `out` are identical to running the standalone scan plus
+/// quantize_into().
+void quantize_into_saturation(std::span<const cplx> x, const adc_config& config,
+                              cvec& out, bool& saturated,
+                              dsp::workspace_stats* stats = nullptr);
+
+/// Quantize x[begin, end) into out[begin, end) (both must cover `end`
+/// samples), OR-ing per-axis clip events into `clipped_any`. Every sample
+/// is processed independently with the exact clamp/divide/round/scale
+/// sequence of quantize_into_saturation, so any chunking of the range is
+/// bit-identical to one full sweep — the receive chain interleaves these
+/// chunks with the digital cancellation convolution to hide the
+/// quantizer's divide latency under the canceller's FP work.
+void quantize_range_saturation(const cplx* x, std::size_t begin,
+                               std::size_t end, const adc_config& config,
+                               cplx* out, unsigned& clipped_any);
+
 /// Full-scale choice of a simple AGC: `headroom` times the input RMS.
 double agc_full_scale(std::span<const cplx> x, double headroom = 4.0);
+
+/// agc_full_scale from a precomputed energy sum (sum |x[i]|^2 over n
+/// samples). Bit-identical to agc_full_scale(x, headroom) when `energy`
+/// equals dsp::energy(x) to the bit — the receive chain gets that energy
+/// for free from the analog canceller's fused store loop.
+double agc_full_scale_from_energy(double energy, std::size_t n,
+                                  double headroom = 4.0);
 
 /// Quantization noise power of the configuration (per complex sample).
 double quantization_noise_power(const adc_config& config);

@@ -12,8 +12,10 @@
 
 #include <span>
 
+#include "dsp/linalg.h"
 #include "dsp/types.h"
 #include "dsp/workspace.h"
+#include "fd/adc.h"
 
 namespace backfi::fd {
 
@@ -21,7 +23,20 @@ struct analog_canceller_config {
   std::size_t n_taps = 6;
   /// Coefficient resolution in bits (per I/Q axis) of the tunable
   /// attenuator/phase-shifter network. Limits achievable cancellation.
+  /// Must be in [1, 64] (receive_chain_config::validate()).
   std::size_t coefficient_bits = 7;
+};
+
+/// Reusable adaptation/cancellation state for both canceller stages (one
+/// per worker thread, threaded through receive_chain_scratch). Holds the
+/// least-squares fit workspaces and the capture-length intermediates the
+/// widely-linear path previously allocated per packet.
+struct canceller_scratch {
+  dsp::fir_ls_workspace lin;   ///< linear-branch normal equations
+  dsp::fir_ls_workspace conj;  ///< conj-branch normal equations
+  cvec ctx;                    ///< conj(tx), computed once per adapt/cancel
+  cvec work;                   ///< residual / refit target
+  cvec work2;                  ///< trial cancellation / conj emulation
 };
 
 /// Analog cancellation stage. adapt() tunes the taps from a (tx, rx)
@@ -34,9 +49,23 @@ class analog_canceller {
   /// them to the hardware resolution.
   void adapt(std::span<const cplx> tx, std::span<const cplx> rx);
 
+  /// As adapt(), with a reusable fit workspace (zero-alloc after warm-up).
+  /// Bit-identical to the allocating form.
+  void adapt(std::span<const cplx> tx, std::span<const cplx> rx,
+             dsp::fir_ls_workspace& w, dsp::workspace_stats* stats = nullptr);
+
   /// rx - tx * taps (same length as rx; tx must be the aligned transmit
   /// samples for the same interval).
   cvec cancel(std::span<const cplx> tx, std::span<const cplx> rx) const;
+
+  /// As cancel_into(), additionally returning the residual's energy
+  /// (sum |out[i]|^2, bit-identical to dsp::energy(out) run afterwards)
+  /// fused into the cancellation store loop. The receive chain's AGC sets
+  /// its full scale from exactly this quantity; the fusion removes a full
+  /// capture-length rms read pass between the analog stage and the ADC.
+  double cancel_energy_into(std::span<const cplx> tx, std::span<const cplx> rx,
+                            cvec& out,
+                            dsp::workspace_stats* stats = nullptr) const;
 
   /// As cancel(), into a reusable caller buffer. The emulated leakage is
   /// fused into the subtraction (no intermediate waveform); bit-identical
@@ -73,11 +102,42 @@ class digital_canceller {
 
   void adapt(std::span<const cplx> tx, std::span<const cplx> rx);
 
+  /// As adapt(), with reusable scratch (zero-alloc after warm-up). The
+  /// linear-only configuration is bit-identical to the allocating form; the
+  /// widely-linear branch derives its conj-excitation Gram from the linear
+  /// branch's lags (fir_ls_derive_conj) and reuses each branch's Cholesky
+  /// factor across the alternating refits, which reassociates the conj
+  /// Gram sums — tolerance-level agreement there (see DESIGN.md §9).
+  void adapt(std::span<const cplx> tx, std::span<const cplx> rx,
+             canceller_scratch& scratch, dsp::workspace_stats* stats = nullptr);
+
   cvec cancel(std::span<const cplx> tx, std::span<const cplx> rx) const;
 
   /// As cancel(), into a reusable caller buffer; bit-identical to cancel().
   void cancel_into(std::span<const cplx> tx, std::span<const cplx> rx,
                    cvec& out, dsp::workspace_stats* stats = nullptr) const;
+
+  /// As cancel_into(), with the conj-branch intermediates (conj(tx) and its
+  /// emulation) in reusable scratch instead of per-call vectors.
+  /// Bit-identical to cancel().
+  void cancel_into(std::span<const cplx> tx, std::span<const cplx> rx,
+                   cvec& out, canceller_scratch& scratch,
+                   dsp::workspace_stats* stats = nullptr) const;
+
+  /// Fused ADC + cancellation sweep: quantizes `analog` through `adc` into
+  /// `digitized` (reporting clipping in `saturated`) and subtracts this
+  /// canceller's emulated leakage into `cleaned`, in interleaved chunks so
+  /// the quantizer's divide chain executes while the FP pipes chew the
+  /// cancellation convolution. Both halves process each sample with the
+  /// exact per-element sequence of quantize_into_saturation() and
+  /// cancel_into() — any chunking is bit-identical to the two full sweeps.
+  /// Requires adapt() to have run (it reads the fitted taps).
+  void cancel_quantized_into(std::span<const cplx> tx,
+                             std::span<const cplx> analog,
+                             const adc_config& adc, cvec& digitized,
+                             cvec& cleaned, bool& saturated,
+                             canceller_scratch& scratch,
+                             dsp::workspace_stats* stats = nullptr) const;
 
   const cvec& taps() const { return taps_; }
   const cvec& conjugate_taps() const { return conj_taps_; }

@@ -20,6 +20,7 @@ const char* to_string(config_error error) {
     case config_error::bad_adc_bits: return "bad_adc_bits";
     case config_error::bad_agc_headroom: return "bad_agc_headroom";
     case config_error::zero_gain_block: return "zero_gain_block";
+    case config_error::bad_coefficient_bits: return "bad_coefficient_bits";
   }
   return "unknown";
 }
@@ -27,6 +28,10 @@ const char* to_string(config_error error) {
 config_error receive_chain_config::validate() const {
   if (analog.n_taps == 0) return config_error::zero_analog_taps;
   if (analog.coefficient_bits == 0) return config_error::zero_coefficient_bits;
+  // The quantization step is max_mag / 2^(bits - 1); past 64 bits the
+  // hardware model is meaningless (and the former integer-shift spelling
+  // was undefined behaviour there).
+  if (analog.coefficient_bits > 64) return config_error::bad_coefficient_bits;
   if (digital.n_taps == 0) return config_error::zero_digital_taps;
   if (!std::isfinite(digital.ridge) || digital.ridge < 0.0)
     return config_error::bad_ridge;
@@ -78,12 +83,18 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
   const auto rx_silent = rx.subspan(silent_begin, silent_end - silent_begin);
 
   // --- Analog stage (before the ADC) ---
+  // The AGC's full-scale choice needs the analog residual's energy; the
+  // fused cancel returns it from the same store loop (bit-identical to a
+  // separate rms pass), so the ADC stage below does not re-read the
+  // capture. Negative marks it unknown (analog bypassed / hook ran).
+  double after_analog_energy = -1.0;
   {
     obs::timing_span span(config.collector, "fd.analog");
     if (config.enable_analog) {
       analog_canceller analog(config.analog);
-      analog.adapt(tx_silent, rx_silent);
-      analog.cancel_into(tx, rx, after_analog, scratch.stats);
+      analog.adapt(tx_silent, rx_silent, scratch.canceller.lin, scratch.stats);
+      after_analog_energy =
+          analog.cancel_energy_into(tx, rx, after_analog, scratch.stats);
     } else {
       dsp::acquire(after_analog, rx.size(), scratch.stats);
       std::copy(rx.begin(), rx.end(), after_analog.begin());
@@ -96,21 +107,40 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
   // --- Receive front end (downconverter) fault hook ---
   if (config.front_end_hook) {
     config.front_end_hook(std::span<cplx>(after_analog));
+    after_analog_energy = -1.0;  // the hook mutated the residual
   }
 
   // --- AGC + ADC ---
+  // With both the ADC and the digital stage enabled, only the adaptation
+  // window is digitized here: the rest of the capture goes through the
+  // digital stage's fused quantize+cancel sweep below, which hides the
+  // quantizer's divide chain under the cancellation convolution. Every
+  // sample still sees the identical clamp/divide/round/scale sequence, so
+  // digitized/cleaned/saturated are bit-identical to the split sweeps.
+  const bool fuse_adc_digital = config.enable_adc && config.enable_digital;
+  adc_config adc = config.adc;
   if (config.enable_adc) {
-    adc_config adc = config.adc;
-    adc.full_scale = agc_full_scale(after_analog, config.agc_headroom);
-    for (const cplx& v : after_analog) {
-      if (std::abs(v.real()) > adc.full_scale ||
-          std::abs(v.imag()) > adc.full_scale) {
-        result.adc_saturated = true;
+    obs::timing_span span(config.collector, "fd.adc");
+    adc.full_scale =
+        after_analog_energy >= 0.0
+            ? agc_full_scale_from_energy(after_analog_energy,
+                                         after_analog.size(),
+                                         config.agc_headroom)
+            : agc_full_scale(after_analog, config.agc_headroom);
+    if (fuse_adc_digital) {
+      dsp::acquire(digitized, rx.size(), scratch.stats);
+      unsigned window_clip = 0;  // recomputed over the full capture below
+      quantize_range_saturation(after_analog.data(), silent_begin, silent_end,
+                                adc, digitized.data(), window_clip);
+    } else {
+      // The saturation scan is fused into the quantization sweep (one read
+      // of the capture instead of two); the flag is identical to the former
+      // standalone |I|/|Q| > full_scale scan.
+      quantize_into_saturation(after_analog, adc, digitized,
+                               result.adc_saturated, scratch.stats);
+      if (result.adc_saturated)
         obs::count(config.collector, obs::probe::adc_saturated);
-        break;
-      }
     }
-    quantize_into(after_analog, adc, digitized, scratch.stats);
   } else {
     // O(1) buffer exchange: after_analog's storage becomes next call's
     // scratch; its contents are stale from here on.
@@ -124,8 +154,18 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
       digital_canceller digital(config.digital);
       digital.adapt(tx_silent,
                     std::span(digitized).subspan(silent_begin,
-                                                 silent_end - silent_begin));
-      digital.cancel_into(tx, digitized, cleaned, scratch.stats);
+                                                 silent_end - silent_begin),
+                    scratch.canceller, scratch.stats);
+      if (fuse_adc_digital) {
+        digital.cancel_quantized_into(tx, after_analog, adc, digitized,
+                                      cleaned, result.adc_saturated,
+                                      scratch.canceller, scratch.stats);
+        if (result.adc_saturated)
+          obs::count(config.collector, obs::probe::adc_saturated);
+      } else {
+        digital.cancel_into(tx, digitized, cleaned, scratch.canceller,
+                            scratch.stats);
+      }
     } else {
       std::swap(cleaned, digitized);
     }
@@ -153,7 +193,8 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
   if (config.track_residual_gain && config.enable_digital &&
       cleaned.size() > 1) {
     const std::size_t n = cleaned.size();
-    // Pass 1: static widely-linear residual fit.
+    // Pass 1 statistics: static widely-linear residual fit.
+    cplx a0, b0;
     {
       double p = 0.0;     // sum |m|^2
       cplx s{0.0, 0.0};   // sum conj(m)^2 — cross term of the two columns
@@ -168,18 +209,22 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
       }
       const double loaded = p * (1.0 + 1e-3) + 1e-30;
       const double det = loaded * loaded - std::norm(s);
-      const cplx a0 = (loaded * r1 - s * r2) / det;
-      const cplx b0 = (loaded * r2 - std::conj(s) * r1) / det;
-      for (std::size_t i = 0; i < n; ++i) {
-        const cplx m = digitized[i] - cleaned[i];
-        cleaned[i] -= a0 * m + b0 * std::conj(m);
-      }
+      a0 = (loaded * r1 - s * r2) / det;
+      b0 = (loaded * r2 - std::conj(s) * r1) / det;
     }
-    // Pass 2: per-block rotation tracking.
+    // Fused sweep: apply the pass-1 correction and accumulate the pass-2
+    // per-block statistics in the same pass over the capture. Each sample's
+    // post-correction model m' = digitized[i] - cleaned'[i] depends only on
+    // that sample, and the block statistics accumulate in the same
+    // ascending order as the former separate sweeps, so the fusion is
+    // bit-identical — it just stops re-reading digitized/cleaned a third
+    // time (each former pass recomputed m from scratch).
     const std::size_t block = std::max<std::size_t>(config.gain_block, 2);
     const std::size_t n_blocks = (n + block - 1) / block;
-    std::vector<cplx> gain_a(n_blocks);
-    std::vector<double> centre(n_blocks, 0.0);
+    dsp::acquire(scratch.gain_a, n_blocks, scratch.stats);
+    scratch.centre.resize(n_blocks);
+    cvec& gain_a = scratch.gain_a;
+    std::vector<double>& centre = scratch.centre;
     for (std::size_t b = 0; b < n_blocks; ++b) {
       const std::size_t begin = b * block;
       const std::size_t end = std::min(begin + block, n);
@@ -187,8 +232,10 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
       cplx r1{0.0, 0.0};
       for (std::size_t i = begin; i < end; ++i) {
         const cplx m = digitized[i] - cleaned[i];
-        p += std::norm(m);
-        r1 += cleaned[i] * std::conj(m);
+        cleaned[i] -= a0 * m + b0 * std::conj(m);
+        const cplx m2 = digitized[i] - cleaned[i];
+        p += std::norm(m2);
+        r1 += cleaned[i] * std::conj(m2);
       }
       gain_a[b] = r1 / (p * (1.0 + 1e-3) + 1e-30);
       centre[b] = 0.5 * static_cast<double>(begin + end - 1);

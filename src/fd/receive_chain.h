@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "fd/adc.h"
 #include "fd/canceller.h"
@@ -29,6 +30,7 @@ enum class config_error : std::uint8_t {
   bad_adc_bits,           ///< adc.bits outside [1, 32]
   bad_agc_headroom,       ///< agc_headroom not finite-positive
   zero_gain_block,        ///< track_residual_gain with gain_block == 0
+  bad_coefficient_bits,   ///< analog.coefficient_bits > 64
 };
 
 /// Display name, e.g. "bad_adc_bits".
@@ -93,6 +95,12 @@ struct receive_chain_scratch {
   cvec after_analog;
   cvec digitized;
   cvec cleaned;
+  /// Adaptation state for both canceller stages: least-squares fit
+  /// workspaces plus the widely-linear intermediates.
+  canceller_scratch canceller;
+  /// Residual-gain tracker per-block state (pass 2).
+  cvec gain_a;
+  std::vector<double> centre;
   dsp::workspace_stats* stats = nullptr;
 };
 

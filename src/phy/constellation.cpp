@@ -1,5 +1,6 @@
 #include "phy/constellation.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cmath>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 
 #include "dsp/math_util.h"
+#include "phy/demod_kernels.h"
 
 namespace backfi::phy {
 
@@ -46,16 +48,9 @@ void constellation::map_into(std::span<const std::uint8_t> bits,
 }
 
 std::uint32_t constellation::slice(cplx y) const {
-  std::size_t best = 0;
-  double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const double d = std::norm(y - points[i]);
-    if (d < best_dist) {
-      best_dist = d;
-      best = i;
-    }
-  }
-  return labels[best];
+  // Nearest-point search in the AVX2 kernel TU; same result as the scalar
+  // ascending scan with strict `<` (first point wins ties).
+  return labels[detail::nearest_point(points.data(), points.size(), y)];
 }
 
 bitvec constellation::demap_hard(std::span<const cplx> symbols) const {
@@ -91,13 +86,49 @@ void constellation::demap_llr(cplx y, double noise_var,
 std::vector<double> constellation::demap_llr_stream(std::span<const cplx> symbols,
                                                     double noise_var) const {
   std::vector<double> out;
-  out.reserve(symbols.size() * bits_per_symbol);
-  std::vector<double> per_symbol;
-  for (const cplx& y : symbols) {
-    demap_llr(y, noise_var, per_symbol);
-    out.insert(out.end(), per_symbol.begin(), per_symbol.end());
-  }
+  demap_llr_stream_into(symbols, noise_var, out);
   return out;
+}
+
+void constellation::demap_llr_stream_into(std::span<const cplx> symbols,
+                                          double noise_var,
+                                          std::vector<double>& out) const {
+  out.resize(symbols.size() * bits_per_symbol);
+  if (bits_per_symbol > 8) {
+    // No built-in constellation is this wide; keep the per-symbol path for
+    // exotic user-defined ones rather than capping the stack minima.
+    std::vector<double> per_symbol;
+    double* w = out.data();
+    for (const cplx& y : symbols) {
+      demap_llr(y, noise_var, per_symbol);
+      std::copy(per_symbol.begin(), per_symbol.end(), w);
+      w += bits_per_symbol;
+    }
+    return;
+  }
+  // Same max-log arithmetic as demap_llr, with the per-bit minima on the
+  // stack and LLRs written straight into the presized output — the
+  // per-symbol vector churn dominated the demap stage on long payloads.
+  const double inv_var = 1.0 / std::max(noise_var, 1e-30);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double* w = out.data();
+  for (const cplx& y : symbols) {
+    std::array<double, 8> min0;
+    std::array<double, 8> min1;
+    min0.fill(kInf);
+    min1.fill(kInf);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d = std::norm(y - points[i]);
+      for (std::size_t b = 0; b < bits_per_symbol; ++b) {
+        const bool bit = ((labels[i] >> (bits_per_symbol - 1 - b)) & 1u) != 0;
+        auto& slot = bit ? min1[b] : min0[b];
+        slot = std::min(slot, d);
+      }
+    }
+    for (std::size_t b = 0; b < bits_per_symbol; ++b)
+      w[b] = (min1[b] - min0[b]) * inv_var;  // positive favours bit 0
+    w += bits_per_symbol;
+  }
 }
 
 double constellation::mean_energy() const {

@@ -45,6 +45,12 @@ struct constellation {
   std::vector<double> demap_llr_stream(std::span<const cplx> symbols,
                                        double noise_var) const;
 
+  /// As demap_llr_stream, writing into a reusable caller buffer (resized;
+  /// identical values, and allocation-free once warm for constellations up
+  /// to 8 bits per symbol — the decoder hot path).
+  void demap_llr_stream_into(std::span<const cplx> symbols, double noise_var,
+                             std::vector<double>& out) const;
+
   /// Average symbol energy (should be ~1 for all built-ins).
   double mean_energy() const;
 };

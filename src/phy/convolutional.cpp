@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "phy/viterbi_kernels.h"
+
 namespace backfi::phy {
 
 namespace {
@@ -127,22 +129,27 @@ bitvec puncture(std::span<const std::uint8_t> coded, code_rate rate) {
 
 std::vector<double> depuncture(std::span<const double> soft, code_rate rate,
                                std::size_t mother_length) {
-  const auto pattern = puncture_pattern(rate);
   std::vector<double> out;
-  out.reserve(mother_length);
+  depuncture_into(soft, rate, mother_length, out);
+  return out;
+}
+
+void depuncture_into(std::span<const double> soft, code_rate rate,
+                     std::size_t mother_length, std::vector<double>& out) {
+  const auto pattern = puncture_pattern(rate);
+  out.resize(mother_length);
   std::size_t consumed = 0;
   for (std::size_t i = 0; i < mother_length; ++i) {
     if (pattern[i % pattern.size()]) {
       if (consumed >= soft.size())
         throw std::invalid_argument("depuncture: soft stream too short");
-      out.push_back(soft[consumed++]);
+      out[i] = soft[consumed++];
     } else {
-      out.push_back(0.0);  // erasure: no information about this mother bit
+      out[i] = 0.0;  // erasure: no information about this mother bit
     }
   }
   if (consumed != soft.size())
     throw std::invalid_argument("depuncture: soft stream too long");
-  return out;
 }
 
 bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info,
@@ -150,7 +157,6 @@ bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info,
   const std::size_t n_steps = n_info + conv_tail_bits;
   if (soft.size() < 2 * n_steps)
     throw std::invalid_argument("viterbi_decode: soft stream too short");
-  const auto& t = tables();
 
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   std::vector<double> metric(kStates, kNegInf);
@@ -159,48 +165,27 @@ bitvec viterbi_decode(std::span<const double> soft, std::size_t n_info,
   std::vector<std::uint8_t> survivor_input(n_steps * kStates);
   std::vector<std::uint8_t> survivor_prev(n_steps * kStates);
 
-  // Branch-metric selector per (state, input): the two coded bits packed as
-  // an index into the four possible +/-s0 +/-s1 sums, computed once per step
-  // instead of once per transition.
-  std::array<std::array<std::uint8_t, 2>, kStates> bm_index;
-  for (int s = 0; s < kStates; ++s)
-    for (int b = 0; b < 2; ++b)
-      bm_index[s][b] =
-          static_cast<std::uint8_t>((t.out0[s][b] << 1) | t.out1[s][b]);
-
+  // Gather form of the scatter update, one kernel call per step: next state
+  // ns has exactly two predecessors 2*(ns & 31) and 2*(ns & 31) + 1, both
+  // via input bit ns >> 5. The select is branchless — the data-dependent
+  // winner made the scatter loop mispredict heavily. `c1 > c0` picks the
+  // second predecessor only on strict improvement, matching the original
+  // first-writer-wins tie break; -inf propagates through the sums, so an
+  // unreachable predecessor never beats a reachable one and fully
+  // unreachable states keep -inf. Their survivor entries are now written
+  // too, but traceback starts at state 0 (finite metric, trellis is
+  // terminated) and only ever follows winners, so decoded output is
+  // unchanged. The AVX2 body lives in viterbi_kernels.cpp (per-TU flags,
+  // contraction off) and is bit-identical to the scalar fallback there.
   std::vector<double> next_metric(kStates);
   for (std::size_t step = 0; step < n_steps; ++step) {
     const double s0 = soft[2 * step];      // positive favours coded bit 0
     const double s1 = soft[2 * step + 1];
-    // bm[o0 << 1 | o1] = (o0 ? -s0 : s0) + (o1 ? -s1 : s1), same FP ops and
-    // order as computing each branch individually.
-    const double bm[4] = {s0 + s1, s0 + (-s1), (-s0) + s1, (-s0) + (-s1)};
     const int max_input = (step < n_info) ? 2 : 1;  // tail forces zeros
-    // Gather form of the scatter update: next state ns has exactly two
-    // predecessors 2*(ns & 31) and 2*(ns & 31) + 1, both via input bit
-    // ns >> 5. The select is branchless — the data-dependent winner made the
-    // scatter loop mispredict heavily. `c1 > c0` picks the second predecessor
-    // only on strict improvement, matching the original first-writer-wins tie
-    // break; -inf propagates through the sums, so an unreachable predecessor
-    // never beats a reachable one and fully unreachable states keep -inf.
-    // Their survivor entries are now written too, but traceback starts at
-    // state 0 (finite metric, trellis is terminated) and only ever follows
-    // winners, so decoded output is unchanged.
     const std::size_t row = step * kStates;
-    for (int ns = 0; ns < kStates; ++ns) {
-      const int b = ns >> (kMemory - 1);
-      if (b >= max_input) {
-        next_metric[ns] = kNegInf;
-        continue;
-      }
-      const int p0 = (ns & (kStates / 2 - 1)) * 2;
-      const double c0 = metric[p0] + bm[bm_index[p0][b]];
-      const double c1 = metric[p0 + 1] + bm[bm_index[p0 + 1][b]];
-      const bool take1 = c1 > c0;
-      next_metric[ns] = take1 ? c1 : c0;
-      survivor_input[row + ns] = static_cast<std::uint8_t>(b);
-      survivor_prev[row + ns] = static_cast<std::uint8_t>(p0 + (take1 ? 1 : 0));
-    }
+    detail::viterbi_acs_step(metric.data(), s0, s1, max_input,
+                             next_metric.data(), survivor_input.data() + row,
+                             survivor_prev.data() + row);
     metric.swap(next_metric);
   }
 

@@ -44,6 +44,11 @@ bitvec puncture(std::span<const std::uint8_t> coded, code_rate rate);
 std::vector<double> depuncture(std::span<const double> soft, code_rate rate,
                                std::size_t mother_length);
 
+/// As depuncture, writing into a reusable caller buffer (resized to
+/// `mother_length`; identical values, no per-call allocation once warm).
+void depuncture_into(std::span<const double> soft, code_rate rate,
+                     std::size_t mother_length, std::vector<double>& out);
+
 /// Soft-decision Viterbi decode of a rate-1/2 stream (after depuncturing).
 /// `soft` must contain 2 * (n_info + 6) metrics; returns the n_info decoded
 /// information bits (tail stripped). The trellis is forced to end in the

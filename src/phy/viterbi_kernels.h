@@ -1,0 +1,31 @@
+// Hot add-compare-select step of the soft Viterbi decoder, split into its
+// own translation unit so it can be compiled with AVX2 (contraction off)
+// while convolutional.cpp keeps the default flags — the same pattern as the
+// dsp fir/rng/linalg kernel TUs. The kernel is bit-identical to the scalar
+// gather-form loop it replaced: every candidate metric is the same
+// metric[p] + (+-s0 + +-s1) two-add sequence, and the select keeps the
+// strict `c1 > c0` tie break.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace backfi::phy::detail {
+
+/// One trellis step over all 64 states of the K=7 code (generators
+/// 133/171 octal, matching convolutional.cpp's tables()).
+///  metric              path metrics entering the step (64 entries)
+///  s0, s1              the step's two soft inputs (positive favours bit 0)
+///  max_input           2 for data steps, 1 for tail steps (input forced 0)
+///  next_metric         path metrics leaving the step (64 entries)
+///  survivor_input_row  this step's 64 survivor input bits
+///  survivor_prev_row   this step's 64 survivor predecessor states
+/// Tail steps write neither metric nor survivors for states whose input bit
+/// would be 1 beyond setting their metric to -inf, exactly like the scalar
+/// loop (their survivor bytes keep the caller's zero initialisation).
+void viterbi_acs_step(const double* metric, double s0, double s1,
+                      int max_input, double* next_metric,
+                      std::uint8_t* survivor_input_row,
+                      std::uint8_t* survivor_prev_row);
+
+}  // namespace backfi::phy::detail

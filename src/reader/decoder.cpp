@@ -12,25 +12,13 @@
 #include "phy/constellation.h"
 #include "phy/convolutional.h"
 #include "phy/crc32.h"
+#include "reader/decoder_kernels.h"
 #include "reader/mrc.h"
 
 namespace backfi::reader {
 
 namespace {
 constexpr std::size_t samples_per_us = 20;
-
-// One fused pass over both captures, restricted to [begin, end): the decoder
-// never reads outside that range, so a NaN beyond it cannot influence any
-// output and need not be scanned for.
-bool all_finite_window(std::span<const cplx> x, std::span<const cplx> y,
-                       std::size_t begin, std::size_t end) {
-  for (std::size_t i = begin; i < end; ++i) {
-    if (!std::isfinite(x[i].real()) || !std::isfinite(x[i].imag()) ||
-        !std::isfinite(y[i].real()) || !std::isfinite(y[i].imag()))
-      return false;
-  }
-  return true;
-}
 
 // label -> index into constellation.points (labels are unique), shared by
 // decode() and decode_from_symbols() so the EVM loop and phase tracker do a
@@ -118,18 +106,30 @@ cvec backfi_decoder::estimate_combined_channel(std::span<const cplx> x,
                                                std::span<const cplx> y,
                                                std::size_t preamble_begin,
                                                std::size_t preamble_end) const {
+  cvec taps;
+  dsp::fir_ls_workspace workspace;
+  estimate_combined_channel_into(x, y, preamble_begin, preamble_end, taps,
+                                 workspace, nullptr);
+  return taps;
+}
+
+bool backfi_decoder::estimate_combined_channel_into(
+    std::span<const cplx> x, std::span<const cplx> y,
+    std::size_t preamble_begin, std::size_t preamble_end, cvec& taps,
+    dsp::fir_ls_workspace& workspace, dsp::workspace_stats* stats) const {
   const std::size_t limit = std::min(x.size(), y.size());
   const std::size_t end = std::min(preamble_end, limit);
-  if (end <= preamble_begin) return {};
+  if (end <= preamble_begin) return false;
   // Shift the window back by (taps - 1) so the estimator sees the full
   // excitation history for every row it uses.
   const std::size_t history = config_.fb_taps - 1;
   const std::size_t start = preamble_begin >= history ? preamble_begin - history : 0;
   const std::size_t len = end - start;
-  if (len < config_.fb_taps) return {};
-  return dsp::estimate_fir_least_squares(x.subspan(start, len),
-                                         y.subspan(start, len), config_.fb_taps,
-                                         config_.ridge);
+  if (len < config_.fb_taps) return false;
+  dsp::estimate_fir_least_squares_into(x.subspan(start, len),
+                                       y.subspan(start, len), config_.fb_taps,
+                                       config_.ridge, taps, workspace, stats);
+  return true;
 }
 
 decode_result backfi_decoder::decode(std::span<const cplx> x,
@@ -198,6 +198,7 @@ decode_result backfi_decoder::decode_with_scratch(
     return static_cast<std::size_t>(static_cast<int>(std::min(width, 1e6)));
   }();
   {
+    obs::timing_span finite_span(config_.collector, "reader.decode.finite");
     const std::size_t history = config_.fb_taps - 1;
     const std::size_t window_lo =
         sync_begin >= max_search + history ? sync_begin - max_search - history : 0;
@@ -205,7 +206,7 @@ decode_result backfi_decoder::decode_with_scratch(
         std::min(std::min(preamble_begin, window_lo), y.size());
     const std::size_t scan_hi = std::min(
         y.size(), data_begin + n_payload_symbols * sps + max_search);
-    if (scan_lo < scan_hi && !all_finite_window(x, y, scan_lo, scan_hi)) {
+    if (scan_lo < scan_hi && !detail::all_finite_window(x, y, scan_lo, scan_hi)) {
       result.failure = decode_failure::non_finite_samples;
       note_failure(config_.collector, result.failure);
       return result;
@@ -262,12 +263,15 @@ decode_result backfi_decoder::decode_with_scratch(
     ++result.sync_attempts;
     obs::count(config_.collector, obs::probe::sync_attempts);
 
-    result.h_fb = estimate_combined_channel(x, y, est_begin, est_end);
-    if (result.h_fb.empty()) {
+    // Estimate into the scratch-owned taps buffer (reused across calls);
+    // the result keeps its own copy since it outlives the scratch.
+    if (!estimate_combined_channel_into(x, y, est_begin, est_end, scratch.h_fb,
+                                        scratch.ls, scratch.stats)) {
       result.failure = decode_failure::estimation_window_too_short;
       note_failure(config_.collector, result.failure);
       return result;
     }
+    result.h_fb.assign(scratch.h_fb.begin(), scratch.h_fb.end());
     // Expected unmodulated backscatter — only over the window the MRC
     // stages below actually read (`fits` bounds it inside the capture).
     // `mrc_precompute` then folds y * conj(yhat) and |yhat|^2 into scratch
@@ -361,22 +365,31 @@ decode_result backfi_decoder::decode_with_scratch(
   // so rotation accumulating since the sync word (CFO, phase noise, tag
   // clock wander) stays bounded instead of walking across the decision
   // boundary on long packets.
+  obs::timing_span track_span(config_.collector, "reader.decode.track");
+  scratch.track_labels.clear();
   if (config_.phase_tracking) {
+    // The sliced decisions are kept so the EVM loop below reuses them
+    // instead of re-slicing the exact same (final) symbol values.
+    scratch.track_labels.resize(n_payload_symbols);
     const double gain = config_.phase_tracking_gain;
     cplx rot{1.0, 0.0};
+    std::size_t s = 0;
     for (cplx& m : symbols) {
       m *= rot;
       const std::uint32_t label = constellation.slice(m);
+      scratch.track_labels[s++] = label;
       const cplx ref = constellation.points[by_label[label]];
       const double err = std::arg(m * std::conj(ref));
       rot *= std::polar(1.0, -gain * err);
     }
   }
+  track_span.stop();
 
   // --- 5. Soft decoding ---
   decode_result bits = decode_from_symbols_impl(symbols, noise_var,
                                                 payload_bits, constellation,
-                                                by_label);
+                                                by_label, &scratch,
+                                                scratch.track_labels);
   bits.sync_found = result.sync_found;
   bits.sync_attempts = result.sync_attempts;
   bits.timing_offset = result.timing_offset;
@@ -405,13 +418,15 @@ decode_result backfi_decoder::decode_from_symbols(std::span<const cplx> symbols,
       phy::psk_constellation(tag::psk_order(tag_config_.rate.modulation));
   return decode_from_symbols_impl(symbols, noise_var, payload_bits,
                                   constellation,
-                                  label_to_point_index(constellation));
+                                  label_to_point_index(constellation), nullptr,
+                                  {});
 }
 
 decode_result backfi_decoder::decode_from_symbols_impl(
     std::span<const cplx> symbols, double noise_var, std::size_t payload_bits,
     const phy::constellation& constellation,
-    std::span<const std::size_t> by_label) const {
+    std::span<const std::size_t> by_label, decoder_scratch* scratch,
+    std::span<const std::uint32_t> tracked_labels) const {
   decode_result result;
   if (payload_bits == 0) {
     result.failure = decode_failure::zero_payload;
@@ -425,11 +440,20 @@ decode_result backfi_decoder::decode_from_symbols_impl(
   }
 
   // EVM against sliced points (label -> point index via the shared table).
+  // When the phase tracker already sliced these exact symbol values its
+  // decisions are reused; slicing again would return the same labels.
   {
+    obs::timing_span evm_span(config_.collector, "reader.decode.evm");
     double acc = 0.0;
-    for (const cplx& m : symbols) {
-      const std::uint32_t label = constellation.slice(m);
-      acc += std::norm(m - constellation.points[by_label[label]]);
+    if (tracked_labels.size() == symbols.size()) {
+      for (std::size_t i = 0; i < symbols.size(); ++i)
+        acc += std::norm(symbols[i] -
+                         constellation.points[by_label[tracked_labels[i]]]);
+    } else {
+      for (const cplx& m : symbols) {
+        const std::uint32_t label = constellation.slice(m);
+        acc += std::norm(m - constellation.points[by_label[label]]);
+      }
     }
     result.evm_rms = std::sqrt(acc / std::max<std::size_t>(symbols.size(), 1));
     obs::observe(config_.collector, obs::probe::evm_rms, result.evm_rms);
@@ -438,8 +462,13 @@ decode_result backfi_decoder::decode_from_symbols_impl(
   const std::size_t info_bits = payload_bits + 32;  // + CRC
   const std::size_t coded_bits =
       phy::coded_length(info_bits, tag_config_.rate.coding);
-  std::vector<double> soft = constellation.demap_llr_stream(
-      symbols, std::max(noise_var, 1e-12));
+  obs::timing_span demap_span(config_.collector, "reader.decode.demap");
+  std::vector<double> local_soft;
+  std::vector<double> local_mother;
+  std::vector<double>& soft = scratch ? scratch->soft : local_soft;
+  std::vector<double>& mother = scratch ? scratch->mother : local_mother;
+  constellation.demap_llr_stream_into(symbols, std::max(noise_var, 1e-12),
+                                      soft);
   if (soft.size() < coded_bits) {
     result.failure = decode_failure::insufficient_symbols;
     note_failure(config_.collector, result.failure);
@@ -447,8 +476,9 @@ decode_result backfi_decoder::decode_from_symbols_impl(
   }
   soft.resize(coded_bits);  // drop symbol-padding bits
 
-  const auto mother = phy::depuncture(soft, tag_config_.rate.coding,
-                                      2 * (info_bits + phy::conv_tail_bits));
+  phy::depuncture_into(soft, tag_config_.rate.coding,
+                       2 * (info_bits + phy::conv_tail_bits), mother);
+  demap_span.stop();
   obs::timing_span viterbi_span(config_.collector, "reader.viterbi");
   double path_metric = 0.0;
   const phy::bitvec decoded =

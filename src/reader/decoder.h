@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "dsp/linalg.h"
 #include "dsp/types.h"
 #include "dsp/workspace.h"
 #include "phy/bits.h"
@@ -126,6 +127,11 @@ struct decoder_scratch {
   cvec products;                ///< y * conj(yhat) over the sync/data window
   std::vector<double> weights;  ///< |yhat|^2 over the same window
   cvec sync_estimates;          ///< per-offset sync-word MRC outputs
+  dsp::fir_ls_workspace ls;     ///< Gram/RHS buffers for the h_fb estimate
+  cvec h_fb;                    ///< reusable h_fb taps (copied into results)
+  std::vector<std::uint32_t> track_labels;  ///< phase-tracker slice decisions
+  std::vector<double> soft;     ///< demapped LLRs (payload coded bits)
+  std::vector<double> mother;   ///< depunctured mother-code metrics
   dsp::workspace_stats* stats = nullptr;
 };
 
@@ -179,11 +185,24 @@ class backfi_decoder {
 
   /// Shared demap/Viterbi/CRC tail used by decode() and decode_from_symbols;
   /// takes the constellation and its label->point-index table so neither
-  /// caller rebuilds them.
+  /// caller rebuilds them. `scratch` (nullable) supplies the demap and
+  /// depuncture buffers; `tracked_labels`, when non-empty, carries the phase
+  /// tracker's slice decisions so the EVM loop reuses them instead of
+  /// re-slicing the same symbols.
   decode_result decode_from_symbols_impl(
       std::span<const cplx> symbols, double noise_var, std::size_t payload_bits,
       const phy::constellation& constellation,
-      std::span<const std::size_t> by_label) const;
+      std::span<const std::size_t> by_label, decoder_scratch* scratch,
+      std::span<const std::uint32_t> tracked_labels) const;
+
+  /// estimate_combined_channel through the reusable Gram/RHS workspace;
+  /// returns false (and leaves `taps` untouched) on a degenerate window.
+  bool estimate_combined_channel_into(std::span<const cplx> x,
+                                      std::span<const cplx> y,
+                                      std::size_t preamble_begin,
+                                      std::size_t preamble_end, cvec& taps,
+                                      dsp::fir_ls_workspace& workspace,
+                                      dsp::workspace_stats* stats) const;
 
   tag::tag_config tag_config_;
   decoder_config config_;

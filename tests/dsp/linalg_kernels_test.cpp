@@ -1,0 +1,273 @@
+// Equivalence suite for the size-dispatched FIR least-squares builders.
+//
+// The contract under test (dsp/linalg_kernels.h):
+//  - vectorized build == scalar seed build, bit for bit, at every size;
+//  - correlation-form build == scalar seed build to tolerance (its Toeplitz
+//    recurrence reassociates each entry's sum, trading one rounding sequence
+//    for another — the only kernel in this family that changes accumulation
+//    order, which is why the dispatch thresholds keep the in-simulation
+//    5-8-tap fits off it);
+//  - the workspace build/factor/solve split, RHS-only rebuilds, and the
+//    derived conj-branch Gram reproduce the one-shot fits they replace.
+#include "dsp/linalg_kernels.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+#include <limits>
+
+#include "dsp/linalg.h"
+#include "dsp/rng.h"
+
+namespace backfi::dsp {
+namespace {
+
+cvec random_vec(rng& gen, std::size_t n) {
+  cvec v(n);
+  for (auto& s : v) s = gen.complex_gaussian();
+  return v;
+}
+
+// The seed Gram/RHS accumulation, kept in the test as an independent spelling
+// of the reference (default compile flags, std::complex arithmetic).
+void reference_normal_equations(const cvec& x, const cvec& y,
+                                std::size_t n_taps, cvec& gram, cvec& rhs) {
+  const std::size_t n = x.size();
+  gram.assign(n_taps * n_taps, cplx{0.0, 0.0});
+  rhs.assign(n_taps, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < n_taps; ++i) {
+    for (std::size_t j = i; j < n_taps; ++j) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t t = n_taps - 1; t < n; ++t)
+        acc += std::conj(x[t - i]) * x[t - j];
+      gram[j * n_taps + i] = acc;
+      gram[i * n_taps + j] = std::conj(acc);
+    }
+  }
+  for (std::size_t i = 0; i < n_taps; ++i) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = n_taps - 1; t < n; ++t)
+      acc += std::conj(x[t - i]) * y[t];
+    rhs[i] = acc;
+  }
+}
+
+TEST(LinalgKernelsTest, VectorizedBuildMatchesScalarBitExactly) {
+  rng gen(901);
+  // Odd window lengths on purpose: they exercise the scalar tails of the
+  // two-entry lane pairing at every alignment.
+  for (const std::size_t n : {std::size_t{33}, std::size_t{97}, std::size_t{313},
+                              std::size_t{601}}) {
+    for (std::size_t n_taps = 1; n_taps <= 16; ++n_taps) {
+      if (n < n_taps) continue;
+      const cvec x = random_vec(gen, n);
+      const cvec y = random_vec(gen, n);
+      cvec ref_gram, ref_rhs;
+      reference_normal_equations(x, y, n_taps, ref_gram, ref_rhs);
+
+      cvec gram(n_taps * n_taps), rhs(n_taps);
+      detail::fir_normal_equations_vectorized(x.data(), n, y.data(), n_taps,
+                                              gram.data(), rhs.data());
+      for (std::size_t k = 0; k < gram.size(); ++k)
+        ASSERT_EQ(gram[k], ref_gram[k])
+            << "gram n=" << n << " taps=" << n_taps << " k=" << k;
+      for (std::size_t k = 0; k < rhs.size(); ++k)
+        ASSERT_EQ(rhs[k], ref_rhs[k])
+            << "rhs n=" << n << " taps=" << n_taps << " k=" << k;
+    }
+  }
+}
+
+TEST(LinalgKernelsTest, CorrelationBuildMatchesScalarToTolerance) {
+  rng gen(902);
+  for (const std::size_t n : {std::size_t{201}, std::size_t{513}}) {
+    for (std::size_t n_taps = 1; n_taps <= 16; ++n_taps) {
+      const cvec x = random_vec(gen, n);
+      const cvec y = random_vec(gen, n);
+      cvec ref_gram, ref_rhs;
+      reference_normal_equations(x, y, n_taps, ref_gram, ref_rhs);
+
+      cvec gram(n_taps * n_taps), rhs(n_taps);
+      detail::fir_normal_equations_correlation(x.data(), n, y.data(), n_taps,
+                                               gram.data(), rhs.data());
+      const double scale = std::abs(ref_gram[0]);
+      for (std::size_t k = 0; k < gram.size(); ++k)
+        ASSERT_NEAR(std::abs(gram[k] - ref_gram[k]), 0.0, 1e-9 * scale)
+            << "gram n=" << n << " taps=" << n_taps << " k=" << k;
+      // The RHS build is shared with the vectorized path: bit-identical.
+      for (std::size_t k = 0; k < rhs.size(); ++k)
+        ASSERT_EQ(rhs[k], ref_rhs[k]) << "rhs taps=" << n_taps << " k=" << k;
+    }
+  }
+}
+
+TEST(LinalgKernelsTest, ForcedPathsAgreeOnTaps) {
+  rng gen(903);
+  // Full-fit comparison across every builder, including edge-dominated tiny
+  // windows (m barely above n_taps) and ridge 0 vs 1e-6.
+  for (const std::size_t n : {std::size_t{19}, std::size_t{41}, std::size_t{257},
+                              std::size_t{511}}) {
+    for (const std::size_t n_taps :
+         {std::size_t{1}, std::size_t{2}, std::size_t{5}, std::size_t{8},
+          std::size_t{13}, std::size_t{16}}) {
+      if (n < n_taps + 4) continue;
+      for (const double ridge : {0.0, 1e-6}) {
+        // An edge-dominated window with fewer usable rows than taps is
+        // rank-deficient; it is only solvable with the ridge on.
+        if (ridge == 0.0 && n - (n_taps - 1) < n_taps) continue;
+        const cvec x = random_vec(gen, n);
+        const cvec y = random_vec(gen, n);
+
+        cvec taps_scalar, taps_vec, taps_corr;
+        fir_ls_workspace w;
+        detail::estimate_fir_least_squares_with_path(
+            x, y, n_taps, ridge, fir_ls_path::scalar, taps_scalar, w);
+        detail::estimate_fir_least_squares_with_path(
+            x, y, n_taps, ridge, fir_ls_path::vectorized, taps_vec, w);
+        detail::estimate_fir_least_squares_with_path(
+            x, y, n_taps, ridge, fir_ls_path::correlation, taps_corr, w);
+
+        for (std::size_t k = 0; k < n_taps; ++k) {
+          ASSERT_EQ(taps_vec[k], taps_scalar[k])
+              << "vectorized n=" << n << " taps=" << n_taps << " k=" << k;
+          ASSERT_NEAR(std::abs(taps_corr[k] - taps_scalar[k]), 0.0, 1e-7)
+              << "correlation n=" << n << " taps=" << n_taps << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(LinalgKernelsTest, DispatchedFitMatchesSeedImplementationBitExactly) {
+  rng gen(904);
+  // Whatever path the size dispatch picks must reproduce the allocating
+  // seed API bitwise for in-simulation shapes (the pinned-literal contract).
+  for (const auto& [n, n_taps] :
+       {std::pair<std::size_t, std::size_t>{320, 5},
+        {320, 6}, {320, 8}, {600, 5}, {20, 3}, {16, 8}}) {
+    const cvec x = random_vec(gen, n);
+    const cvec y = random_vec(gen, n);
+    const cvec seed = estimate_fir_least_squares(x, y, n_taps, 1e-9);
+
+    cvec taps;
+    fir_ls_workspace w;
+    estimate_fir_least_squares_into(x, y, n_taps, 1e-9, taps, w);
+    ASSERT_EQ(taps.size(), seed.size());
+    for (std::size_t k = 0; k < n_taps; ++k)
+      ASSERT_EQ(taps[k], seed[k]) << "n=" << n << " taps=" << n_taps;
+  }
+}
+
+TEST(LinalgKernelsTest, RhsRebuildReusingFactorMatchesFreshFit) {
+  rng gen(905);
+  const cvec x = random_vec(gen, 320);
+  const cvec y1 = random_vec(gen, 320);
+  const cvec y2 = random_vec(gen, 320);
+
+  cvec ref1, ref2, taps;
+  fir_ls_workspace w;
+  estimate_fir_least_squares_into(x, y1, 6, 1e-9, ref1, w);
+  fir_ls_workspace w2;
+  estimate_fir_least_squares_into(x, y2, 6, 1e-9, ref2, w2);
+
+  // Refit round: same excitation, new target — rebuild only the RHS and
+  // reuse the Cholesky factor. Same Gram bits give the same factor bits, so
+  // both solves must match their fresh-fit counterparts exactly.
+  fir_ls_build_rhs(x, y2, w);
+  fir_ls_solve(w, taps);
+  ASSERT_EQ(taps.size(), ref2.size());
+  for (std::size_t k = 0; k < taps.size(); ++k) ASSERT_EQ(taps[k], ref2[k]);
+
+  fir_ls_build_rhs(x, y1, w);
+  fir_ls_solve(w, taps);
+  for (std::size_t k = 0; k < taps.size(); ++k) ASSERT_EQ(taps[k], ref1[k]);
+}
+
+TEST(LinalgKernelsTest, DerivedConjGramMatchesDirectConjBuild) {
+  rng gen(906);
+  const std::size_t n = 320, n_taps = 6;
+  for (const std::size_t edge : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                 std::size_t{32}}) {
+    const cvec x = random_vec(gen, n);
+    const cvec y = random_vec(gen, n);
+    cvec xc(x.size()), yc(y.size() - edge);
+    for (std::size_t i = 0; i < x.size(); ++i) xc[i] = std::conj(x[i]);
+    for (std::size_t i = 0; i < yc.size(); ++i) yc[i] = y[edge + i];
+
+    // Direct: fit taps of the conjugated, head-trimmed problem from raw
+    // samples (what digital_canceller::adapt used to do per packet).
+    const cvec direct = estimate_fir_least_squares(
+        std::span<const cplx>(xc).subspan(edge), yc, n_taps, 1e-9);
+
+    fir_ls_workspace lin, conj_w;
+    fir_ls_build(x, y, n_taps, lin);
+    fir_ls_derive_conj(x, edge, lin, conj_w);
+    fir_ls_build_rhs(std::span<const cplx>(xc).subspan(edge), yc, conj_w);
+    fir_ls_factor(conj_w, 1e-9);
+    cvec taps;
+    fir_ls_solve(conj_w, taps);
+
+    ASSERT_EQ(taps.size(), direct.size());
+    for (std::size_t k = 0; k < n_taps; ++k)
+      ASSERT_NEAR(std::abs(taps[k] - direct[k]), 0.0,
+                  1e-9 * (1.0 + std::abs(direct[k])))
+          << "edge=" << edge << " k=" << k;
+  }
+}
+
+TEST(LinalgKernelsTest, WorkspaceFactorRejectsNonPositiveDefinite) {
+  // A rank-deficient excitation (all zeros) with zero ridge cannot be
+  // factored; the workspace split must surface the same error the seed
+  // solve path threw.
+  const cvec x(64, cplx{0.0, 0.0});
+  const cvec y(64, cplx{1.0, 0.0});
+  fir_ls_workspace w;
+  fir_ls_build(x, y, 4, w);
+  EXPECT_THROW(fir_ls_factor(w, 0.0), std::runtime_error);
+}
+
+TEST(LinalgKernelsTest, DispatchCountersTrackPathSelection) {
+  reset_fir_ls_dispatch_counts();
+  rng gen(907);
+  const cvec big_x = random_vec(gen, 400), big_y = random_vec(gen, 400);
+  const cvec small_x = random_vec(gen, 20), small_y = random_vec(gen, 20);
+
+  estimate_fir_least_squares(small_x, small_y, 4, 1e-9);   // m=17 -> scalar
+  estimate_fir_least_squares(big_x, big_y, 6, 1e-9);       // -> vectorized
+  estimate_fir_least_squares(big_x, big_y, 14, 1e-9);      // -> correlation
+
+  const fir_ls_counts c = fir_ls_dispatch_counts();
+  EXPECT_EQ(c.scalar, 1u);
+  EXPECT_EQ(c.vectorized, 1u);
+  EXPECT_EQ(c.correlation, 1u);
+}
+
+TEST(LinalgKernelsTest, AllFiniteWindowMatchesScalarPredicate) {
+  rng gen(908);
+  cvec x = random_vec(gen, 131), y = random_vec(gen, 131);
+  EXPECT_TRUE(detail::all_finite_window2(x.data(), y.data(), 0, x.size()));
+  EXPECT_TRUE(detail::all_finite_window2(x.data(), y.data(), 40, 40));
+
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    for (const std::size_t pos : {std::size_t{0}, std::size_t{63},
+                                  std::size_t{130}}) {
+      cvec xb = x, yb = y;
+      xb[pos] = cplx(bad, 0.0);
+      EXPECT_FALSE(detail::all_finite_window2(xb.data(), y.data(), 0, x.size()))
+          << "x pos=" << pos;
+      yb[pos] = cplx(0.0, bad);
+      EXPECT_FALSE(detail::all_finite_window2(x.data(), yb.data(), 0, y.size()))
+          << "y pos=" << pos;
+      // Outside the window the poison must be invisible.
+      if (pos > 0 && pos < x.size() - 1) {
+        EXPECT_TRUE(
+            detail::all_finite_window2(xb.data(), yb.data(), pos + 1, x.size()));
+        EXPECT_TRUE(detail::all_finite_window2(xb.data(), yb.data(), 0, pos));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace backfi::dsp

@@ -142,5 +142,40 @@ TEST(CancellerTest, AdaptingDuringBackscatterCancelsIt) {
   EXPECT_LT(kept_db, -20.0);  // backscatter mostly destroyed
 }
 
+TEST(DigitalCancellerTest, FusedQuantizeCancelMatchesSplitSweepsBitExactly) {
+  // cancel_quantized_into interleaves the ADC sweep with the cancellation
+  // convolution in chunks; every sample must still carry the exact bits of
+  // quantize_into_saturation() followed by cancel_into(). Cover the plain
+  // linear fit and the widely-linear + DC configuration (conj/dc branches
+  // run as element-wise tails over the fused output).
+  for (const bool wl : {false, true}) {
+    const si_scenario s = make_scenario(wl ? 31 : 30);
+    digital_canceller d({.n_taps = 8, .widely_linear = wl, .remove_dc = wl});
+    canceller_scratch scratch;
+    // Adapt on a pre-quantized silent window, as the receive chain does.
+    const adc_config adc{.bits = 12, .full_scale = agc_full_scale(s.rx)};
+    cvec reference_digitized;
+    bool reference_saturated = false;
+    quantize_into_saturation(s.rx, adc, reference_digitized,
+                             reference_saturated);
+    d.adapt(std::span(s.tx).first(320),
+            std::span<const cplx>(reference_digitized).first(320), scratch);
+    cvec reference_cleaned;
+    d.cancel_into(s.tx, reference_digitized, reference_cleaned, scratch);
+
+    cvec digitized, cleaned;
+    bool saturated = true;  // must be overwritten
+    d.cancel_quantized_into(s.tx, s.rx, adc, digitized, cleaned, saturated,
+                            scratch);
+    EXPECT_EQ(saturated, reference_saturated);
+    ASSERT_EQ(digitized.size(), reference_digitized.size());
+    ASSERT_EQ(cleaned.size(), reference_cleaned.size());
+    for (std::size_t i = 0; i < cleaned.size(); ++i) {
+      ASSERT_EQ(digitized[i], reference_digitized[i]) << "wl " << wl << " @" << i;
+      ASSERT_EQ(cleaned[i], reference_cleaned[i]) << "wl " << wl << " @" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace backfi::fd

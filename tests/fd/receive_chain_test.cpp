@@ -211,7 +211,21 @@ TEST(ReceiveChainValidate, FirstViolationIsTypedAndNamed) {
     cfg.gain_block = 0;
     EXPECT_EQ(cfg.validate(), config_error::zero_gain_block);
   }
+  {
+    // coefficient_bits > 64: the former (1ULL << (bits - 1)) quantization
+    // step was undefined behaviour here; validate() now rejects it before
+    // the analog stage can adapt.
+    receive_chain_config cfg;
+    cfg.analog.coefficient_bits = 65;
+    EXPECT_EQ(cfg.validate(), config_error::bad_coefficient_bits);
+    cfg.analog.coefficient_bits = 64;
+    EXPECT_EQ(cfg.validate(), config_error::none);
+    cfg.analog.coefficient_bits = 1000;
+    EXPECT_EQ(cfg.validate(), config_error::bad_coefficient_bits);
+  }
   EXPECT_STREQ(to_string(config_error::bad_adc_bits), "bad_adc_bits");
+  EXPECT_STREQ(to_string(config_error::bad_coefficient_bits),
+               "bad_coefficient_bits");
   EXPECT_STREQ(to_string(config_error::none), "none");
 }
 

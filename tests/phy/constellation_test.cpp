@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dsp/rng.h"
 
 namespace backfi::phy {
@@ -131,6 +133,101 @@ TEST(ConstellationTest, MapRejectsMisalignedBits) {
   const auto& c = wifi_constellation(2);
   const bitvec bits(3, 1);
   EXPECT_THROW(c.map(bits), std::invalid_argument);
+}
+
+// The scan slice() replaced: ascending index, strict `<`, first point at the
+// minimum distance wins. The vectorized nearest-point kernel must agree on
+// every input, including exact ties and non-finite symbols.
+std::uint32_t reference_slice(const constellation& c, cplx y) {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    const double d = std::norm(y - c.points[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return c.labels[best];
+}
+
+TEST(SliceKernelTest, MatchesReferenceScanAllConstellations) {
+  dsp::rng gen(42);
+  std::vector<const constellation*> all;
+  for (std::size_t b : {1u, 2u, 4u, 6u}) all.push_back(&wifi_constellation(b));
+  for (std::size_t o : {2u, 4u, 8u, 16u}) all.push_back(&psk_constellation(o));
+  for (const constellation* c : all) {
+    for (int rep = 0; rep < 500; ++rep) {
+      const cplx y = 1.5 * gen.complex_gaussian();
+      ASSERT_EQ(c->slice(y), reference_slice(*c, y))
+          << c->points.size() << " points, y=" << y;
+    }
+  }
+}
+
+TEST(SliceKernelTest, ExactTiesPickTheFirstPoint) {
+  // Symbols equidistant from two or more points: the midpoint of every
+  // adjacent 16-PSK pair, the origin (equidistant from all points), and
+  // 16-QAM decision-boundary crossings. First (lowest-index) point must win,
+  // exactly as in the reference scan.
+  const auto& psk = psk_constellation(16);
+  for (std::size_t i = 0; i < psk.points.size(); ++i) {
+    const cplx mid =
+        0.5 * (psk.points[i] + psk.points[(i + 1) % psk.points.size()]);
+    EXPECT_EQ(psk.slice(mid), reference_slice(psk, mid)) << i;
+  }
+  EXPECT_EQ(psk.slice(cplx{0.0, 0.0}), reference_slice(psk, cplx{0.0, 0.0}));
+  const auto& qam = wifi_constellation(4);
+  for (std::size_t i = 0; i < qam.points.size(); ++i)
+    for (std::size_t j = i + 1; j < qam.points.size(); ++j) {
+      const cplx mid = 0.5 * (qam.points[i] + qam.points[j]);
+      EXPECT_EQ(qam.slice(mid), reference_slice(qam, mid)) << i << "," << j;
+    }
+}
+
+TEST(SliceKernelTest, NonFiniteSymbolReturnsFirstLabel) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t o : {2u, 4u, 8u, 16u}) {
+    const auto& c = psk_constellation(o);
+    EXPECT_EQ(c.slice(cplx{nan, 0.0}), reference_slice(c, cplx{nan, 0.0}));
+    EXPECT_EQ(c.slice(cplx{0.0, nan}), reference_slice(c, cplx{0.0, nan}));
+    EXPECT_EQ(c.slice(cplx{inf, -inf}), reference_slice(c, cplx{inf, -inf}));
+  }
+}
+
+TEST(DemapStreamIntoTest, BitIdenticalToPerSymbolDemap) {
+  dsp::rng gen(43);
+  for (std::size_t o : {2u, 4u, 8u, 16u}) {
+    const auto& c = psk_constellation(o);
+    cvec symbols(137);
+    for (auto& s : symbols) s = gen.complex_gaussian();
+    const double noise_var = 0.07;
+    std::vector<double> got;
+    c.demap_llr_stream_into(symbols, noise_var, got);
+    ASSERT_EQ(got.size(), symbols.size() * c.bits_per_symbol);
+    std::vector<double> per_symbol;
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+      c.demap_llr(symbols[s], noise_var, per_symbol);
+      for (std::size_t b = 0; b < c.bits_per_symbol; ++b)
+        ASSERT_EQ(got[s * c.bits_per_symbol + b], per_symbol[b])
+            << "symbol " << s << " bit " << b;
+    }
+  }
+}
+
+TEST(DemapStreamIntoTest, ReusesWarmBufferAndResizes) {
+  const auto& c = psk_constellation(16);
+  dsp::rng gen(44);
+  cvec big(64), small(8);
+  for (auto& s : big) s = gen.complex_gaussian();
+  for (auto& s : small) s = gen.complex_gaussian();
+  std::vector<double> out;
+  c.demap_llr_stream_into(big, 0.1, out);
+  EXPECT_EQ(out.size(), big.size() * c.bits_per_symbol);
+  c.demap_llr_stream_into(small, 0.1, out);
+  EXPECT_EQ(out.size(), small.size() * c.bits_per_symbol);
+  EXPECT_EQ(out, c.demap_llr_stream(small, 0.1));
 }
 
 }  // namespace

@@ -295,6 +295,48 @@ TEST(ConvolutionalTest, AlternatingErasuresMatchScatterReference) {
   EXPECT_EQ(viterbi_decode(mild, n_info), info);
 }
 
+TEST(ConvolutionalTest, QuantizedMetricsTieDenselyAndStillMatchReference) {
+  // Soft values quantized to {-1, 0, +1} make exact path-metric ties the
+  // common case rather than the exception at every trellis step — the
+  // densest stress on the ACS select's first-writer-wins tie break (now a
+  // vectorized compare in viterbi_kernels.cpp).
+  dsp::rng gen(11);
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::size_t n_info = 200;
+    bitvec info(n_info);
+    for (auto& b : info) b = static_cast<std::uint8_t>(gen.uniform_int(2));
+    const bitvec mother = conv_encode(info);
+    std::vector<double> soft(mother.size());
+    for (std::size_t i = 0; i < soft.size(); ++i)
+      soft[i] = static_cast<double>(
+          static_cast<int>(gen.uniform_int(3)) - 1);
+    double ref_metric = 0.0, got_metric = 0.0;
+    const bitvec ref = reference_viterbi(soft, n_info, &ref_metric);
+    const bitvec got = viterbi_decode(soft, n_info, &got_metric);
+    ASSERT_EQ(got, ref) << "rep " << rep;
+    ASSERT_EQ(got_metric, ref_metric) << "rep " << rep;
+  }
+}
+
+TEST(ConvolutionalTest, DepunctureIntoMatchesAllocatingForm) {
+  dsp::rng gen(12);
+  for (const code_rate rate :
+       {code_rate::half, code_rate::two_thirds, code_rate::three_quarters}) {
+    const std::size_t mother_length = 2 * (60 + conv_tail_bits);
+    const std::size_t kept = coded_length(60, rate);
+    std::vector<double> soft(kept);
+    for (auto& s : soft) s = gen.gaussian();
+    const auto expected = depuncture(soft, rate, mother_length);
+    std::vector<double> got(7, -123.0);  // dirty, wrong-sized warm buffer
+    depuncture_into(soft, rate, mother_length, got);
+    ASSERT_EQ(got, expected);
+    // Length validation still throws through the _into spelling.
+    std::vector<double> short_soft(soft.begin(), soft.end() - 1);
+    EXPECT_THROW(depuncture_into(short_soft, rate, mother_length, got),
+                 std::invalid_argument);
+  }
+}
+
 TEST(ConvolutionalTest, NegInfMetricsPropagateThroughErasureRuns) {
   // Unreachable trellis states carry -inf path metrics; adding huge branch
   // magnitudes to them must keep them -inf (never NaN, never a winner).

@@ -1,4 +1,5 @@
 #include "reader/decoder.h"
+#include "reader/decoder_kernels.h"
 
 #include <gtest/gtest.h>
 #include <cstdint>
@@ -222,6 +223,40 @@ TEST(DecoderTest, NonFiniteSamplesYieldTypedFailure) {
   const auto result = decoder.decode(ex.x, ex.y, ex.nominal, 300);
   EXPECT_FALSE(result.decoded);
   EXPECT_EQ(result.failure, decode_failure::non_finite_samples);
+}
+
+TEST(FiniteWindowKernelTest, FlagsEveryLanePositionAndKind) {
+  // The vectorized finite scan checks four doubles per compare; a NaN/inf
+  // must be caught at every lane alignment, in either component, in either
+  // buffer, including the scalar remainder tail and the window edges.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::size_t n = 67;  // odd: exercises the remainder path
+  const cvec clean(n, cplx{1.0, -1.0});
+  EXPECT_TRUE(detail::all_finite_window(clean, clean, 0, n));
+  EXPECT_TRUE(detail::all_finite_window(clean, clean, 5, 5));  // empty window
+  for (const double bad : {nan, inf, -inf}) {
+    for (std::size_t pos : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                            std::size_t{3}, std::size_t{4}, std::size_t{33},
+                            n - 2, n - 1}) {
+      for (int component = 0; component < 2; ++component) {
+        for (int buffer = 0; buffer < 2; ++buffer) {
+          cvec x = clean, y = clean;
+          cvec& target = buffer == 0 ? x : y;
+          target[pos] = component == 0 ? cplx{bad, 0.0} : cplx{0.0, bad};
+          EXPECT_FALSE(detail::all_finite_window(x, y, 0, n))
+              << bad << " at " << pos;
+          // Outside the scanned window the same value must not trip it.
+          if (pos + 1 < n) {
+            EXPECT_TRUE(detail::all_finite_window(x, y, 0, pos))
+                << bad << " at " << pos;
+          }
+          EXPECT_TRUE(detail::all_finite_window(x, y, pos + 1, n))
+              << bad << " at " << pos;
+        }
+      }
+    }
+  }
 }
 
 TEST(DecoderTest, SuccessfulDecodeReportsNoFailure) {
