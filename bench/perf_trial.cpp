@@ -174,6 +174,17 @@ int main(int argc, char** argv) {
   std::printf("workspace: reused=%.0f B  allocated=%.0f B  reuse=%.2f%%\n",
               reused, allocated, reuse_pct);
 
+  // ROI accounting (gauges are per-chain-run, so these describe the last
+  // trial — every trial in the rep shares the fig08_mid geometry): how much
+  // of the capture the quantize/cancel sweeps actually visit now that the
+  // chain runs region-of-interest shrunk.
+  const double roi_processed = gauge("runtime.chain.roi.samples_processed");
+  const double roi_skipped = gauge("runtime.chain.roi.samples_skipped");
+  const double roi_coverage = gauge("runtime.chain.roi.coverage");
+  std::printf("roi:       processed=%.0f  skipped=%.0f  coverage=%.1f%% of "
+              "capture\n",
+              roi_processed, roi_skipped, roi_coverage * 100.0);
+
   // Replay-cache effectiveness (process-wide, cumulative across the whole
   // run): hit rates near 100% after warm-up are what buy the batched
   // noise/excitation stage times below.
@@ -293,6 +304,15 @@ int main(int argc, char** argv) {
               sr.stats.cancel_us_total / stream_cfg.n_packets,
               sr.stats.decode_us_total / stream_cfg.n_packets,
               sr.stats.latency_us_max, sr.stats.queue_high_water);
+  const double stream_roi_total =
+      static_cast<double>(sr.stats.roi_samples_processed +
+                          sr.stats.roi_samples_skipped);
+  std::printf("stream roi: processed=%zu skipped=%zu (%.1f%% of capture)\n",
+              sr.stats.roi_samples_processed, sr.stats.roi_samples_skipped,
+              stream_roi_total > 0.0
+                  ? 100.0 * static_cast<double>(sr.stats.roi_samples_processed) /
+                        stream_roi_total
+                  : 100.0);
 
   std::string json;
   json += "{\n";
@@ -327,6 +347,15 @@ int main(int argc, char** argv) {
   append_kv(json, "bytes_reused", reused);
   append_kv(json, "bytes_allocated", allocated);
   append_kv(json, "reuse_pct", reuse_pct, true);
+  json += "  },\n";
+  json += "  \"roi\": {\n";
+  append_kv(json, "samples_processed", roi_processed);
+  append_kv(json, "samples_skipped", roi_skipped);
+  append_kv(json, "coverage", roi_coverage);
+  append_kv(json, "stream_samples_processed",
+            static_cast<double>(sr.stats.roi_samples_processed));
+  append_kv(json, "stream_samples_skipped",
+            static_cast<double>(sr.stats.roi_samples_skipped), true);
   json += "  },\n";
   json += "  \"caches\": {\n";
   append_kv(json, "noise_hits", static_cast<double>(noise_cache.hits));

@@ -367,6 +367,39 @@ def run_self_test():
             self.assertEqual(code, 1)
             self.assertIn("stage reader.decode", text)
 
+        def test_stream_cancel_stage_gate_passes_and_fails(self):
+            # The CI gate list includes reader.stream.cancel (a dotted name,
+            # so it must be looked up as a literal stage_means_us key).
+            base = doc(100.0, extra={"stage_means_us": {
+                "reader.stream.cancel": 400.0}})
+            fast = doc(100.0, extra={"stage_means_us": {
+                "reader.stream.cancel": 150.0}})
+            slow = doc(100.0, extra={"stage_means_us": {
+                "reader.stream.cancel": 600.0}})
+            code, text = self.run_compare(
+                base, fast, stage_max_regression=0.25,
+                gate_stages=["reader.stream.cancel"])
+            self.assertEqual(code, 0)
+            self.assertIn("stage reader.stream.cancel", text)
+            code, text = self.run_compare(
+                base, slow, stage_max_regression=0.25,
+                gate_stages=["reader.stream.cancel"])
+            self.assertEqual(code, 1)
+            self.assertIn("REGRESSION", text)
+
+        def test_stream_cancel_stage_absent_warns_and_skips(self):
+            # A baseline from before the streaming pipeline has no
+            # reader.stream.cancel mean: the gate must skip, not crash.
+            old = doc(100.0, extra={"stage_means_us": {"sim.noise": 80.0}})
+            cur = doc(100.0, extra={"stage_means_us": {
+                "sim.noise": 80.0, "reader.stream.cancel": 200.0}})
+            code, text = self.run_compare(
+                old, cur, stage_max_regression=0.25,
+                gate_stages=["sim.noise", "reader.stream.cancel"])
+            self.assertEqual(code, 0)
+            self.assertIn("cannot gate stage 'reader.stream.cancel'", text)
+            self.assertIn("stage sim.noise", text)  # others still gated
+
         def test_stage_gate_skips_missing_stage_with_warning(self):
             base = doc(100.0)  # baseline predates stage_means_us
             cur = doc(100.0, extra={"stage_means_us": {"sim.noise": 50.0}})

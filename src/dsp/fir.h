@@ -65,6 +65,20 @@ void convolve_same_subtract_into(std::span<const cplx> rx,
                                  std::span<const cplx> h, cvec& out,
                                  workspace_stats* stats = nullptr);
 
+/// As convolve_same_subtract_into, restricted to the window [begin, end)
+/// (clamped to len(rx)): out is sized to len(rx) but only the window is
+/// written with bit-identical values — samples outside it are left with
+/// unspecified (stale) contents, so callers must not read them. Cost is
+/// proportional to the window in the short-kernel regime; FFT-length
+/// channels fall back to the full-capture sweep (still bit-identical over
+/// the window, the whole output happens to be valid then).
+void convolve_same_subtract_range_into(std::span<const cplx> rx,
+                                       std::span<const cplx> x,
+                                       std::span<const cplx> h,
+                                       std::size_t begin, std::size_t end,
+                                       cvec& out,
+                                       workspace_stats* stats = nullptr);
+
 /// As convolve_same_subtract_into, additionally returning the residual's
 /// energy sum |out[j]|^2 over the whole output, accumulated in ascending
 /// index order with one norm rounding per element — bit-identical to

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <complex>
+#include <cstddef>
 #include <numbers>
 #include <vector>
 
@@ -13,6 +14,16 @@ namespace backfi {
 using cplx = std::complex<double>;
 using cvec = std::vector<cplx>;
 using rvec = std::vector<double>;
+
+/// A closed-open range [begin, end) of absolute sample indices into a
+/// capture buffer. end <= begin means empty — the conventional "unset"
+/// spelling for optional windows (e.g. the receive chain's ROI).
+struct sample_range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool empty() const { return end <= begin; }
+  std::size_t size() const { return empty() ? 0 : end - begin; }
+};
 
 inline constexpr double pi = std::numbers::pi;
 inline constexpr double two_pi = 2.0 * std::numbers::pi;
@@ -41,4 +52,5 @@ namespace backfi::dsp {
 using backfi::cplx;
 using backfi::cvec;
 using backfi::rvec;
+using backfi::sample_range;
 }  // namespace backfi::dsp

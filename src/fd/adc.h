@@ -48,6 +48,16 @@ void quantize_range_saturation(const cplx* x, std::size_t begin,
                                std::size_t end, const adc_config& config,
                                cplx* out, unsigned& clipped_any);
 
+/// Saturation scan only: OR the per-axis clip events of x[begin, end) into
+/// `clipped_any` without quantizing — the exact |I|/|Q| > full_scale
+/// predicate of quantize_range_saturation, minus the divide/round/store.
+/// The ROI receive chain uses it to complete the adc_saturated flag over
+/// capture regions whose quantized values nobody reads: OR-ing the scan of
+/// the skipped regions with the quantized regions' flag reproduces the
+/// full-sweep flag bit-for-bit (the reduction is order-independent).
+void saturation_scan_range(const cplx* x, std::size_t begin, std::size_t end,
+                           const adc_config& config, unsigned& clipped_any);
+
 /// Full-scale choice of a simple AGC: `headroom` times the input RMS.
 double agc_full_scale(std::span<const cplx> x, double headroom = 4.0);
 

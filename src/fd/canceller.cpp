@@ -199,6 +199,113 @@ void digital_canceller::cancel_into(std::span<const cplx> tx,
     for (cplx& v : out) v -= dc_;
 }
 
+void digital_canceller::cancel_ranges_into(
+    std::span<const cplx> tx, std::span<const cplx> rx, cvec& out,
+    std::span<const dsp::sample_range> ranges, canceller_scratch& s,
+    dsp::workspace_stats* stats) const {
+  const std::size_t n = rx.size();
+  if (taps_.empty() || tx.empty() ||
+      std::min(tx.size(), taps_.size()) >= dsp::fft_convolve_min_taps) {
+    // Degenerate operands copy in O(n) anyway; FFT-length channels
+    // transform the whole capture regardless, so there is nothing to skip.
+    cancel_into(tx, rx, out, s, stats);
+    return;
+  }
+  dsp::acquire(out, n, stats);
+  const std::size_t overlap = std::min(n, tx.size());
+  for (const dsp::sample_range& r : ranges) {
+    const std::size_t e = std::min(r.end, n);
+    const std::size_t b = std::min(r.begin, e);
+    if (b >= e) continue;
+    const std::size_t eo = std::min(e, overlap);
+    if (b < eo)
+      dsp::detail::convolve_same_gather_subtract(tx.data(), tx.size(),
+                                                 taps_.data(), taps_.size(),
+                                                 rx.data(), out.data() + b, b,
+                                                 eo);
+    for (std::size_t j = std::max(b, overlap); j < e; ++j) out[j] = rx[j];
+  }
+  // Conjugate and DC branches over the same windows, exactly as in
+  // cancel_into's tail restricted per range.
+  if (!conj_taps_.empty()) {
+    dsp::acquire(s.ctx, tx.size(), stats);
+    for (std::size_t i = 0; i < tx.size(); ++i) s.ctx[i] = std::conj(tx[i]);
+    for (const dsp::sample_range& r : ranges) {
+      const std::size_t e = std::min({r.end, n, tx.size()});
+      const std::size_t b = std::min(r.begin, e);
+      if (b >= e) continue;
+      dsp::convolve_same_range_into(s.ctx, conj_taps_, b, e, s.work2, stats);
+      for (std::size_t j = b; j < e; ++j) out[j] -= s.work2[j];
+    }
+  }
+  if (dc_ != cplx{0.0, 0.0}) {
+    for (const dsp::sample_range& r : ranges) {
+      const std::size_t e = std::min(r.end, n);
+      const std::size_t b = std::min(r.begin, e);
+      for (std::size_t j = b; j < e; ++j) out[j] -= dc_;
+    }
+  }
+}
+
+void digital_canceller::cancel_quantized_ranges_into(
+    std::span<const cplx> tx, std::span<const cplx> analog,
+    const adc_config& adc, cvec& digitized, cvec& cleaned, bool& saturated,
+    std::span<const dsp::sample_range> ranges, canceller_scratch& s,
+    dsp::workspace_stats* stats) const {
+  const std::size_t n = analog.size();
+  if (taps_.empty() || tx.empty() ||
+      std::min(tx.size(), taps_.size()) >= dsp::fft_convolve_min_taps) {
+    cancel_quantized_into(tx, analog, adc, digitized, cleaned, saturated, s,
+                          stats);
+    return;
+  }
+  dsp::acquire(digitized, n, stats);
+  dsp::acquire(cleaned, n, stats);
+  const std::size_t overlap = std::min(n, tx.size());
+  unsigned clipped_any = 0;
+  constexpr std::size_t kChunk = 256;  // same reorder-window size as the
+                                       // full sweep; chunking is invisible
+  for (const dsp::sample_range& r : ranges) {
+    const std::size_t e = std::min(r.end, n);
+    const std::size_t b = std::min(r.begin, e);
+    if (b >= e) continue;
+    const std::size_t eo = std::min(e, overlap);
+    for (std::size_t c0 = b; c0 < eo; c0 += kChunk) {
+      const std::size_t c1 = std::min(c0 + kChunk, eo);
+      quantize_range_saturation(analog.data(), c0, c1, adc, digitized.data(),
+                                clipped_any);
+      dsp::detail::convolve_same_gather_subtract(
+          tx.data(), tx.size(), taps_.data(), taps_.size(), digitized.data(),
+          cleaned.data() + c0, c0, c1);
+    }
+    if (eo < e) {
+      const std::size_t t0 = std::max(b, overlap);
+      quantize_range_saturation(analog.data(), t0, e, adc, digitized.data(),
+                                clipped_any);
+      for (std::size_t j = t0; j < e; ++j) cleaned[j] = digitized[j];
+    }
+  }
+  saturated = clipped_any != 0;
+  if (!conj_taps_.empty()) {
+    dsp::acquire(s.ctx, tx.size(), stats);
+    for (std::size_t i = 0; i < tx.size(); ++i) s.ctx[i] = std::conj(tx[i]);
+    for (const dsp::sample_range& r : ranges) {
+      const std::size_t e = std::min({r.end, n, tx.size()});
+      const std::size_t b = std::min(r.begin, e);
+      if (b >= e) continue;
+      dsp::convolve_same_range_into(s.ctx, conj_taps_, b, e, s.work2, stats);
+      for (std::size_t j = b; j < e; ++j) cleaned[j] -= s.work2[j];
+    }
+  }
+  if (dc_ != cplx{0.0, 0.0}) {
+    for (const dsp::sample_range& r : ranges) {
+      const std::size_t e = std::min(r.end, n);
+      const std::size_t b = std::min(r.begin, e);
+      for (std::size_t j = b; j < e; ++j) cleaned[j] -= dc_;
+    }
+  }
+}
+
 void digital_canceller::cancel_quantized_into(std::span<const cplx> tx,
                                               std::span<const cplx> analog,
                                               const adc_config& adc,

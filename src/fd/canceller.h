@@ -124,6 +124,19 @@ class digital_canceller {
                    cvec& out, canceller_scratch& scratch,
                    dsp::workspace_stats* stats = nullptr) const;
 
+  /// As cancel_into() with scratch, restricted to `ranges` (disjoint,
+  /// ascending [begin, end) windows, clamped to len(rx)): out is sized to
+  /// len(rx) but only the ranges are written with values bit-identical to
+  /// the full sweep — samples outside them are left stale and must not be
+  /// read. FFT-length channels fall back to the full sweep (the transform
+  /// touches the whole capture anyway). The receive chain passes
+  /// silent-window ∪ decoder-ROI here.
+  void cancel_ranges_into(std::span<const cplx> tx, std::span<const cplx> rx,
+                          cvec& out,
+                          std::span<const dsp::sample_range> ranges,
+                          canceller_scratch& scratch,
+                          dsp::workspace_stats* stats = nullptr) const;
+
   /// Fused ADC + cancellation sweep: quantizes `analog` through `adc` into
   /// `digitized` (reporting clipping in `saturated`) and subtracts this
   /// canceller's emulated leakage into `cleaned`, in interleaved chunks so
@@ -138,6 +151,23 @@ class digital_canceller {
                              cvec& cleaned, bool& saturated,
                              canceller_scratch& scratch,
                              dsp::workspace_stats* stats = nullptr) const;
+
+  /// As cancel_quantized_into(), restricted to `ranges` (disjoint,
+  /// ascending, clamped to len(analog)): only the ranges of `digitized` and
+  /// `cleaned` are written — bit-identical to the full sweep there — and
+  /// `saturated` reflects clip events from the ranges alone. The caller
+  /// completes the flag over the skipped regions with
+  /// saturation_scan_range (the OR reduction is order-independent, so the
+  /// combined flag equals the full sweep's). FFT-length channels fall back
+  /// to the full sweep, in which case `saturated` is already complete (and
+  /// the caller's extra scan only re-ORs a subset — still identical).
+  void cancel_quantized_ranges_into(std::span<const cplx> tx,
+                                    std::span<const cplx> analog,
+                                    const adc_config& adc, cvec& digitized,
+                                    cvec& cleaned, bool& saturated,
+                                    std::span<const dsp::sample_range> ranges,
+                                    canceller_scratch& scratch,
+                                    dsp::workspace_stats* stats = nullptr) const;
 
   const cvec& taps() const { return taps_; }
   const cvec& conjugate_taps() const { return conj_taps_; }

@@ -1,10 +1,12 @@
 #include "fd/receive_chain.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
+#include "dsp/fir.h"
 #include "dsp/vec_ops.h"
 #include "obs/collector.h"
 
@@ -55,6 +57,23 @@ void validate_or_throw(const receive_chain_config& config, const char* where) {
 
 namespace {
 
+/// silent_window ∪ roi as up to two disjoint ascending ranges (one when
+/// they touch or overlap — the common case, since the decoder's window
+/// starts at the silent window's end). Both inputs are already clamped to
+/// the capture length; the silent window is non-degenerate here.
+std::size_t union_ranges(dsp::sample_range silent, dsp::sample_range roi,
+                         std::array<dsp::sample_range, 2>& out) {
+  dsp::sample_range lo = silent, hi = roi;
+  if (hi.begin < lo.begin) std::swap(lo, hi);
+  if (hi.begin <= lo.end) {  // touching/overlapping: one merged range
+    out[0] = {lo.begin, std::max(lo.end, hi.end)};
+    return 1;
+  }
+  out[0] = lo;
+  out[1] = hi;
+  return 2;
+}
+
 receive_chain_result run_chain_core(std::span<const cplx> tx,
                                     std::span<const cplx> rx,
                                     std::size_t silent_begin,
@@ -81,6 +100,34 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
 
   const auto tx_silent = tx.subspan(silent_begin, silent_end - silent_begin);
   const auto rx_silent = rx.subspan(silent_begin, silent_end - silent_begin);
+
+  // --- Region of interest (see receive_chain_config::roi) ---
+  // The analog stage always runs full-length: the AGC's full-scale choice
+  // is a function of the whole analog residual's energy, so a ranged
+  // analog apply would change the quantization grid everywhere. Only the
+  // quantize/cancel sweeps downstream of the AGC (and the residual-gain
+  // application pass) are rangeable.
+  const std::size_t capture_len = rx.size();
+  const dsp::sample_range roi{std::min(config.roi.begin, capture_len),
+                              std::min(config.roi.end, capture_len)};
+  std::array<dsp::sample_range, 2> roi_union{};
+  std::size_t n_ranges = 0;
+  if (!roi.empty())
+    n_ranges = union_ranges({silent_begin, silent_end}, roi, roi_union);
+  const std::span<const dsp::sample_range> ranges(roi_union.data(), n_ranges);
+  // The ranged kernels fall back to the full sweep for FFT-length channels
+  // (the transform touches the whole capture anyway); skip the detour so
+  // the ROI accounting below stays honest.
+  const bool fft_regime =
+      std::min(tx.size(), config.digital.n_taps) >= dsp::fft_convolve_min_taps;
+  // Full-range rules: a front-end hook mutates the whole analog-cancelled
+  // waveform, and residual-gain tracking fits whole-capture statistics, so
+  // both keep the quantize/cancel sweeps full-length. Tracking still
+  // restricts its final gain-application pass (ranged_tracker below).
+  const bool ranged_stages = n_ranges > 0 && !config.front_end_hook &&
+                             !config.track_residual_gain && !fft_regime &&
+                             (config.enable_adc || config.enable_digital);
+  const bool ranged_tracker = n_ranges > 0 && !config.front_end_hook;
 
   // --- Analog stage (before the ADC) ---
   // The AGC's full-scale choice needs the analog residual's energy; the
@@ -119,6 +166,10 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
   // digitized/cleaned/saturated are bit-identical to the split sweeps.
   const bool fuse_adc_digital = config.enable_adc && config.enable_digital;
   adc_config adc = config.adc;
+  // Clip events from the regions the ranged sweeps skip (compare-only
+  // scan); OR-ed into the flag the processed ranges report, reproducing
+  // the full sweep's capture-wide OR reduction bit-for-bit.
+  unsigned complement_clip = 0;
   if (config.enable_adc) {
     obs::timing_span span(config.collector, "fd.adc");
     adc.full_scale =
@@ -127,11 +178,33 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
                                          after_analog.size(),
                                          config.agc_headroom)
             : agc_full_scale(after_analog, config.agc_headroom);
+    if (ranged_stages) {
+      // Saturation completeness over the skipped regions (the gaps around
+      // the silent ∪ roi union), attributed to the ADC span like the
+      // former full quantization sweep.
+      std::size_t cursor = 0;
+      for (const dsp::sample_range& r : ranges) {
+        saturation_scan_range(after_analog.data(), cursor, r.begin, adc,
+                              complement_clip);
+        cursor = r.end;
+      }
+      saturation_scan_range(after_analog.data(), cursor, capture_len, adc,
+                            complement_clip);
+    }
     if (fuse_adc_digital) {
       dsp::acquire(digitized, rx.size(), scratch.stats);
-      unsigned window_clip = 0;  // recomputed over the full capture below
+      unsigned window_clip = 0;  // recomputed over the capture sweep below
       quantize_range_saturation(after_analog.data(), silent_begin, silent_end,
                                 adc, digitized.data(), window_clip);
+    } else if (ranged_stages) {
+      dsp::acquire(digitized, rx.size(), scratch.stats);
+      unsigned clipped_any = complement_clip;
+      for (const dsp::sample_range& r : ranges)
+        quantize_range_saturation(after_analog.data(), r.begin, r.end, adc,
+                                  digitized.data(), clipped_any);
+      result.adc_saturated = clipped_any != 0;
+      if (result.adc_saturated)
+        obs::count(config.collector, obs::probe::adc_saturated);
     } else {
       // The saturation scan is fused into the quantization sweep (one read
       // of the capture instead of two); the flag is identical to the former
@@ -157,11 +230,21 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
                                                  silent_end - silent_begin),
                     scratch.canceller, scratch.stats);
       if (fuse_adc_digital) {
-        digital.cancel_quantized_into(tx, after_analog, adc, digitized,
-                                      cleaned, result.adc_saturated,
-                                      scratch.canceller, scratch.stats);
+        if (ranged_stages) {
+          digital.cancel_quantized_ranges_into(
+              tx, after_analog, adc, digitized, cleaned, result.adc_saturated,
+              ranges, scratch.canceller, scratch.stats);
+          result.adc_saturated = result.adc_saturated || complement_clip != 0;
+        } else {
+          digital.cancel_quantized_into(tx, after_analog, adc, digitized,
+                                        cleaned, result.adc_saturated,
+                                        scratch.canceller, scratch.stats);
+        }
         if (result.adc_saturated)
           obs::count(config.collector, obs::probe::adc_saturated);
+      } else if (ranged_stages) {
+        digital.cancel_ranges_into(tx, digitized, cleaned, ranges,
+                                   scratch.canceller, scratch.stats);
       } else {
         digital.cancel_into(tx, digitized, cleaned, scratch.canceller,
                             scratch.stats);
@@ -240,24 +323,36 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
       gain_a[b] = r1 / (p * (1.0 + 1e-3) + 1e-30);
       centre[b] = 0.5 * static_cast<double>(begin + end - 1);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      const double pos = static_cast<double>(i);
-      std::size_t b = std::min(i / block, n_blocks - 1);
-      cplx a;
-      if (pos <= centre[0] || n_blocks == 1) {
-        a = gain_a[0];
-      } else if (pos >= centre[n_blocks - 1]) {
-        a = gain_a[n_blocks - 1];
-      } else {
-        if (pos < centre[b] && b > 0) --b;
-        const std::size_t hi = std::min(b + 1, n_blocks - 1);
-        const double span_len = centre[hi] - centre[b];
-        const double frac =
-            span_len > 0.0 ? (pos - centre[b]) / span_len : 0.0;
-        a = gain_a[b] + (gain_a[hi] - gain_a[b]) * frac;
+    // Pass 3: interpolated gain application. Unlike passes 1-2 (whole-
+    // capture statistics by definition), this sweep only writes samples,
+    // each a pure function of its own index — so it honours the roi when
+    // one is set: samples outside silent ∪ roi stay pass-1-corrected,
+    // which the roi contract marks unreadable anyway.
+    const std::array<dsp::sample_range, 1> full_range{{{0, n}}};
+    const std::span<const dsp::sample_range> apply_ranges =
+        ranged_tracker ? ranges
+                       : std::span<const dsp::sample_range>(full_range);
+    for (const dsp::sample_range& ar : apply_ranges) {
+      const std::size_t end = std::min(ar.end, n);
+      for (std::size_t i = ar.begin; i < end; ++i) {
+        const double pos = static_cast<double>(i);
+        std::size_t b = std::min(i / block, n_blocks - 1);
+        cplx a;
+        if (pos <= centre[0] || n_blocks == 1) {
+          a = gain_a[0];
+        } else if (pos >= centre[n_blocks - 1]) {
+          a = gain_a[n_blocks - 1];
+        } else {
+          if (pos < centre[b] && b > 0) --b;
+          const std::size_t hi = std::min(b + 1, n_blocks - 1);
+          const double span_len = centre[hi] - centre[b];
+          const double frac =
+              span_len > 0.0 ? (pos - centre[b]) / span_len : 0.0;
+          a = gain_a[b] + (gain_a[hi] - gain_a[b]) * frac;
+        }
+        const cplx m = digitized[i] - cleaned[i];
+        cleaned[i] -= a * m;
       }
-      const cplx m = digitized[i] - cleaned[i];
-      cleaned[i] -= a * m;
     }
   }
 
@@ -269,6 +364,30 @@ receive_chain_result run_chain_core(std::span<const cplx> tx,
                result.analog_depth_db);
   obs::observe(config.collector, obs::probe::total_depth_db,
                result.total_depth_db);
+
+  // ROI accounting: only emitted when a roi was configured, so the
+  // roi-unset export (runtime gauges included) stays byte-identical to the
+  // pre-ROI chain. runtime.*-prefixed gauges are excluded from the
+  // deterministic telemetry digests by convention.
+  if (!roi.empty()) {
+    std::size_t processed = capture_len;
+    if (ranged_stages) {
+      processed = 0;
+      for (const dsp::sample_range& r : ranges) processed += r.size();
+    }
+    result.roi_samples_processed = processed;
+    result.roi_samples_skipped = capture_len - processed;
+    if (config.collector != nullptr) {
+      config.collector->set_gauge("runtime.chain.roi.samples_processed",
+                                  static_cast<double>(processed));
+      config.collector->set_gauge(
+          "runtime.chain.roi.samples_skipped",
+          static_cast<double>(result.roi_samples_skipped));
+      config.collector->set_gauge(
+          "runtime.chain.roi.coverage",
+          static_cast<double>(processed) / static_cast<double>(capture_len));
+    }
+  }
   return result;
 }
 
@@ -289,15 +408,6 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
       run_chain_core(tx, rx, silent_begin, silent_end, config, local);
   result.cleaned = std::move(local.cleaned);
   return result;
-}
-
-receive_chain_result run_receive_chain_into(std::span<const cplx> tx,
-                                            std::span<const cplx> rx,
-                                            std::size_t silent_begin,
-                                            std::size_t silent_end,
-                                            const receive_chain_config& config,
-                                            receive_chain_scratch& scratch) {
-  return run_receive_chain(tx, rx, silent_begin, silent_end, config, &scratch);
 }
 
 }  // namespace backfi::fd

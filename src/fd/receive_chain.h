@@ -60,9 +60,31 @@ struct receive_chain_config {
   /// DC offset) act on the analog-cancelled waveform, not on the raw
   /// antenna signal the RF canceller sees.
   std::function<void(std::span<cplx>)> front_end_hook;
+  /// Region of interest: the closed-open absolute sample range the
+  /// downstream consumer (decoder + probes) will read from the cleaned
+  /// output, in the same coordinates as silent_begin/silent_end. When
+  /// non-empty, the ADC quantization, digital cancellation and the
+  /// residual-gain application sweep run only over silent_window ∪ roi;
+  /// cleaned/digitized samples outside that union are left with
+  /// unspecified (stale) contents and must not be read. Everything the
+  /// contract allows reading — adaptation, analog/total depth,
+  /// residual_power, the adc_saturated flag (completed by a compare-only
+  /// scan of the skipped regions) and every in-union sample — is
+  /// bit-identical to the full sweep. Empty (default) = full capture,
+  /// byte-for-byte the pre-ROI behaviour.
+  ///
+  /// Full-range rules: an installed front_end_hook mutates the whole
+  /// analog-cancelled waveform, so it forces full-range quantization and
+  /// cancellation regardless of the roi; residual-gain tracking fits its
+  /// statistics over the whole capture by definition, so it too keeps the
+  /// quantize/cancel sweeps full-range and restricts only the final
+  /// gain-application pass.
+  dsp::sample_range roi;
   /// Observability sink (nullable): the chain reports cancellation depths,
-  /// ADC saturation / bypass events and per-stage timing spans through it.
-  /// Null (the default) compiles to no-ops on the hot path.
+  /// ADC saturation / bypass events, per-stage timing spans and — when a
+  /// roi is set — runtime.chain.roi.{samples_processed,samples_skipped,
+  /// coverage} gauges through it. Null (the default) compiles to no-ops on
+  /// the hot path.
   obs::collector* collector = nullptr;
 
   /// First violated constraint, or config_error::none when usable. Bypassed
@@ -86,6 +108,12 @@ struct receive_chain_result {
   /// buffer, or tx/rx misaligned): no stage adapted, `cleaned` is the raw
   /// rx, and the depths are zero. Callers must not trust the cancellation.
   bool cancellation_bypassed = false;
+  /// ROI accounting (meaningful only when config.roi was set): capture
+  /// samples that went through the quantize/cancel sweeps vs. samples
+  /// covered only by the compare-only saturation scan. With the roi unset
+  /// (or forced full-range by a hook) processed equals the capture length.
+  std::size_t roi_samples_processed = 0;
+  std::size_t roi_samples_skipped = 0;
 };
 
 /// Reusable buffers for repeated run_receive_chain calls (one per worker
@@ -120,15 +148,5 @@ receive_chain_result run_receive_chain(std::span<const cplx> tx,
                                        std::size_t silent_end,
                                        const receive_chain_config& config = {},
                                        receive_chain_scratch* scratch = nullptr);
-
-/// Transitional alias for the scratch-reference spelling; call
-/// run_receive_chain(..., &scratch) instead. Removed next PR.
-[[deprecated("use run_receive_chain(..., &scratch)")]]
-receive_chain_result run_receive_chain_into(std::span<const cplx> tx,
-                                            std::span<const cplx> rx,
-                                            std::size_t silent_begin,
-                                            std::size_t silent_end,
-                                            const receive_chain_config& config,
-                                            receive_chain_scratch& scratch);
 
 }  // namespace backfi::fd

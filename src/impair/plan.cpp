@@ -33,6 +33,11 @@ bool impairment_plan::any_front_end() const {
          iq.dc_over_rms != 0.0 || sampling.ppm != 0.0;
 }
 
+bool impairment_plan::any_post_cancellation() const {
+  return canceller_drift.final_leakage_db > -200.0 ||
+         stage_failure.leakage_db > -200.0;
+}
+
 void impairment_plan::apply_at_antenna(std::span<cplx> rx) const {
   if (interferer.bursts_per_ms > 0.0) {
     dsp::rng gen = stream(seed, 1);

@@ -39,6 +39,13 @@ struct impairment_plan {
   /// AFTER the analog cancellation stage — see `apply_front_end`.
   bool any_front_end() const;
 
+  /// Any post-cancellation injector active (canceller drift / stage
+  /// failure)? These rewrite the cleaned waveform after the chain — see
+  /// `apply_post_cancellation`. Drivers install the post-cancel hook only
+  /// when this holds, so the fault-free path keeps its region-of-interest
+  /// processing.
+  bool any_post_cancellation() const;
+
   /// Antenna-domain faults on the reader's raw receive buffer (the
   /// interferer and ADC-slamming blockers arrive through the air; the RF
   /// canceller cannot subtract them because they are tx-uncorrelated).

@@ -144,12 +144,41 @@ decode_result backfi_decoder::decode(std::span<const cplx> x,
   return decode_with_scratch(x, y, nominal_origin, payload_bits, *scratch);
 }
 
-decode_result backfi_decoder::decode(std::span<const cplx> x,
-                                     std::span<const cplx> y,
-                                     std::size_t nominal_origin,
-                                     std::size_t payload_bits,
-                                     decoder_scratch& scratch) const {
-  return decode_with_scratch(x, y, nominal_origin, payload_bits, scratch);
+dsp::sample_range backfi_decoder::read_window_bounds(
+    std::size_t capture_len, std::size_t nominal_origin,
+    std::size_t payload_bits) const {
+  // Mirror decode_with_scratch's early typed-error exits: those paths
+  // return before touching a single y sample, so their window is empty.
+  if (capture_len == 0 || nominal_origin >= capture_len || payload_bits == 0)
+    return {};
+  const tag::tag_device device(tag_config_);
+  const std::size_t sps = device.samples_per_symbol();
+  const std::size_t preamble_begin =
+      nominal_origin + tag_config_.silent_us * samples_per_us;
+  const std::size_t sync_begin =
+      preamble_begin + tag_config_.preamble_us * samples_per_us;
+  const std::size_t data_begin = sync_begin + tag_config_.sync_symbols * sps;
+  const std::size_t n_payload_symbols = device.payload_symbols(payload_bits);
+  // Widest timing search any retry attempt can reach; together with the
+  // estimator's (taps - 1) history reach-back it bounds every sample index
+  // the decode pipeline touches. decode() iterates the same widening
+  // schedule, so a retry can never scan outside this window.
+  const std::size_t max_search = [&] {
+    double width = static_cast<double>(std::max(config_.timing_search, 0));
+    for (std::size_t a = 0; a < config_.sync_retries; ++a)
+      width *= std::max(config_.retry_search_scale, 1.0);
+    return static_cast<std::size_t>(static_cast<int>(std::min(width, 1e6)));
+  }();
+  const std::size_t history = config_.fb_taps - 1;
+  const std::size_t window_lo =
+      sync_begin >= max_search + history ? sync_begin - max_search - history
+                                         : 0;
+  const std::size_t scan_lo =
+      std::min(std::min(preamble_begin, window_lo), capture_len);
+  const std::size_t scan_hi =
+      std::min(capture_len, data_begin + n_payload_symbols * sps + max_search);
+  if (scan_lo >= scan_hi) return {};
+  return {scan_lo, scan_hi};
 }
 
 decode_result backfi_decoder::decode_with_scratch(
@@ -188,25 +217,15 @@ decode_result backfi_decoder::decode_with_scratch(
   const std::size_t data_begin = sync_begin + tag_config_.sync_symbols * sps;
   const std::size_t n_payload_symbols = device.payload_symbols(payload_bits);
 
-  // Widest timing search any retry attempt can reach; together with the
-  // estimator's (taps - 1) history reach-back it bounds every sample index
-  // the pipeline below touches.
-  const std::size_t max_search = [&] {
-    double width = static_cast<double>(std::max(config_.timing_search, 0));
-    for (std::size_t a = 0; a < config_.sync_retries; ++a)
-      width *= std::max(config_.retry_search_scale, 1.0);
-    return static_cast<std::size_t>(static_cast<int>(std::min(width, 1e6)));
-  }();
   {
     obs::timing_span finite_span(config_.collector, "reader.decode.finite");
-    const std::size_t history = config_.fb_taps - 1;
-    const std::size_t window_lo =
-        sync_begin >= max_search + history ? sync_begin - max_search - history : 0;
-    const std::size_t scan_lo =
-        std::min(std::min(preamble_begin, window_lo), y.size());
-    const std::size_t scan_hi = std::min(
-        y.size(), data_begin + n_payload_symbols * sps + max_search);
-    if (scan_lo < scan_hi && !detail::all_finite_window(x, y, scan_lo, scan_hi)) {
+    // The finite pre-check walks exactly the read-window bound — the same
+    // derivation the receive chain's ROI comes from, so a windowed chain
+    // never leaves an unchecked (possibly stale) sample readable.
+    const dsp::sample_range window =
+        read_window_bounds(y.size(), nominal_origin, payload_bits);
+    if (!window.empty() &&
+        !detail::all_finite_window(x, y, window.begin, window.end)) {
       result.failure = decode_failure::non_finite_samples;
       note_failure(config_.collector, result.failure);
       return result;

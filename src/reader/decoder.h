@@ -152,12 +152,20 @@ class backfi_decoder {
                        std::size_t nominal_origin, std::size_t payload_bits,
                        decoder_scratch* scratch = nullptr) const;
 
-  /// Transitional alias for the scratch-reference spelling; call
-  /// decode(..., &scratch) instead. Removed next PR.
-  [[deprecated("use decode(..., &scratch)")]]
-  decode_result decode(std::span<const cplx> x, std::span<const cplx> y,
-                       std::size_t nominal_origin, std::size_t payload_bits,
-                       decoder_scratch& scratch) const;
+  /// The closed-open absolute sample range of y that decode() may read for
+  /// this (capture length, nominal origin, payload size) — the same span
+  /// its up-front finite check walks, and therefore a superset of every
+  /// sample the estimation window, the sync scan at the worst-case retry
+  /// widening (timing_search × retry_search_scale^sync_retries, the exact
+  /// width decode uses) and the MRC stages can touch. The receive chain
+  /// takes this as its region of interest: samples outside it may hold
+  /// stale contents without changing any decode result, provided they are
+  /// finite or never materialized. Degenerate geometry (origin at/past the
+  /// buffer, zero-size window) returns an empty range; decode would fail
+  /// with a typed error before reading samples there.
+  dsp::sample_range read_window_bounds(std::size_t capture_len,
+                                       std::size_t nominal_origin,
+                                       std::size_t payload_bits) const;
 
   /// Demap, depuncture, Viterbi-decode and CRC-check a stream of per-symbol
   /// MRC estimates (used by the multi-antenna combiner, which produces the

@@ -79,6 +79,11 @@ stream_session::stream_session(std::span<const cplx> x,
   dec_cfg.collector = stage_collector_;
   decoder_ = std::make_unique<backfi_decoder>(config_.tag, dec_cfg);
 
+  // ROI shrinking: a post_cancel_hook reads/mutates the whole cleaned
+  // segment, so its presence forces the full-capture chain. A caller who
+  // pre-set chain.roi keeps it (their contract with their own consumer).
+  roi_active_ = config_.restrict_to_roi && !config_.post_cancel_hook;
+
   results_.resize(schedule_.size());
   for (std::size_t i = 0; i < results_.size(); ++i) results_[i].index = i;
   t_feed_ns_.resize(schedule_.size(), 0);
@@ -164,9 +169,18 @@ void stream_session::cancel_segment(std::size_t index) {
   seg.index = index;
   seg.t_feed_ns = t_feed_ns_[index];
 
+  // Per-packet ROI: the decoder's exact read window for this segment. Only
+  // this stage's thread touches config_.chain from here on, so the
+  // mutation is race-free in both threading modes.
+  if (roi_active_)
+    config_.chain.roi = decoder_->read_window_bounds(
+        len, p.wake_end - p.begin, p.payload_bits);
+
   seg.chain = fd::run_receive_chain(xseg, yseg, p.wake_end - p.begin,
                                     p.silent_end - p.begin, config_.chain,
                                     chain_scratch_);
+  worker_stats_.roi_samples_processed += seg.chain.roi_samples_processed;
+  worker_stats_.roi_samples_skipped += seg.chain.roi_samples_skipped;
   if (config_.post_cancel_hook)
     config_.post_cancel_hook(xseg, std::span<cplx>(chain_scratch_->cleaned),
                              p.silent_end - p.begin);
@@ -262,6 +276,8 @@ void stream_session::finish() {
   stats_.decode_us_total = worker_stats_.decode_us_total;
   stats_.latency_us_max = worker_stats_.latency_us_max;
   stats_.latency_us_total = worker_stats_.latency_us_total;
+  stats_.roi_samples_processed = worker_stats_.roi_samples_processed;
+  stats_.roi_samples_skipped = worker_stats_.roi_samples_skipped;
   stats_.queue_high_water = capture_ring_->high_water();
 
   obs::collector* const c = config_.collector;

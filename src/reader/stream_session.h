@@ -86,6 +86,17 @@ struct stream_config {
   /// faults here.
   std::function<void(std::span<const cplx>, std::span<cplx>, std::size_t)>
       post_cancel_hook;
+  /// Per-packet region-of-interest shrinking: derive each packet's decoder
+  /// read window (backfi_decoder::read_window_bounds, which covers the
+  /// worst-case retry-widened sync scan) and pass it as the receive
+  /// chain's roi, so cancellation compute scales with the tag packet span
+  /// instead of the captured segment (decoded bits stay bit-identical by
+  /// the roi contract). Automatically disabled when a post_cancel_hook is
+  /// installed — the hook reads/mutates the whole cleaned segment; an
+  /// installed front_end_hook is handled inside the chain (forces the
+  /// full-range sweep) so it needs no session-side gate. Off = every
+  /// packet runs the full-capture chain, byte-for-byte the pre-ROI path.
+  bool restrict_to_roi = true;
   /// Observability sink (nullable), see probe confinement note above.
   obs::collector* collector = nullptr;
   /// Emit the session's own reader.stream.* / runtime.stream.* metrics and
@@ -125,6 +136,10 @@ struct stream_stats {
   /// block-policy stalls are included.
   double latency_us_max = 0.0;
   double latency_us_total = 0.0;
+  /// ROI accounting summed over the cancelled packets (zeros when ROI
+  /// shrinking was off or no packet carried a usable window).
+  std::size_t roi_samples_processed = 0;
+  std::size_t roi_samples_skipped = 0;
 };
 
 /// A streaming decode session over one continuous capture. x is the
@@ -186,6 +201,10 @@ class stream_session {
   std::size_t watermark_ = 0;    ///< samples fed so far
   std::size_t next_packet_ = 0;  ///< first schedule entry not yet pushed
   bool finished_ = false;
+  /// restrict_to_roi resolved against the hook rule at construction; read
+  /// by the cancellation stage (worker thread in 2-thread mode, which also
+  /// owns config_.chain.roi from then on).
+  bool roi_active_ = false;
 
   /// Feed-time stamp per packet, written by the producer in produce()
   /// before the ring push (whose release store publishes it to the

@@ -276,11 +276,17 @@ trial_result run_backscatter_trial(const scenario_config& config,
   stream_cfg.emit_stream_metrics = false;
   stream_cfg.chain_scratch = &ws.chain;
   stream_cfg.decode_scratch = &ws.decoder;
-  stream_cfg.post_cancel_hook = [&faults](std::span<const cplx> tx,
-                                          std::span<cplx> cleaned,
-                                          std::size_t window_end) {
-    faults.apply_post_cancellation(tx, cleaned, window_end);
-  };
+  // The post-cancel hook rewrites the whole cleaned segment, so the session
+  // disables its ROI shrinking whenever one is installed — only wire it up
+  // when a post-cancellation injector is actually active, keeping the
+  // fault-free path (every PER/throughput sweep) on the shrunk chain.
+  if (faults.any_post_cancellation()) {
+    stream_cfg.post_cancel_hook = [&faults](std::span<const cplx> tx,
+                                            std::span<cplx> cleaned,
+                                            std::size_t window_end) {
+      faults.apply_post_cancellation(tx, cleaned, window_end);
+    };
+  }
   const reader::stream_packet packet{.begin = 0,
                                      .end = rx.size(),
                                      .wake_end = ex.wake_end,
